@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the reproduction's building blocks: the
+//! stability analysis (solved every 100 ms by the paper's governor), the
+//! thermal network, the scheduler and the full simulator tick.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mpt_kernel::{allocate_max_min, Pid, ProcessClass};
+use mpt_sim::SimBuilder;
+use mpt_soc::{platforms, ComponentId};
+use mpt_thermal::{LumpedModel, RcNetwork};
+use mpt_units::{Kelvin, Seconds, Watts};
+use mpt_workloads::apps;
+use mpt_workloads::benchmarks::BasicMathLarge;
+use mpt_workloads::mibench;
+
+fn bench_stability_analysis(c: &mut Criterion) {
+    let model = LumpedModel::odroid_xu3();
+    let mut group = c.benchmark_group("stability");
+    group.bench_function("classify_2w", |b| {
+        b.iter(|| model.stability(std::hint::black_box(Watts::new(2.0))))
+    });
+    group.bench_function("classify_runaway_8w", |b| {
+        b.iter(|| model.stability(std::hint::black_box(Watts::new(8.0))))
+    });
+    group.bench_function("critical_power", |b| b.iter(|| model.critical_power()));
+    group.bench_function("time_to_reach", |b| {
+        b.iter(|| {
+            model.time_to_reach(
+                Kelvin::new(330.0),
+                Kelvin::new(368.0),
+                std::hint::black_box(Watts::new(4.5)),
+                Seconds::new(600.0),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_thermal_network(c: &mut Criterion) {
+    let spec = platforms::exynos_5422().thermal_spec().clone();
+    let mut group = c.benchmark_group("thermal_network");
+    group.bench_function("step_100ms", |b| {
+        let mut net = RcNetwork::from_spec(&spec).expect("valid spec");
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[1] = Watts::new(2.5);
+        b.iter(|| net.step(Seconds::from_millis(100.0), &powers))
+    });
+    group.bench_function("steady_state", |b| {
+        let net = RcNetwork::from_spec(&spec).expect("valid spec");
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[1] = Watts::new(2.5);
+        b.iter(|| net.steady_state(&powers))
+    });
+    group.bench_function("reduce_to_lumped", |b| {
+        let net = RcNetwork::from_spec(&spec).expect("valid spec");
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[1] = Watts::new(2.5);
+        b.iter(|| net.reduce(&powers, 1, 1700.0, 8000.0))
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    let demands: Vec<(Pid, f64)> = (0..32)
+        .map(|i| (Pid::new(i + 1), f64::from(i) * 1e6))
+        .collect();
+    group.bench_function("allocate_max_min_32", |b| {
+        b.iter(|| allocate_max_min(std::hint::black_box(&demands), 100e6))
+    });
+    group.finish();
+}
+
+fn bench_simulator_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("tick_nexus_game", |b| {
+        b.iter_batched(
+            || {
+                SimBuilder::new(platforms::snapdragon_810())
+                    .attach(
+                        Box::new(apps::paper_io(42)),
+                        ProcessClass::Foreground,
+                        ComponentId::BigCluster,
+                    )
+                    .build()
+                    .expect("valid sim")
+            },
+            |mut sim| {
+                for _ in 0..100 {
+                    sim.step().expect("step");
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("simulated_second_odroid", |b| {
+        b.iter_batched(
+            || {
+                SimBuilder::new(platforms::exynos_5422())
+                    .attach(
+                        Box::new(BasicMathLarge::new()),
+                        ProcessClass::Background,
+                        ComponentId::BigCluster,
+                    )
+                    .build()
+                    .expect("valid sim")
+            },
+            |mut sim| {
+                sim.run_for(Seconds::new(1.0)).expect("run");
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_mibench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mibench");
+    group.bench_function("basicmath_iteration", |b| {
+        b.iter(|| mibench::basicmath_iteration(std::hint::black_box(7)))
+    });
+    group.bench_function("solve_cubic", |b| {
+        b.iter(|| mibench::solve_cubic(1.0, std::hint::black_box(-10.5), 32.0, -30.0))
+    });
+    group.bench_function("usqrt", |b| {
+        b.iter(|| mibench::usqrt(std::hint::black_box(0x7fff_ffff_ffff)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stability_analysis,
+    bench_thermal_network,
+    bench_scheduler,
+    bench_simulator_tick,
+    bench_mibench
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation studies on the paper's design constants (beyond the paper's
+//! own evaluation): the 1 s utilization window, the 100 ms governor
+//! period, migration vs whole-cluster capping, the violation horizon —
+//! plus a validation of the stability analysis against simulated ground
+//! truth.
+
+use mpt_core::experiments::ablations::{
+    action_ablation, horizon_ablation, period_ablation, prediction_accuracy, window_ablation,
+};
+use mpt_units::{Seconds, Watts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== utilization-window ablation (paper: 1 s) ==");
+    println!("a bursty decoy competes with the steady basicmath_large offender");
+    for r in window_ablation(&[
+        Seconds::from_millis(100.0),
+        Seconds::from_millis(500.0),
+        Seconds::new(1.0),
+        Seconds::new(3.0),
+    ])? {
+        println!(
+            "  window {:>6.1} ms -> first victim {:<16} ({})",
+            r.window.as_millis(),
+            r.first_victim,
+            if r.victim_correct { "correct" } else { "fooled by the burst" }
+        );
+    }
+
+    println!("\n== governor-period ablation (paper: 100 ms) ==");
+    for r in period_ablation(&[
+        Seconds::from_millis(50.0),
+        Seconds::from_millis(100.0),
+        Seconds::new(1.0),
+        Seconds::new(5.0),
+    ])? {
+        println!(
+            "  period {:>6.0} ms -> first migration at {:>6}, peak {:.1}",
+            r.period.as_millis(),
+            r.first_migration
+                .map_or_else(|| "never".to_owned(), |t| format!("{:.1} s", t.value())),
+            r.peak
+        );
+    }
+
+    println!("\n== throttling-mechanism ablation (paper: migration) ==");
+    for r in action_ablation()? {
+        println!(
+            "  {:<16?} -> GT1 {:>5.1} FPS, offender progress {:>6.0} iterations, peak {:.1}",
+            r.action, r.gt1, r.bml_iterations, r.peak
+        );
+    }
+
+    println!("\n== horizon ablation (paper: 'user-defined limit') ==");
+    for r in horizon_ablation(&[
+        Seconds::new(5.0),
+        Seconds::new(20.0),
+        Seconds::new(60.0),
+        Seconds::new(300.0),
+    ])? {
+        println!(
+            "  horizon {:>5.0} s -> first migration at {:>6}, peak {:.1}",
+            r.horizon.value(),
+            r.first_migration
+                .map_or_else(|| "never".to_owned(), |t| format!("{:.1} s", t.value())),
+            r.peak
+        );
+    }
+
+    println!("\n== prediction accuracy (lumped analysis vs full RC network) ==");
+    for r in prediction_accuracy(&[
+        Watts::new(0.5),
+        Watts::new(1.0),
+        Watts::new(2.0),
+        Watts::new(3.0),
+        Watts::new(4.0),
+    ])? {
+        let fmt = |o: Option<mpt_units::Celsius>| {
+            o.map_or_else(|| "runaway".to_owned(), |c| format!("{:.1} C", c.value()))
+        };
+        println!(
+            "  {:>4.1} W -> predicted {:>8}, simulated {:>8}",
+            r.power.value(),
+            fmt(r.predicted),
+            fmt(r.simulated)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Runs every experiment regenerator in sequence (the full paper).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "repro_fig1", "repro_fig2", "repro_fig3", "repro_fig4", "repro_fig5",
+        "repro_fig6", "repro_table1", "repro_fig7", "repro_fig8", "repro_fig9",
+        "repro_table2", "repro_ablations", "repro_advisor",
+    ];
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe dir");
+    for bin in bins {
+        println!("\n=============== {bin} ===============");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

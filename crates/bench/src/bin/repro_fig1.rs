@@ -1,0 +1,15 @@
+//! Figure 1: temperature profile for the Paper.io game.
+
+use mpt_bench::format_nexus_figure;
+use mpt_core::experiments::{nexus_run, NexusApp};
+use mpt_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let without = nexus_run(NexusApp::PaperIo, false, 42, Seconds::new(140.0))?;
+    let with = nexus_run(NexusApp::PaperIo, true, 42, Seconds::new(140.0))?;
+    println!("Fig. 1: Temperature profile for Paper.io game\n");
+    println!("{}", mpt_daq::chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14));
+    println!("          (* = without throttling, + = with throttling)");
+    let _ = format_nexus_figure;
+    Ok(())
+}

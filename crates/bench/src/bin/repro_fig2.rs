@@ -1,0 +1,15 @@
+//! Figure 2: GPU frequency residency in the Paper.io game.
+
+use mpt_bench::format_residency;
+use mpt_core::experiments::{nexus_run, NexusApp};
+use mpt_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let without = nexus_run(NexusApp::PaperIo, false, 42, Seconds::new(140.0))?;
+    let with = nexus_run(NexusApp::PaperIo, true, 42, Seconds::new(140.0))?;
+    println!("Fig. 2: Usage of GPU frequencies in the Paper.io game\n");
+    print!("{}", format_residency("without throttling:", &without.gpu_residency));
+    println!();
+    print!("{}", format_residency("with throttling:", &with.gpu_residency));
+    Ok(())
+}

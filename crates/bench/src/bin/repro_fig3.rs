@@ -1,0 +1,13 @@
+//! Figure 3: temperature profile for the Stickman Hook game.
+
+use mpt_core::experiments::{nexus_run, NexusApp};
+use mpt_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let without = nexus_run(NexusApp::StickmanHook, false, 43, Seconds::new(140.0))?;
+    let with = nexus_run(NexusApp::StickmanHook, true, 43, Seconds::new(140.0))?;
+    println!("Fig. 3: Temperature profile for Stickman Hook game\n");
+    println!("{}", mpt_daq::chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14));
+    println!("          (* = without throttling, + = with throttling)");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Figure 4: GPU frequency residency in the Stickman Hook game.
+
+use mpt_bench::format_residency;
+use mpt_core::experiments::{nexus_run, NexusApp};
+use mpt_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let without = nexus_run(NexusApp::StickmanHook, false, 43, Seconds::new(140.0))?;
+    let with = nexus_run(NexusApp::StickmanHook, true, 43, Seconds::new(140.0))?;
+    println!("Fig. 4: Usage of GPU frequencies in the Stickman Hook game\n");
+    print!("{}", format_residency("without throttling:", &without.gpu_residency));
+    println!();
+    print!("{}", format_residency("with throttling:", &with.gpu_residency));
+    Ok(())
+}

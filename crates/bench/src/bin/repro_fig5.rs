@@ -1,0 +1,13 @@
+//! Figure 5: temperature profile for the Amazon shopping app.
+
+use mpt_core::experiments::{nexus_run, NexusApp};
+use mpt_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let without = nexus_run(NexusApp::Amazon, false, 44, Seconds::new(140.0))?;
+    let with = nexus_run(NexusApp::Amazon, true, 44, Seconds::new(140.0))?;
+    println!("Fig. 5: Temperature profile for Amazon shopping app\n");
+    println!("{}", mpt_daq::chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14));
+    println!("          (* = without throttling, + = with throttling)");
+    Ok(())
+}

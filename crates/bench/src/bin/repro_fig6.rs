@@ -1,0 +1,15 @@
+//! Figure 6: big-core frequency residency in the Amazon app.
+
+use mpt_bench::format_residency;
+use mpt_core::experiments::{nexus_run, NexusApp};
+use mpt_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let without = nexus_run(NexusApp::Amazon, false, 44, Seconds::new(140.0))?;
+    let with = nexus_run(NexusApp::Amazon, true, 44, Seconds::new(140.0))?;
+    println!("Fig. 6: Usage of big core frequencies in the Amazon app\n");
+    print!("{}", format_residency("without throttling:", &without.big_residency));
+    println!();
+    print!("{}", format_residency("with throttling:", &with.big_residency));
+    Ok(())
+}

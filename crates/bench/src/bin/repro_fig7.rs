@@ -1,0 +1,31 @@
+//! Figure 7: the fixed-point functions for three power consumption values.
+
+use mpt_core::experiments::fig7_curves;
+use mpt_daq::TimeSeries;
+use mpt_thermal::Stability;
+use mpt_units::Seconds;
+
+fn main() {
+    println!("Fig. 7: Fixed point functions (Odroid-XU3 lumped calibration)\n");
+    for curve in fig7_curves() {
+        // Reuse the line chart by treating theta as the time axis.
+        let mut ts = TimeSeries::new(format!("F(theta) at {:.1} W", curve.power.value()));
+        for &(theta, f) in &curve.points {
+            ts.push(Seconds::new(theta), f);
+        }
+        let class = match curve.stability {
+            Stability::Stable(fp) => format!(
+                "stable fixed point {:.1} C, unstable {:.1} C",
+                fp.stable.to_celsius().value(),
+                fp.unstable.to_celsius().value()
+            ),
+            Stability::CriticallyStable { point } => {
+                format!("critically stable at {:.1} C", point.to_celsius().value())
+            }
+            Stability::Runaway => "no fixed points (thermal runaway)".to_owned(),
+        };
+        println!("{} Total Power = {:.1} W -> {class}", curve.label, curve.power.value());
+        print!("{}", mpt_daq::chart::line_chart(&[&ts], 70, 12));
+        println!("          x-axis: auxiliary temperature theta = beta/T (increasing = cooler)\n");
+    }
+}

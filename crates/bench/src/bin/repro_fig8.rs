@@ -1,0 +1,23 @@
+//! Figure 8: maximum temperature while running 3DMark under the three
+//! scenarios.
+
+use mpt_core::experiments::{threedmark_run, OdroidScenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fig. 8: Maximum temperature while running 3DMark (250 s)\n");
+    let runs: Vec<_> = OdroidScenario::ALL
+        .iter()
+        .map(|&s| threedmark_run(s, 1))
+        .collect::<Result<_, _>>()?;
+    let series: Vec<&mpt_daq::TimeSeries> = runs.iter().map(|r| &r.max_temp).collect();
+    print!("{}", mpt_daq::chart::line_chart(&series, 72, 16));
+    println!("          (* = 3DMark, + = 3DMark+BML, o = Proposed Control)");
+    for r in &runs {
+        println!(
+            "  {:<34} peak {:.1} C",
+            r.scenario.label(),
+            r.max_temp.max().unwrap_or(f64::NAN)
+        );
+    }
+    Ok(())
+}

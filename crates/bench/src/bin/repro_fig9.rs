@@ -1,0 +1,16 @@
+//! Figure 9: power consumption distribution of 3DMark under the three
+//! scenarios (the paper's pie charts, as share tables).
+
+use mpt_core::experiments::{threedmark_run, OdroidScenario};
+use mpt_daq::chart;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fig. 9: Power consumption distribution of 3DMark\n");
+    for scenario in OdroidScenario::ALL {
+        let run = threedmark_run(scenario, 1)?;
+        print!("{}", chart::share_table(run.scenario.label(), &run.shares));
+        println!();
+    }
+    println!("paper reference: (a) GPU-dominant, big 38%  (b) 3.65 W total, big 60%  (c) big 42%, little 16%");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table I (median FPS with/without throttling).
+
+use mpt_bench::format_table1;
+use mpt_core::experiments::table1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("regenerating Table I (10 runs of 140 s)...\n");
+    let rows = table1(42)?;
+    print!("{}", format_table1(&rows));
+    println!("\npaper reference: 35->23 (34%), 59->40 (32%), 35->28 (20%), 42->38 (10%), 35->24 (31%)");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table II (3DMark GT1/GT2, Nenamark levels).
+
+use mpt_bench::format_table2;
+use mpt_core::experiments::table2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("regenerating Table II (six Odroid-XU3 runs)...\n");
+    let t = table2(1)?;
+    print!("{}", format_table2(&t));
+    println!("\npaper reference: GT1 97/86/93, GT2 51/49/51, Nenamark 3.5/3.4/3.5");
+    Ok(())
+}

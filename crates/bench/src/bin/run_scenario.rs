@@ -1,0 +1,37 @@
+//! Runs a JSON-defined scenario (see `mpt_core::scenario`) and prints the
+//! outcome.
+//!
+//! ```sh
+//! cargo run --release -p mpt-bench --bin run_scenario -- scenarios/odroid_proposed.json
+//! ```
+
+use std::io::Read;
+
+use mpt_core::scenario::run_scenario_json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let json = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    let outcome = run_scenario_json(&json)?;
+    println!("peak temperature : {:.1} C", outcome.peak_temperature_c);
+    println!("average power    : {:.2} W", outcome.average_power_w);
+    println!("energy           : {:.1} J", outcome.energy_j);
+    println!("migrations       : {}", outcome.migrations);
+    println!("\nworkloads:");
+    for w in &outcome.workloads {
+        match w.median_fps {
+            Some(fps) => println!("  {:<20} {:>6.1} FPS  (on {})", w.name, fps, w.final_cluster),
+            None => println!("  {:<20} {:>10}  (on {})", w.name, "-", w.final_cluster),
+        }
+    }
+    if !outcome.events.is_empty() {
+        println!("\nevents:\n{}", outcome.events.trim_end());
+    }
+    Ok(())
+}

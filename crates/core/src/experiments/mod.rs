@@ -1,0 +1,29 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Fig. 1/3/5 (temperature profiles, Nexus 6P) | [`nexus_run`] per app, throttled on/off |
+//! | Fig. 2/4/6 (frequency residency) | [`NexusRun::gpu_residency`] / [`NexusRun::big_residency`] |
+//! | Table I (median FPS with/without throttling) | [`table1`] |
+//! | Fig. 7 (fixed-point functions at 2 / 5.5 / 8 W) | [`fig7_curves`] |
+//! | Fig. 8 (max temperature, Odroid scenarios) | [`threedmark_run`] per scenario |
+//! | Fig. 9 (power distribution pies) | [`OdroidRun::shares`] |
+//! | Table II (3DMark GT1/GT2 FPS, Nenamark levels) | [`table2`] |
+//!
+//! Beyond the paper, [`ablations`] sweeps the design constants the paper
+//! fixes (window length, governor period, migration vs capping, horizon)
+//! and validates the stability analysis against the simulated ground
+//! truth ([`prediction_accuracy`]).
+
+pub mod ablations;
+mod fig7;
+mod nexus;
+mod odroid;
+
+pub use ablations::{
+    action_ablation, horizon_ablation, period_ablation, prediction_accuracy, window_ablation,
+    ActionAblation, HorizonAblation, PeriodAblation, PredictionRow, WindowAblation,
+};
+pub use fig7::{fig7_curves, Fig7Curve};
+pub use nexus::{nexus_run, table1, NexusApp, NexusRun, Table1Row};
+pub use odroid::{nenamark_run, table2, threedmark_run, OdroidRun, OdroidScenario, Table2};

@@ -1,0 +1,554 @@
+//! Declarative scenarios: define an experiment as data, run it with one
+//! call.
+//!
+//! Everything the experiment drivers do programmatically can be expressed
+//! as a [`ScenarioSpec`] — platform, workload placement, baseline thermal
+//! policy, the proposed governor — and executed with [`run_scenario`].
+//! Specs serialize with serde, so experiments can live in JSON files and
+//! run through the `run_scenario` binary:
+//!
+//! ```sh
+//! cargo run --release -p mpt-bench --bin run_scenario -- scenario.json
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use mpt_kernel::{IpaConfig, IpaGovernor, ProcessClass, StepWiseGovernor, TripPoint};
+use mpt_sim::{Result, SimBuilder, SimError, Simulator};
+use mpt_soc::{platforms, ComponentId, Platform};
+use mpt_units::{Celsius, Seconds, Watts};
+use mpt_workloads::benchmarks::{
+    BasicMathLarge, BurstyCompute, Nenamark, SteadyCompute, ThreeDMark,
+};
+use mpt_workloads::Workload;
+
+use crate::experiments::NexusApp;
+use crate::{AppAwareConfig, AppAwareGovernor, GovernorStats, ThrottleAction};
+
+/// Which platform model to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PlatformSpec {
+    /// The Nexus 6P's Snapdragon 810.
+    Snapdragon810,
+    /// The Odroid-XU3's Exynos 5422.
+    Exynos5422,
+}
+
+impl PlatformSpec {
+    fn build(self) -> Platform {
+        match self {
+            PlatformSpec::Snapdragon810 => platforms::snapdragon_810(),
+            PlatformSpec::Exynos5422 => platforms::exynos_5422(),
+        }
+    }
+}
+
+/// Which CPU cluster a workload starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum ClusterSpec {
+    /// The high-performance cluster.
+    #[default]
+    Big,
+    /// The low-power cluster.
+    Little,
+}
+
+impl From<ClusterSpec> for ComponentId {
+    fn from(c: ClusterSpec) -> Self {
+        match c {
+            ClusterSpec::Big => ComponentId::BigCluster,
+            ClusterSpec::Little => ComponentId::LittleCluster,
+        }
+    }
+}
+
+/// The workload zoo, by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadKind {
+    /// One of the five Nexus study apps.
+    App {
+        /// `"paper_io"`, `"stickman_hook"`, `"amazon"`,
+        /// `"google_hangouts"` or `"facebook"`.
+        name: String,
+    },
+    /// The 3DMark-style benchmark.
+    ThreeDMark {
+        /// Seconds per graphics test.
+        test_duration_s: f64,
+    },
+    /// The Nenamark-style benchmark.
+    Nenamark,
+    /// MiBench `basicmath_large`.
+    BasicMath,
+    /// A steady partial CPU load.
+    Steady {
+        /// Process name.
+        name: String,
+        /// Big-equivalent cycles per second.
+        rate: f64,
+        /// Parallelism.
+        threads: f64,
+    },
+    /// A bursty CPU load.
+    Bursty {
+        /// Process name.
+        name: String,
+        /// Burst length in seconds.
+        burst_s: f64,
+        /// Idle gap in seconds.
+        idle_s: f64,
+    },
+}
+
+/// One workload attachment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// What to run.
+    #[serde(flatten)]
+    pub kind: WorkloadKind,
+    /// Where it starts.
+    #[serde(default)]
+    pub cluster: ClusterSpec,
+    /// Whether it is the user-facing app.
+    #[serde(default)]
+    pub foreground: bool,
+    /// Whether it registers as real-time (exempt from the proposed
+    /// governor).
+    #[serde(default)]
+    pub realtime: bool,
+    /// RNG seed for app models.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    fn build(&self) -> std::result::Result<Box<dyn Workload>, String> {
+        Ok(match &self.kind {
+            WorkloadKind::App { name } => {
+                let app = match name.as_str() {
+                    "paper_io" => NexusApp::PaperIo,
+                    "stickman_hook" => NexusApp::StickmanHook,
+                    "amazon" => NexusApp::Amazon,
+                    "google_hangouts" => NexusApp::GoogleHangouts,
+                    "facebook" => NexusApp::Facebook,
+                    other => return Err(format!("unknown app {other:?}")),
+                };
+                Box::new(app.make(self.seed))
+            }
+            WorkloadKind::ThreeDMark { test_duration_s } => {
+                if *test_duration_s <= 0.0 {
+                    return Err("3dmark test duration must be positive".to_owned());
+                }
+                Box::new(ThreeDMark::with_durations(
+                    Seconds::new(*test_duration_s),
+                    Seconds::new(*test_duration_s),
+                ))
+            }
+            WorkloadKind::Nenamark => Box::new(Nenamark::new()),
+            WorkloadKind::BasicMath => Box::new(BasicMathLarge::new()),
+            WorkloadKind::Steady { name, rate, threads } => {
+                if *rate <= 0.0 || *threads <= 0.0 {
+                    return Err("steady rate and threads must be positive".to_owned());
+                }
+                Box::new(SteadyCompute::new(name.clone(), *rate, *threads))
+            }
+            WorkloadKind::Bursty { name, burst_s, idle_s } => {
+                if *burst_s <= 0.0 || *idle_s <= 0.0 {
+                    return Err("burst and idle durations must be positive".to_owned());
+                }
+                Box::new(BurstyCompute::new(
+                    name.clone(),
+                    Seconds::new(*burst_s),
+                    Seconds::new(*idle_s),
+                ))
+            }
+        })
+    }
+
+    fn display_name(&self) -> String {
+        match &self.kind {
+            WorkloadKind::App { name } => match name.as_str() {
+                "paper_io" => "Paper.io".to_owned(),
+                "stickman_hook" => "Stickman Hook".to_owned(),
+                "amazon" => "Amazon".to_owned(),
+                "google_hangouts" => "Google Hangouts".to_owned(),
+                "facebook" => "Facebook".to_owned(),
+                other => other.to_owned(),
+            },
+            WorkloadKind::ThreeDMark { .. } => "3DMark".to_owned(),
+            WorkloadKind::Nenamark => "Nenamark".to_owned(),
+            WorkloadKind::BasicMath => "basicmath_large".to_owned(),
+            WorkloadKind::Steady { name, .. } | WorkloadKind::Bursty { name, .. } => {
+                name.clone()
+            }
+        }
+    }
+}
+
+/// The baseline thermal policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(tag = "policy", rename_all = "snake_case")]
+pub enum ThermalPolicySpec {
+    /// No thermal management (the paper's "without throttling").
+    #[default]
+    Disabled,
+    /// Step-wise trip points over the GPU and big cluster.
+    StepWise {
+        /// Trip temperatures in Celsius (1.5 °C hysteresis each).
+        trips_c: Vec<f64>,
+        /// Poll period in seconds.
+        period_s: f64,
+    },
+    /// ARM Intelligent Power Allocation over the big cluster and GPU.
+    Ipa {
+        /// Control temperature in Celsius.
+        control_c: f64,
+        /// Sustainable power in watts.
+        sustainable_w: f64,
+        /// GPU weight relative to the big cluster's 1.0.
+        gpu_weight: f64,
+    },
+}
+
+/// The proposed governor's configuration, if enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppAwareSpec {
+    /// Thermal limit in Celsius.
+    pub limit_c: f64,
+    /// Violation horizon in seconds.
+    #[serde(default = "default_horizon")]
+    pub horizon_s: f64,
+    /// Use cluster capping instead of migration (ablation).
+    #[serde(default)]
+    pub cap_instead_of_migrate: bool,
+}
+
+fn default_horizon() -> f64 {
+    60.0
+}
+
+/// A complete, serializable experiment definition.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_core::scenario::{run_scenario_json, ScenarioSpec};
+///
+/// let json = r#"{
+///     "platform": "exynos5422",
+///     "duration_s": 5.0,
+///     "workloads": [
+///         { "kind": "basic_math", "cluster": "big" }
+///     ]
+/// }"#;
+/// let spec: ScenarioSpec = serde_json::from_str(json)?;
+/// assert_eq!(spec.duration_s, 5.0);
+/// let outcome = run_scenario_json(json)?;
+/// assert!(outcome.average_power_w > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The platform to simulate.
+    pub platform: PlatformSpec,
+    /// Run length in simulated seconds.
+    pub duration_s: f64,
+    /// Starting temperature (defaults to ambient).
+    #[serde(default)]
+    pub initial_temperature_c: Option<f64>,
+    /// Baseline thermal policy.
+    #[serde(default)]
+    pub thermal: ThermalPolicySpec,
+    /// The proposed application-aware governor, if enabled.
+    #[serde(default)]
+    pub app_aware: Option<AppAwareSpec>,
+    /// Workloads to attach.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+/// Per-workload results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadOutcome {
+    /// The workload's display name.
+    pub name: String,
+    /// Median FPS, if it renders frames.
+    pub median_fps: Option<f64>,
+    /// The cluster it ended on.
+    pub final_cluster: String,
+}
+
+/// The outcome of a scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Peak temperature over the run, Celsius.
+    pub peak_temperature_c: f64,
+    /// Average total power, watts.
+    pub average_power_w: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadOutcome>,
+    /// Migrations performed by the proposed governor.
+    pub migrations: u64,
+    /// The rendered event log.
+    pub events: String,
+}
+
+fn invalid(reason: String) -> SimError {
+    SimError::InvalidConfig { reason }
+}
+
+/// Builds the simulator a spec describes.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for malformed specs; other [`SimError`]s
+/// from the builder.
+pub fn build_scenario(
+    spec: &ScenarioSpec,
+) -> Result<(Simulator, Option<std::sync::Arc<GovernorStats>>)> {
+    if spec.duration_s <= 0.0 {
+        return Err(invalid("duration must be positive".into()));
+    }
+    if spec.workloads.is_empty() {
+        return Err(invalid("a scenario needs at least one workload".into()));
+    }
+    let platform = spec.platform.build();
+    let mut builder = SimBuilder::new(platform.clone());
+    if let Some(t0) = spec.initial_temperature_c {
+        builder = builder.initial_temperature(Celsius::new(t0));
+    }
+    match &spec.thermal {
+        ThermalPolicySpec::Disabled => {}
+        ThermalPolicySpec::StepWise { trips_c, period_s } => {
+            if trips_c.is_empty() {
+                return Err(invalid("step_wise needs at least one trip".into()));
+            }
+            let trips = trips_c
+                .iter()
+                .map(|&c| TripPoint::new(Celsius::new(c), Celsius::new(1.5)))
+                .collect();
+            let governed = vec![
+                (
+                    platform
+                        .component(ComponentId::Gpu)
+                        .map_err(|e| invalid(e.to_string()))?
+                        .clone(),
+                    3,
+                ),
+                (
+                    platform
+                        .component(ComponentId::BigCluster)
+                        .map_err(|e| invalid(e.to_string()))?
+                        .clone(),
+                    5,
+                ),
+            ];
+            builder = builder
+                .thermal_governor(Box::new(StepWiseGovernor::with_state_limits(
+                    trips, governed,
+                )))
+                .thermal_period(Seconds::new(*period_s));
+        }
+        ThermalPolicySpec::Ipa { control_c, sustainable_w, gpu_weight } => {
+            if *gpu_weight <= 0.0 {
+                return Err(invalid("ipa gpu weight must be positive".into()));
+            }
+            builder = builder.thermal_governor(Box::new(IpaGovernor::with_weights(
+                IpaConfig {
+                    control_temp: Celsius::new(*control_c),
+                    sustainable_power: Watts::new(*sustainable_w),
+                    ..IpaConfig::default()
+                },
+                vec![
+                    (
+                        platform
+                            .component(ComponentId::BigCluster)
+                            .map_err(|e| invalid(e.to_string()))?
+                            .clone(),
+                        1.0,
+                    ),
+                    (
+                        platform
+                            .component(ComponentId::Gpu)
+                            .map_err(|e| invalid(e.to_string()))?
+                            .clone(),
+                        *gpu_weight,
+                    ),
+                ],
+            )));
+        }
+    }
+    let mut stats = None;
+    if let Some(aa) = &spec.app_aware {
+        let gov = AppAwareGovernor::new(AppAwareConfig {
+            thermal_limit: Celsius::new(aa.limit_c),
+            horizon: Seconds::new(aa.horizon_s),
+            action: if aa.cap_instead_of_migrate {
+                ThrottleAction::CapBigCluster
+            } else {
+                ThrottleAction::MigrateToLittle
+            },
+            ..AppAwareConfig::default()
+        });
+        stats = Some(gov.stats());
+        builder = builder.system_policy(Box::new(gov));
+    }
+    for w in &spec.workloads {
+        let workload = w.build().map_err(invalid)?;
+        let class = if w.foreground {
+            ProcessClass::Foreground
+        } else {
+            ProcessClass::Background
+        };
+        builder = if w.realtime {
+            builder.attach_realtime(workload, class, w.cluster.into())
+        } else {
+            builder.attach(workload, class, w.cluster.into())
+        };
+    }
+    Ok((builder.build()?, stats))
+}
+
+/// Runs a scenario to completion and summarizes it.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for malformed specs; simulator errors
+/// otherwise.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioOutcome> {
+    let (mut sim, stats) = build_scenario(spec)?;
+    sim.run_for(Seconds::new(spec.duration_s))?;
+    let workloads = spec
+        .workloads
+        .iter()
+        .map(|w| {
+            let name = w.display_name();
+            let pid = sim.pid_of(&name);
+            WorkloadOutcome {
+                median_fps: pid.and_then(|p| sim.median_fps(p)),
+                final_cluster: pid
+                    .and_then(|p| sim.scheduler().process(p))
+                    .map_or_else(|| "?".to_owned(), |p| p.cluster().to_string()),
+                name,
+            }
+        })
+        .collect();
+    Ok(ScenarioOutcome {
+        peak_temperature_c: sim
+            .telemetry()
+            .max_temperature()
+            .max()
+            .unwrap_or(f64::NAN),
+        average_power_w: sim.telemetry().average_total_power().value(),
+        energy_j: sim.telemetry().total_energy(),
+        workloads,
+        migrations: stats.map_or(0, |s| s.migrations()),
+        events: sim.events().render(),
+    })
+}
+
+/// Parses a JSON scenario and runs it.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] if the JSON does not parse; otherwise as
+/// [`run_scenario`].
+pub fn run_scenario_json(json: &str) -> Result<ScenarioOutcome> {
+    let spec: ScenarioSpec =
+        serde_json::from_str(json).map_err(|e| invalid(format!("bad scenario json: {e}")))?;
+    run_scenario(&spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bml_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            platform: PlatformSpec::Exynos5422,
+            duration_s: 5.0,
+            initial_temperature_c: Some(50.0),
+            thermal: ThermalPolicySpec::Disabled,
+            app_aware: None,
+            workloads: vec![WorkloadSpec {
+                kind: WorkloadKind::BasicMath,
+                cluster: ClusterSpec::Big,
+                foreground: false,
+                realtime: false,
+                seed: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = bml_spec();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn runs_a_minimal_scenario() {
+        let outcome = run_scenario(&bml_spec()).unwrap();
+        assert!(outcome.average_power_w > 0.5, "power {}", outcome.average_power_w);
+        assert!(outcome.peak_temperature_c > 50.0);
+        assert_eq!(outcome.workloads[0].final_cluster, "big");
+        assert_eq!(outcome.migrations, 0);
+    }
+
+    #[test]
+    fn app_aware_scenario_migrates() {
+        let mut spec = bml_spec();
+        spec.duration_s = 20.0;
+        spec.initial_temperature_c = Some(80.0);
+        // BML alone settles around ~60 C; a 50 C limit forces the
+        // governor to act.
+        spec.app_aware = Some(AppAwareSpec {
+            limit_c: 50.0,
+            horizon_s: 60.0,
+            cap_instead_of_migrate: false,
+        });
+        let outcome = run_scenario(&spec).unwrap();
+        assert!(outcome.migrations >= 1);
+        assert_eq!(outcome.workloads[0].final_cluster, "little");
+        assert!(outcome.events.contains("migrated"));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut spec = bml_spec();
+        spec.duration_s = 0.0;
+        assert!(run_scenario(&spec).is_err());
+
+        let mut spec = bml_spec();
+        spec.workloads.clear();
+        assert!(run_scenario(&spec).is_err());
+
+        let mut spec = bml_spec();
+        spec.workloads[0].kind = WorkloadKind::App { name: "tiktok".into() };
+        assert!(run_scenario(&spec).is_err());
+
+        assert!(run_scenario_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn step_wise_policy_from_json() {
+        let json = r#"{
+            "platform": "snapdragon810",
+            "duration_s": 10.0,
+            "initial_temperature_c": 35.0,
+            "thermal": { "policy": "step_wise", "trips_c": [41.0, 44.0], "period_s": 1.0 },
+            "workloads": [
+                { "kind": "app", "name": "paper_io", "foreground": true, "seed": 42 }
+            ]
+        }"#;
+        let outcome = run_scenario_json(json).unwrap();
+        assert_eq!(outcome.workloads[0].name, "Paper.io");
+        assert!(outcome.workloads[0].median_fps.is_some());
+    }
+}

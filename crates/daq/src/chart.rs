@@ -1,0 +1,222 @@
+//! ASCII chart rendering for the experiment regenerators.
+//!
+//! The bench harness "prints the same rows/series the paper reports"; the
+//! renderers here turn [`TimeSeries`] traces into line charts (for the
+//! temperature figures), residency maps into bar charts (Figs. 2/4/6) and
+//! power breakdowns into percentage tables (the Fig. 9 pie charts).
+
+use std::collections::BTreeMap;
+
+use crate::TimeSeries;
+
+/// Renders one or more traces as an ASCII line chart with a shared y-axis.
+///
+/// Each series is drawn with its own glyph, assigned in order from
+/// `*`, `+`, `o`, `x`, `#`. Later series overwrite earlier ones where they
+/// collide.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_daq::{chart, TimeSeries};
+/// use mpt_units::Seconds;
+///
+/// let mut ts = TimeSeries::new("temp");
+/// for i in 0..50 {
+///     ts.push(Seconds::new(i as f64), 25.0 + i as f64 * 0.5);
+/// }
+/// let rendered = chart::line_chart(&[&ts], 60, 12);
+/// assert!(rendered.contains('*'));
+/// ```
+#[must_use]
+pub fn line_chart(series: &[&TimeSeries], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 5] = ['*', '+', 'o', 'x', '#'];
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in series {
+        if let (Some(mn), Some(mx)) = (s.min(), s.max()) {
+            lo = lo.min(mn);
+            hi = hi.max(mx);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::from("(no data)\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, (_, v)) in s.resample(width).into_iter().enumerate() {
+            let frac = (v - lo) / (hi - lo);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (y, row) in grid.iter().enumerate() {
+        let label = if y == 0 {
+            format!("{hi:8.1} ")
+        } else if y == height - 1 {
+            format!("{lo:8.1} ")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>9} {} {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.name()
+        ));
+    }
+    out
+}
+
+/// Renders labelled percentages as a horizontal bar chart (one row per
+/// label, bar length proportional to the value).
+///
+/// # Examples
+///
+/// ```
+/// use mpt_daq::chart;
+/// use std::collections::BTreeMap;
+///
+/// let mut pct = BTreeMap::new();
+/// pct.insert("390 MHz".to_string(), 67.0);
+/// pct.insert("180 MHz".to_string(), 33.0);
+/// let bars = chart::bar_chart(&pct, 40);
+/// assert!(bars.contains("390 MHz"));
+/// ```
+#[must_use]
+pub fn bar_chart(percentages: &BTreeMap<String, f64>, width: usize) -> String {
+    let width = width.max(10);
+    let max = percentages
+        .values()
+        .copied()
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let label_width = percentages.keys().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, &value) in percentages {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_width$} | {:<width$} {value:5.1}%\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders a labelled share breakdown as the textual equivalent of a pie
+/// chart (the paper's Figure 9), normalizing shares to 100%.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_daq::chart;
+///
+/// let table = chart::share_table(
+///     "3DMark + BML",
+///     &[("big", 2.19), ("gpu", 0.9), ("little", 0.26), ("mem", 0.3)],
+/// );
+/// assert!(table.contains("60.0%"));
+/// ```
+#[must_use]
+pub fn share_table(title: &str, shares: &[(&str, f64)]) -> String {
+    let total: f64 = shares.iter().map(|(_, v)| v).sum();
+    let mut out = format!("{title} (total {total:.2} W)\n");
+    let label_width = shares.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in shares {
+        let pct = if total > 0.0 { value / total * 100.0 } else { 0.0 };
+        out.push_str(&format!("  {label:>label_width$}: {value:6.2} W  {pct:5.1}%\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_units::Seconds;
+
+    fn ramp(name: &str, slope: f64) -> TimeSeries {
+        let mut ts = TimeSeries::new(name);
+        for i in 0..100 {
+            ts.push(Seconds::new(i as f64), 25.0 + slope * i as f64);
+        }
+        ts
+    }
+
+    #[test]
+    fn line_chart_has_axis_labels() {
+        let ts = ramp("t", 0.25);
+        let out = line_chart(&[&ts], 60, 10);
+        assert!(out.contains("49.8") || out.contains("49.7"), "{out}");
+        assert!(out.contains("25.0"));
+        assert!(out.contains("t\n"));
+    }
+
+    #[test]
+    fn line_chart_multiple_series_get_distinct_glyphs() {
+        let a = ramp("a", 0.1);
+        let b = ramp("b", 0.3);
+        let out = line_chart(&[&a, &b], 60, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn line_chart_handles_empty() {
+        let ts = TimeSeries::new("empty");
+        assert_eq!(line_chart(&[&ts], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn line_chart_handles_constant_series() {
+        let mut ts = TimeSeries::new("flat");
+        for i in 0..10 {
+            ts.push(Seconds::new(i as f64), 5.0);
+        }
+        let out = line_chart(&[&ts], 40, 8);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_largest() {
+        let mut pct = BTreeMap::new();
+        pct.insert("a".to_owned(), 100.0);
+        pct.insert("b".to_owned(), 50.0);
+        let out = bar_chart(&pct, 20);
+        let a_bar = out.lines().next().unwrap().matches('#').count();
+        let b_bar = out.lines().nth(1).unwrap().matches('#').count();
+        assert_eq!(a_bar, 20);
+        assert_eq!(b_bar, 10);
+    }
+
+    #[test]
+    fn share_table_normalizes() {
+        let out = share_table("test", &[("x", 3.0), ("y", 1.0)]);
+        assert!(out.contains("75.0%"));
+        assert!(out.contains("25.0%"));
+        assert!(out.contains("total 4.00 W"));
+    }
+
+    #[test]
+    fn share_table_empty_total() {
+        let out = share_table("idle", &[("x", 0.0)]);
+        assert!(out.contains("0.0%"));
+    }
+}

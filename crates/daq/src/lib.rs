@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Measurement substrate: the data-acquisition side of the paper.
+//!
+//! The paper's Nexus 6P has no power sensors, so the authors attached a
+//! National Instruments PXIe-4081 DAQ sampling the phone's power at 1 kHz;
+//! the Odroid-XU3 instead exposes per-rail INA231 current sensors. Either
+//! way, every number in the paper's figures and tables is a *product of
+//! sampled data*: frequency-residency percentages (Figs. 2/4/6),
+//! temperature traces (Figs. 1/3/5/8), power pies (Fig. 9) and median
+//! frame rates (Tables I/II). This crate implements that measurement
+//! pipeline:
+//!
+//! - [`Sampler`] — fixed-rate sampling with optional Gaussian sensor
+//!   noise (the DAQ model);
+//! - [`TimeSeries`] — timestamped traces with summary statistics;
+//! - [`Residency`] — time-in-state accounting (the kernel's
+//!   `time_in_state` file behind the paper's residency histograms);
+//! - [`stats`] — medians and percentiles for the FPS tables;
+//! - [`chart`] — ASCII rendering so the bench harness can print the same
+//!   series the paper plots.
+
+pub mod chart;
+mod residency;
+mod sampler;
+pub mod stats;
+mod trace;
+
+pub use residency::Residency;
+pub use sampler::{NoiseModel, Sampler};
+pub use trace::TimeSeries;

@@ -1,0 +1,249 @@
+//! Fixed-rate sampling with sensor noise (the NI DAQ model).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mpt_units::{Seconds, Watts};
+
+use crate::TimeSeries;
+
+/// Additive Gaussian measurement noise.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_daq::NoiseModel;
+///
+/// let mut noise = NoiseModel::new(0.01, 42);
+/// let sample = noise.corrupt(2.0);
+/// assert!((sample - 2.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    std_dev: f64,
+    rng: StdRng,
+}
+
+impl NoiseModel {
+    /// Creates a noise source with the given standard deviation and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    #[must_use]
+    pub fn new(std_dev: f64, seed: u64) -> Self {
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "noise std-dev must be non-negative");
+        Self { std_dev, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A noiseless "model" (useful for deterministic tests).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// Adds one sample of noise to `value` (Box–Muller transform; no
+    /// dependency on `rand_distr`).
+    pub fn corrupt(&mut self, value: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return value;
+        }
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        value + self.std_dev * z
+    }
+}
+
+/// Samples a continuous signal at a fixed rate into a [`TimeSeries`],
+/// modelling an external data-acquisition system (the paper uses an NI
+/// PXIe-4081 at 1 kHz) or an on-board sensor polled by a daemon.
+///
+/// Driven by the simulation loop: [`Sampler::observe`] is called with the
+/// current simulation time and signal value; the sampler decides whether a
+/// sample is due and records it (with noise) if so.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_daq::{NoiseModel, Sampler};
+/// use mpt_units::Seconds;
+///
+/// let mut daq = Sampler::new("phone_power_w", Seconds::from_millis(1.0), NoiseModel::none());
+/// for i in 0..50 {
+///     daq.observe(Seconds::new(i as f64 * 0.0005), 2.5); // driven at 2 kHz
+/// }
+/// // Sampled at 1 kHz: roughly half the observations were recorded.
+/// assert!(daq.series().len() >= 24 && daq.series().len() <= 26);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    period: f64,
+    next_due: f64,
+    noise: NoiseModel,
+    series: TimeSeries,
+    energy: f64,
+    last_time: Option<f64>,
+    last_value: f64,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given sampling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, period: Seconds, noise: NoiseModel) -> Self {
+        assert!(period.value() > 0.0, "sampling period must be positive");
+        Self {
+            period: period.value(),
+            next_due: 0.0,
+            noise,
+            series: TimeSeries::new(name),
+            energy: 0.0,
+            last_time: None,
+            last_value: 0.0,
+        }
+    }
+
+    /// A 1 kHz sampler named like the paper's NI DAQ power channel.
+    #[must_use]
+    pub fn ni_daq_1khz(noise_std_w: f64, seed: u64) -> Self {
+        Self::new(
+            "daq_power_w",
+            Seconds::from_millis(1.0),
+            NoiseModel::new(noise_std_w, seed),
+        )
+    }
+
+    /// Feeds the current signal value at simulation time `t`, recording a
+    /// sample if one is due. Also integrates the signal (trapezoid-free,
+    /// step-hold) so energy is available when the signal is a power.
+    pub fn observe(&mut self, t: Seconds, value: f64) {
+        let t = t.value();
+        if let Some(last) = self.last_time {
+            if t > last {
+                self.energy += self.last_value * (t - last);
+            }
+        }
+        self.last_time = Some(t);
+        self.last_value = value;
+        if t + 1e-12 >= self.next_due {
+            self.series.push(Seconds::new(t), self.noise.corrupt(value));
+            self.next_due = t + self.period;
+        }
+    }
+
+    /// The recorded samples.
+    #[must_use]
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Consumes the sampler, returning the recorded series.
+    #[must_use]
+    pub fn into_series(self) -> TimeSeries {
+        self.series
+    }
+
+    /// Integrated signal (joules when the signal is watts).
+    #[must_use]
+    pub fn integrated(&self) -> f64 {
+        self.energy
+    }
+
+    /// Average power over the observation span, assuming the signal is a
+    /// power in watts.
+    #[must_use]
+    pub fn average_power(&self) -> Watts {
+        match (self.series.times().first(), self.last_time) {
+            (Some(&t0), Some(t1)) if t1 > t0 => Watts::new(self.energy / (t1 - t0)),
+            _ => Watts::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn noiseless_sampler_records_exact_values() {
+        let mut s = Sampler::new("x", Seconds::new(0.1), NoiseModel::none());
+        for i in 0..10 {
+            s.observe(Seconds::new(i as f64 * 0.1), 3.5);
+        }
+        assert_eq!(s.series().len(), 10);
+        assert!(s.series().values().iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn sampler_downsamples_fast_signals() {
+        let mut s = Sampler::new("x", Seconds::new(0.1), NoiseModel::none());
+        // Drive at 100 Hz for 1 s: expect ~10 samples, not 100.
+        for i in 0..100 {
+            s.observe(Seconds::new(i as f64 * 0.01), 1.0);
+        }
+        assert!(s.series().len() <= 11);
+        assert!(s.series().len() >= 9);
+    }
+
+    #[test]
+    fn noise_is_zero_mean_ish() {
+        let mut n = NoiseModel::new(0.05, 7);
+        let mean: f64 = (0..10_000).map(|_| n.corrupt(0.0)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.01, "noise mean {mean}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let mut a = NoiseModel::new(0.1, 99);
+        let mut b = NoiseModel::new(0.1, 99);
+        for _ in 0..10 {
+            assert_eq!(a.corrupt(1.0), b.corrupt(1.0));
+        }
+    }
+
+    #[test]
+    fn energy_integration() {
+        let mut s = Sampler::new("p", Seconds::new(0.01), NoiseModel::none());
+        // 2 W for 1 s (step-held): 2 J.
+        for i in 0..=100 {
+            s.observe(Seconds::new(i as f64 * 0.01), 2.0);
+        }
+        assert!((s.integrated() - 2.0).abs() < 1e-9);
+        assert!((s.average_power().value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_is_a_bug() {
+        let _ = Sampler::new("x", Seconds::ZERO, NoiseModel::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_is_a_bug() {
+        let _ = NoiseModel::new(-0.1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sample_count_bounded_by_rate(
+            drive_hz in 1.0_f64..2000.0,
+            duration in 0.1_f64..2.0,
+        ) {
+            let mut s = Sampler::new("x", Seconds::from_millis(1.0), NoiseModel::none());
+            let steps = (drive_hz * duration) as usize;
+            for i in 0..steps {
+                s.observe(Seconds::new(i as f64 / drive_hz), 1.0);
+            }
+            // Never more samples than observations, never more than the
+            // nominal 1 kHz budget (+1 boundary sample).
+            prop_assert!(s.series().len() <= steps);
+            prop_assert!(s.series().len() <= (duration * 1000.0) as usize + 2);
+        }
+    }
+}

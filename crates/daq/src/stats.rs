@@ -1,0 +1,147 @@
+//! Summary statistics for sampled data.
+//!
+//! The paper's headline metric is the *median* frame rate (Table I:
+//! "Median frame rate achieved while running popular Android apps"), so a
+//! correct median over an even/odd sample count matters here.
+
+/// The median of a sample, or `None` when empty.
+///
+/// Uses the midpoint convention for even counts.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_daq::stats::median;
+///
+/// assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+/// assert_eq!(median(&[]), None);
+/// ```
+#[must_use]
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// The `p`-th percentile (0–100) using linear interpolation between
+/// closest ranks, or `None` when empty.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Arithmetic mean, or `None` when empty.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator), or `None` with fewer than
+/// two samples.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[1.0, 9.0]), Some(5.0));
+        assert_eq!(median(&[9.0, 1.0, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let v = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(percentile(&v, 0.0), Some(2.0));
+        assert_eq!(percentile(&v, 100.0), Some(8.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 25.0), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_is_a_bug() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Variance of [2,4,4,4,5,5,7,9] (sample) = 32/7.
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sd = std_dev(&v).unwrap();
+        assert!((sd - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_median_is_order_invariant(mut values in proptest::collection::vec(-100.0_f64..100.0, 1..50)) {
+            let m1 = median(&values).unwrap();
+            values.reverse();
+            let m2 = median(&values).unwrap();
+            prop_assert!((m1 - m2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_percentile_is_monotone(
+            values in proptest::collection::vec(-100.0_f64..100.0, 1..50),
+            p1 in 0.0_f64..100.0,
+            p2 in 0.0_f64..100.0,
+        ) {
+            let (v1, v2) = (percentile(&values, p1).unwrap(), percentile(&values, p2).unwrap());
+            if p1 <= p2 {
+                prop_assert!(v1 <= v2 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_median_within_range(values in proptest::collection::vec(-100.0_f64..100.0, 1..50)) {
+            let m = median(&values).unwrap();
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(lo - 1e-9 <= m && m <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for simulator construction and stepping.
+
+use std::fmt;
+
+/// Errors returned by the simulator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Platform model error.
+    Soc(mpt_soc::SocError),
+    /// Thermal model error.
+    Thermal(mpt_thermal::ThermalError),
+    /// Scheduler/governor error.
+    Kernel(mpt_kernel::KernelError),
+    /// Sysfs control-plane error.
+    SysFs(mpt_sysfs::SysFsError),
+    /// A configuration problem detected at build time.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Soc(e) => write!(f, "platform model error: {e}"),
+            Self::Thermal(e) => write!(f, "thermal model error: {e}"),
+            Self::Kernel(e) => write!(f, "kernel substrate error: {e}"),
+            Self::SysFs(e) => write!(f, "sysfs error: {e}"),
+            Self::InvalidConfig { reason } => write!(f, "invalid simulator config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Soc(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::Kernel(e) => Some(e),
+            Self::SysFs(e) => Some(e),
+            Self::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<mpt_soc::SocError> for SimError {
+    fn from(e: mpt_soc::SocError) -> Self {
+        Self::Soc(e)
+    }
+}
+
+impl From<mpt_thermal::ThermalError> for SimError {
+    fn from(e: mpt_thermal::ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<mpt_kernel::KernelError> for SimError {
+    fn from(e: mpt_kernel::KernelError) -> Self {
+        Self::Kernel(e)
+    }
+}
+
+impl From<mpt_sysfs::SysFsError> for SimError {
+    fn from(e: mpt_sysfs::SysFsError) -> Self {
+        Self::SysFs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error;
+        let e = SimError::Soc(mpt_soc::SocError::EmptyOppTable);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("platform model"));
+    }
+}

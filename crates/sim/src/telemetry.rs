@@ -1,0 +1,331 @@
+//! Run telemetry: the simulator's measurement products.
+
+use std::collections::BTreeMap;
+
+use mpt_daq::{Residency, TimeSeries};
+use mpt_soc::{ComponentId, PowerBreakdown};
+use mpt_units::{Celsius, Hertz, Seconds, Watts};
+
+/// Everything recorded during a simulation run: temperature traces
+/// (Figures 1/3/5/8), frequency residency (Figures 2/4/6), rail power and
+/// energy (Figure 9).
+///
+/// Time series are decimated to `sample_period` to bound memory;
+/// residency and energy are integrated every tick at full resolution.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    sample_period: f64,
+    next_sample: f64,
+    elapsed: f64,
+    temps: BTreeMap<String, TimeSeries>,
+    max_temp: TimeSeries,
+    residency: BTreeMap<ComponentId, Residency>,
+    power: BTreeMap<ComponentId, TimeSeries>,
+    total_power: TimeSeries,
+    energy: BTreeMap<ComponentId, f64>,
+    total_energy: f64,
+}
+
+impl Telemetry {
+    /// Creates an empty recorder with the given series sampling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_period` is not positive.
+    #[must_use]
+    pub fn new(sample_period: Seconds) -> Self {
+        assert!(sample_period.value() > 0.0, "sample period must be positive");
+        Self {
+            sample_period: sample_period.value(),
+            next_sample: 0.0,
+            elapsed: 0.0,
+            temps: BTreeMap::new(),
+            max_temp: TimeSeries::new("max_temp_c"),
+            residency: BTreeMap::new(),
+            power: BTreeMap::new(),
+            total_power: TimeSeries::new("total_power_w"),
+            energy: BTreeMap::new(),
+            total_energy: 0.0,
+        }
+    }
+
+    /// Records one tick.
+    pub fn record(
+        &mut self,
+        now: Seconds,
+        dt: Seconds,
+        sensor_temps: &[(String, Celsius)],
+        freqs: &[(ComponentId, Hertz)],
+        powers: &BTreeMap<ComponentId, PowerBreakdown>,
+    ) {
+        let t = now.value();
+        self.elapsed = t + dt.value();
+        // Residency and energy integrate at full rate.
+        for &(id, f) in freqs {
+            self.residency.entry(id).or_default().record(f, dt);
+        }
+        let mut total = 0.0;
+        for (&id, b) in powers {
+            let p = b.total().value();
+            *self.energy.entry(id).or_insert(0.0) += p * dt.value();
+            total += p;
+        }
+        self.total_energy += total * dt.value();
+        // Series decimate.
+        if t + 1e-12 >= self.next_sample {
+            self.next_sample = t + self.sample_period;
+            let mut max_c = f64::NEG_INFINITY;
+            for (name, c) in sensor_temps {
+                self.temps
+                    .entry(name.clone())
+                    .or_insert_with(|| TimeSeries::new(format!("temp_{name}_c")))
+                    .push(now, c.value());
+                max_c = max_c.max(c.value());
+            }
+            if max_c.is_finite() {
+                self.max_temp.push(now, max_c);
+            }
+            for (&id, b) in powers {
+                self.power
+                    .entry(id)
+                    .or_insert_with(|| TimeSeries::new(format!("power_{id}_w")))
+                    .push(now, b.total().value());
+            }
+            self.total_power.push(now, total);
+        }
+    }
+
+    /// Total simulated time observed.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        Seconds::new(self.elapsed)
+    }
+
+    /// The temperature trace of a named sensor.
+    #[must_use]
+    pub fn temperature(&self, sensor: &str) -> Option<&TimeSeries> {
+        self.temps.get(sensor)
+    }
+
+    /// The maximum-over-sensors temperature trace (the paper's Figure 8
+    /// y-axis is "Max. Temperature").
+    #[must_use]
+    pub fn max_temperature(&self) -> &TimeSeries {
+        &self.max_temp
+    }
+
+    /// Frequency residency of a component.
+    #[must_use]
+    pub fn residency(&self, id: ComponentId) -> Option<&Residency> {
+        self.residency.get(&id)
+    }
+
+    /// Rail power trace of a component.
+    #[must_use]
+    pub fn power_series(&self, id: ComponentId) -> Option<&TimeSeries> {
+        self.power.get(&id)
+    }
+
+    /// Total power trace.
+    #[must_use]
+    pub fn total_power(&self) -> &TimeSeries {
+        &self.total_power
+    }
+
+    /// Energy consumed by a component so far (joules).
+    #[must_use]
+    pub fn energy(&self, id: ComponentId) -> f64 {
+        self.energy.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy so far (joules).
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.total_energy
+    }
+
+    /// Average power of a component over the whole run — the numbers
+    /// behind the paper's Figure 9 pie charts.
+    #[must_use]
+    pub fn average_power(&self, id: ComponentId) -> Watts {
+        if self.elapsed <= 0.0 {
+            Watts::ZERO
+        } else {
+            Watts::new(self.energy(id) / self.elapsed)
+        }
+    }
+
+    /// Average total power over the run.
+    #[must_use]
+    pub fn average_total_power(&self) -> Watts {
+        if self.elapsed <= 0.0 {
+            Watts::ZERO
+        } else {
+            Watts::new(self.total_energy / self.elapsed)
+        }
+    }
+
+    /// Per-component average power as `(key, watts)` rows in rail order —
+    /// ready for [`mpt_daq::chart::share_table`].
+    #[must_use]
+    pub fn power_shares(&self) -> Vec<(&'static str, f64)> {
+        ComponentId::ALL
+            .iter()
+            .map(|&id| (id.key(), self.average_power(id).value()))
+            .collect()
+    }
+
+    /// Exports every recorded time series as one wide CSV (columns:
+    /// `time_s`, each sensor temperature, each rail power, the total
+    /// power), resampled onto the telemetry sampling grid. Intended for
+    /// plotting the paper figures with external tools.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut columns: Vec<(&str, &TimeSeries)> = Vec::new();
+        for (name, ts) in &self.temps {
+            columns.push((name.as_str(), ts));
+        }
+        let power_names: BTreeMap<ComponentId, String> = self
+            .power
+            .keys()
+            .map(|&id| (id, format!("power_{id}_w")))
+            .collect();
+        for (id, ts) in &self.power {
+            columns.push((power_names[id].as_str(), ts));
+        }
+        columns.push(("total_power_w", &self.total_power));
+        let mut out = String::from("time_s");
+        for (name, _) in &columns {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        let times = self.total_power.times();
+        for &t in times {
+            out.push_str(&format!("{t}"));
+            for (_, ts) in &columns {
+                out.push(',');
+                match ts.at(mpt_units::Seconds::new(t)) {
+                    Some(v) => out.push_str(&format!("{v}")),
+                    None => out.push_str(""),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn powers(w: f64) -> BTreeMap<ComponentId, PowerBreakdown> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            ComponentId::BigCluster,
+            PowerBreakdown::new(Watts::new(w), Watts::ZERO, Watts::ZERO),
+        );
+        m
+    }
+
+    #[test]
+    fn records_and_decimates() {
+        let mut t = Telemetry::new(Seconds::new(0.1));
+        let dt = Seconds::new(0.01);
+        for i in 0..100 {
+            t.record(
+                Seconds::new(i as f64 * 0.01),
+                dt,
+                &[("big".to_owned(), Celsius::new(40.0))],
+                &[(ComponentId::BigCluster, Hertz::from_mhz(2000))],
+                &powers(2.0),
+            );
+        }
+        // 1 s at 10 Hz sampling: ~10 points, not 100.
+        let series = t.temperature("big").unwrap();
+        assert!(series.len() >= 9 && series.len() <= 11, "{}", series.len());
+        // Energy integrates at full rate: 2 W for 1 s = 2 J.
+        assert!((t.energy(ComponentId::BigCluster) - 2.0).abs() < 1e-9);
+        assert!((t.average_total_power().value() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residency_accumulates_fully() {
+        let mut t = Telemetry::new(Seconds::new(1.0));
+        let dt = Seconds::new(0.01);
+        for i in 0..200 {
+            let f = if i < 100 { 1000 } else { 2000 };
+            t.record(
+                Seconds::new(i as f64 * 0.01),
+                dt,
+                &[],
+                &[(ComponentId::BigCluster, Hertz::from_mhz(f))],
+                &BTreeMap::new(),
+            );
+        }
+        let r = t.residency(ComponentId::BigCluster).unwrap();
+        let pct = r.percentages();
+        assert!((pct[&Hertz::from_mhz(1000)] - 50.0).abs() < 1.0);
+        assert!((pct[&Hertz::from_mhz(2000)] - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_temperature_takes_the_hottest_sensor() {
+        let mut t = Telemetry::new(Seconds::new(0.01));
+        t.record(
+            Seconds::ZERO,
+            Seconds::new(0.01),
+            &[
+                ("big".to_owned(), Celsius::new(60.0)),
+                ("gpu".to_owned(), Celsius::new(72.0)),
+            ],
+            &[],
+            &BTreeMap::new(),
+        );
+        assert_eq!(t.max_temperature().last(), Some(72.0));
+    }
+
+    #[test]
+    fn empty_telemetry_defaults() {
+        let t = Telemetry::new(Seconds::new(0.1));
+        assert_eq!(t.energy(ComponentId::Gpu), 0.0);
+        assert_eq!(t.average_power(ComponentId::Gpu), Watts::ZERO);
+        assert!(t.temperature("big").is_none());
+        assert_eq!(t.elapsed(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn power_shares_are_in_rail_order() {
+        let t = Telemetry::new(Seconds::new(0.1));
+        let shares = t.power_shares();
+        let keys: Vec<&str> = shares.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["little", "big", "gpu", "mem"]);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut t = Telemetry::new(Seconds::new(0.1));
+        for i in 0..20 {
+            t.record(
+                Seconds::new(i as f64 * 0.1),
+                Seconds::new(0.1),
+                &[("big".to_owned(), Celsius::new(40.0 + i as f64))],
+                &[(ComponentId::BigCluster, Hertz::from_mhz(2000))],
+                &powers(2.0),
+            );
+        }
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("time_s,"));
+        assert!(header.contains("big"));
+        assert!(header.contains("total_power_w"));
+        assert_eq!(csv.lines().count(), 21);
+        // Every data row has the same number of fields as the header.
+        let fields = header.split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), fields, "row {line:?}");
+        }
+    }
+}

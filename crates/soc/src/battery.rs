@@ -1,0 +1,177 @@
+//! A simple battery model.
+//!
+//! The paper's platform is a phone: every joule the SoC dissipates comes
+//! out of a battery. This model integrates drained energy and estimates
+//! time-to-empty, so experiments can report battery impact alongside
+//! temperature (e.g. how much runtime thermal throttling buys).
+
+use serde::{Deserialize, Serialize};
+
+use mpt_units::{Joules, Seconds, Watts};
+
+/// A battery with a fixed energy capacity.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::Battery;
+/// use mpt_units::{Joules, Watts, Seconds};
+///
+/// // The Nexus 6P ships a 3450 mAh / 3.82 V pack ≈ 13.2 Wh.
+/// let mut batt = Battery::new_wh(13.2);
+/// batt.drain(Watts::new(3.3) * Seconds::new(3600.0)); // one hot hour
+/// assert!(batt.remaining_fraction() < 0.8);
+/// let tte = batt.time_to_empty(Watts::new(3.3)).unwrap();
+/// assert!(tte.value() > 2.9 * 3600.0, "three more hours at this draw");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+    remaining_j: f64,
+}
+
+impl Battery {
+    /// Creates a full battery from a watt-hour capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive.
+    #[must_use]
+    pub fn new_wh(capacity_wh: f64) -> Self {
+        assert!(
+            capacity_wh.is_finite() && capacity_wh > 0.0,
+            "battery capacity must be positive"
+        );
+        let j = capacity_wh * 3600.0;
+        Self { capacity_j: j, remaining_j: j }
+    }
+
+    /// Creates a full battery from a milliamp-hour rating at a nominal
+    /// voltage (how phone batteries are labelled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not positive.
+    #[must_use]
+    pub fn new_mah(capacity_mah: f64, nominal_volts: f64) -> Self {
+        assert!(nominal_volts > 0.0, "nominal voltage must be positive");
+        Self::new_wh(capacity_mah * nominal_volts / 1000.0)
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Joules {
+        Joules::new(self.capacity_j)
+    }
+
+    /// Remaining energy.
+    #[must_use]
+    pub fn remaining(&self) -> Joules {
+        Joules::new(self.remaining_j)
+    }
+
+    /// Remaining charge as a fraction of capacity.
+    #[must_use]
+    pub fn remaining_fraction(&self) -> f64 {
+        self.remaining_j / self.capacity_j
+    }
+
+    /// Whether the battery is exhausted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining_j <= 0.0
+    }
+
+    /// Removes energy (saturating at empty). Negative energy is ignored.
+    pub fn drain(&mut self, energy: Joules) {
+        if energy.value() > 0.0 {
+            self.remaining_j = (self.remaining_j - energy.value()).max(0.0);
+        }
+    }
+
+    /// Restores energy (saturating at full). Negative energy is ignored.
+    pub fn charge(&mut self, energy: Joules) {
+        if energy.value() > 0.0 {
+            self.remaining_j = (self.remaining_j + energy.value()).min(self.capacity_j);
+        }
+    }
+
+    /// Time until empty at a constant draw, or `None` for a non-positive
+    /// draw.
+    #[must_use]
+    pub fn time_to_empty(&self, draw: Watts) -> Option<Seconds> {
+        if draw.value() <= 0.0 {
+            None
+        } else {
+            Some(Seconds::new(self.remaining_j / draw.value()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mah_and_wh_constructors_agree() {
+        let a = Battery::new_mah(3450.0, 3.82);
+        let b = Battery::new_wh(3450.0 * 3.82 / 1000.0);
+        assert!((a.capacity().value() - b.capacity().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_saturates_at_empty() {
+        let mut b = Battery::new_wh(1.0);
+        b.drain(Joules::new(10_000.0));
+        assert!(b.is_empty());
+        assert_eq!(b.remaining(), Joules::new(0.0));
+        assert_eq!(b.remaining_fraction(), 0.0);
+    }
+
+    #[test]
+    fn charge_saturates_at_full() {
+        let mut b = Battery::new_wh(1.0);
+        b.drain(Joules::new(1800.0));
+        b.charge(Joules::new(99_999.0));
+        assert!((b.remaining_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_amounts_are_ignored() {
+        let mut b = Battery::new_wh(1.0);
+        b.drain(Joules::new(-5.0));
+        b.charge(Joules::new(-5.0));
+        assert_eq!(b.remaining_fraction(), 1.0);
+    }
+
+    #[test]
+    fn time_to_empty_scales_inversely_with_draw() {
+        let b = Battery::new_wh(13.2);
+        let slow = b.time_to_empty(Watts::new(1.0)).unwrap();
+        let fast = b.time_to_empty(Watts::new(4.0)).unwrap();
+        assert!((slow.value() / fast.value() - 4.0).abs() < 1e-9);
+        assert_eq!(b.time_to_empty(Watts::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_a_bug() {
+        let _ = Battery::new_wh(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_drain_charge_bounded(ops in proptest::collection::vec((-10.0_f64..10.0, any::<bool>()), 1..50)) {
+            let mut b = Battery::new_wh(1.0);
+            for (amount, is_drain) in ops {
+                if is_drain {
+                    b.drain(Joules::new(amount));
+                } else {
+                    b.charge(Joules::new(amount));
+                }
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&b.remaining_fraction()));
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Processing components of a mobile SoC.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{OppTable, PowerParams};
+
+/// Identifies a DVFS-capable component on the SoC.
+///
+/// All platforms in this workspace are big.LITTLE heterogeneous SoCs with a
+/// GPU and a memory subsystem — the four power rails the Odroid-XU3
+/// exposes current sensors for.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ComponentId {
+    /// The low-power CPU cluster (Cortex-A53 / Cortex-A7).
+    LittleCluster,
+    /// The high-performance CPU cluster (Cortex-A57 / Cortex-A15).
+    BigCluster,
+    /// The graphics processor (Adreno 430 / Mali-T628).
+    Gpu,
+    /// The DRAM subsystem.
+    Memory,
+}
+
+impl ComponentId {
+    /// All component ids, in rail order (little, big, GPU, memory).
+    pub const ALL: [ComponentId; 4] = [
+        ComponentId::LittleCluster,
+        ComponentId::BigCluster,
+        ComponentId::Gpu,
+        ComponentId::Memory,
+    ];
+
+    /// Whether this component executes CPU threads.
+    #[must_use]
+    pub const fn is_cpu(self) -> bool {
+        matches!(self, ComponentId::LittleCluster | ComponentId::BigCluster)
+    }
+
+    /// Short lowercase name used in sysfs paths and telemetry keys.
+    #[must_use]
+    pub const fn key(self) -> &'static str {
+        match self {
+            ComponentId::LittleCluster => "little",
+            ComponentId::BigCluster => "big",
+            ComponentId::Gpu => "gpu",
+            ComponentId::Memory => "mem",
+        }
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A DVFS-capable processing component: its identity, microarchitectural
+/// name, core count, OPP table and power model.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::{platforms, ComponentId};
+///
+/// let soc = platforms::exynos_5422();
+/// let big = soc.component(ComponentId::BigCluster)?;
+/// assert_eq!(big.core_count(), 4);
+/// assert_eq!(big.name(), "Cortex-A15");
+/// # Ok::<(), mpt_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    id: ComponentId,
+    name: String,
+    core_count: u32,
+    opps: OppTable,
+    power: PowerParams,
+    /// Relative performance per clock versus the big cluster (IPC ratio).
+    /// Used when a thread migrates between clusters: the little cluster
+    /// retires fewer instructions per cycle.
+    perf_per_clock: f64,
+}
+
+impl Component {
+    /// Creates a component description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_count` is zero or `perf_per_clock` is not positive;
+    /// these are programming errors in a platform definition, not runtime
+    /// conditions.
+    #[must_use]
+    pub fn new(
+        id: ComponentId,
+        name: impl Into<String>,
+        core_count: u32,
+        opps: OppTable,
+        power: PowerParams,
+        perf_per_clock: f64,
+    ) -> Self {
+        assert!(core_count > 0, "component must have at least one core");
+        assert!(
+            perf_per_clock > 0.0 && perf_per_clock.is_finite(),
+            "perf_per_clock must be positive"
+        );
+        Self {
+            id,
+            name: name.into(),
+            core_count,
+            opps,
+            power,
+            perf_per_clock,
+        }
+    }
+
+    /// The component id.
+    #[must_use]
+    pub const fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Microarchitecture name (e.g. `"Cortex-A57"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores (1 for GPU/memory, which are modelled as single
+    /// schedulable units).
+    #[must_use]
+    pub const fn core_count(&self) -> u32 {
+        self.core_count
+    }
+
+    /// The OPP table.
+    #[must_use]
+    pub const fn opps(&self) -> &OppTable {
+        &self.opps
+    }
+
+    /// The power model.
+    #[must_use]
+    pub const fn power_params(&self) -> &PowerParams {
+        &self.power
+    }
+
+    /// Relative instructions-per-cycle versus the big cluster.
+    #[must_use]
+    pub const fn perf_per_clock(&self) -> f64 {
+        self.perf_per_clock
+    }
+
+    /// Effective throughput, in "big-cluster-equivalent cycles per second",
+    /// of one core at frequency `f`.
+    #[must_use]
+    pub fn effective_rate(&self, f: mpt_units::Hertz) -> f64 {
+        f.as_f64() * self.perf_per_clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LeakageParams;
+    use mpt_units::{Hertz, Volts, Watts};
+
+    fn table() -> OppTable {
+        OppTable::from_points([
+            (Hertz::from_mhz(200), Volts::new(0.9)),
+            (Hertz::from_mhz(400), Volts::new(1.0)),
+        ])
+        .unwrap()
+    }
+
+    fn power() -> PowerParams {
+        PowerParams::new(
+            1e-10,
+            LeakageParams::new(1.0, 8000.0).unwrap(),
+            Watts::ZERO,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn component_accessors() {
+        let c = Component::new(ComponentId::Gpu, "Mali-T628", 1, table(), power(), 1.0);
+        assert_eq!(c.id(), ComponentId::Gpu);
+        assert_eq!(c.name(), "Mali-T628");
+        assert_eq!(c.core_count(), 1);
+        assert_eq!(c.opps().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_a_bug() {
+        let _ = Component::new(ComponentId::Gpu, "x", 0, table(), power(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "perf_per_clock")]
+    fn nonpositive_ipc_is_a_bug() {
+        let _ = Component::new(ComponentId::Gpu, "x", 1, table(), power(), 0.0);
+    }
+
+    #[test]
+    fn effective_rate_scales_with_ipc() {
+        let little = Component::new(
+            ComponentId::LittleCluster,
+            "Cortex-A7",
+            4,
+            table(),
+            power(),
+            0.5,
+        );
+        let f = Hertz::from_mhz(400);
+        assert!((little.effective_rate(f) - 2.0e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn component_id_keys_are_stable() {
+        assert_eq!(ComponentId::LittleCluster.key(), "little");
+        assert_eq!(ComponentId::BigCluster.key(), "big");
+        assert_eq!(ComponentId::Gpu.key(), "gpu");
+        assert_eq!(ComponentId::Memory.key(), "mem");
+        assert_eq!(ComponentId::Gpu.to_string(), "gpu");
+    }
+
+    #[test]
+    fn cpu_classification() {
+        assert!(ComponentId::LittleCluster.is_cpu());
+        assert!(ComponentId::BigCluster.is_cpu());
+        assert!(!ComponentId::Gpu.is_cpu());
+        assert!(!ComponentId::Memory.is_cpu());
+    }
+
+    #[test]
+    fn all_ids_are_distinct() {
+        let mut ids = ComponentId::ALL.to_vec();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}

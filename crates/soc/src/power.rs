@@ -1,0 +1,341 @@
+//! Component power models.
+//!
+//! Power on a DVFS component is modelled as the sum of:
+//!
+//! - **dynamic (switching) power** `P_dyn = C_eff · V² · f · u`, where
+//!   `C_eff` is the effective switched capacitance, `V` the supply voltage,
+//!   `f` the clock frequency and `u` the total active utilization (summed
+//!   over cores, so a fully busy quad cluster has `u = 4`);
+//! - **temperature-dependent leakage** `P_leak = α · V · T² · e^(−β/T)`
+//!   (subthreshold leakage in the form used by the power–temperature
+//!   stability analysis of Bhat et al., TECS 2017 — the positive feedback
+//!   between power and temperature enters the system through this term);
+//! - a small **static floor** covering always-on logic and rail overheads.
+
+use serde::{Deserialize, Serialize};
+
+use mpt_units::{Kelvin, Volts, Watts};
+
+use crate::{Result, SocError};
+
+/// Parameters of the leakage law `P_leak = α · V · T² · e^(−β/T)`.
+///
+/// `β` (in Kelvin) sets how steeply leakage grows with temperature — it is
+/// also the scale constant of the auxiliary temperature `θ = β/T` used by
+/// the stability analysis. `α` (in W·V⁻¹·K⁻²) sets the magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::LeakageParams;
+/// use mpt_units::{Kelvin, Volts};
+///
+/// let leak = LeakageParams::new(500.0, 8000.0)?;
+/// let cold = leak.power(Volts::new(1.0), Kelvin::new(310.0));
+/// let hot = leak.power(Volts::new(1.0), Kelvin::new(350.0));
+/// assert!(hot > cold);
+/// # Ok::<(), mpt_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageParams {
+    alpha: f64,
+    beta: f64,
+}
+
+impl LeakageParams {
+    /// Creates leakage parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::InvalidPowerParameter`] if either parameter is negative
+    /// or non-finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(SocError::InvalidPowerParameter { name: "alpha", value: alpha });
+        }
+        if !beta.is_finite() || beta <= 0.0 {
+            return Err(SocError::InvalidPowerParameter { name: "beta", value: beta });
+        }
+        Ok(Self { alpha, beta })
+    }
+
+    /// The magnitude coefficient α.
+    #[must_use]
+    pub const fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The activation constant β in Kelvin.
+    #[must_use]
+    pub const fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Leakage power at supply voltage `v` and absolute temperature `t`.
+    #[must_use]
+    pub fn power(&self, v: Volts, t: Kelvin) -> Watts {
+        let tk = t.value();
+        if tk <= 0.0 {
+            return Watts::ZERO;
+        }
+        Watts::new(self.alpha * v.value() * tk * tk * (-self.beta / tk).exp())
+    }
+}
+
+/// Full power-model parameters for one component.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::{LeakageParams, PowerParams};
+/// use mpt_units::{Hertz, Kelvin, Volts, Watts};
+///
+/// let params = PowerParams::new(
+///     2.8e-10,
+///     LeakageParams::new(120.0, 8000.0)?,
+///     Watts::new(0.05),
+/// )?;
+/// let p = params.power(Volts::new(1.1), Hertz::from_mhz(1800), 2.0, Kelvin::new(330.0));
+/// assert!(p.total() > Watts::new(1.0));
+/// # Ok::<(), mpt_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    ceff: f64,
+    leakage: LeakageParams,
+    static_floor: Watts,
+}
+
+impl PowerParams {
+    /// Creates power parameters from an effective capacitance (farads),
+    /// leakage law and static floor.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::InvalidPowerParameter`] if `ceff` or the floor is
+    /// negative or non-finite.
+    pub fn new(ceff: f64, leakage: LeakageParams, static_floor: Watts) -> Result<Self> {
+        if !ceff.is_finite() || ceff < 0.0 {
+            return Err(SocError::InvalidPowerParameter { name: "ceff", value: ceff });
+        }
+        if !static_floor.value().is_finite() || static_floor.value() < 0.0 {
+            return Err(SocError::InvalidPowerParameter {
+                name: "static_floor",
+                value: static_floor.value(),
+            });
+        }
+        Ok(Self { ceff, leakage, static_floor })
+    }
+
+    /// Effective switched capacitance in farads.
+    #[must_use]
+    pub const fn ceff(&self) -> f64 {
+        self.ceff
+    }
+
+    /// The leakage law.
+    #[must_use]
+    pub const fn leakage(&self) -> LeakageParams {
+        self.leakage
+    }
+
+    /// The static power floor.
+    #[must_use]
+    pub const fn static_floor(&self) -> Watts {
+        self.static_floor
+    }
+
+    /// Dynamic power at voltage `v`, frequency `f` and utilization `util`
+    /// (sum over cores; 0.0 means idle, n means n fully busy cores).
+    #[must_use]
+    pub fn dynamic_power(&self, v: Volts, f: mpt_units::Hertz, util: f64) -> Watts {
+        Watts::new(self.ceff * v.squared() * f.as_f64() * util.max(0.0))
+    }
+
+    /// Full power breakdown at an operating condition.
+    #[must_use]
+    pub fn power(
+        &self,
+        v: Volts,
+        f: mpt_units::Hertz,
+        util: f64,
+        temp: Kelvin,
+    ) -> PowerBreakdown {
+        PowerBreakdown {
+            dynamic: self.dynamic_power(v, f, util),
+            leakage: self.leakage.power(v, temp),
+            static_floor: self.static_floor,
+        }
+    }
+}
+
+/// The decomposition of a component's power draw.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::PowerBreakdown;
+/// use mpt_units::Watts;
+///
+/// let b = PowerBreakdown::new(Watts::new(1.0), Watts::new(0.2), Watts::new(0.05));
+/// assert_eq!(b.total(), Watts::new(1.25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Switching power.
+    pub dynamic: Watts,
+    /// Temperature-dependent leakage.
+    pub leakage: Watts,
+    /// Always-on static floor.
+    pub static_floor: Watts,
+}
+
+impl PowerBreakdown {
+    /// Creates a breakdown from its parts.
+    #[must_use]
+    pub const fn new(dynamic: Watts, leakage: Watts, static_floor: Watts) -> Self {
+        Self { dynamic, leakage, static_floor }
+    }
+
+    /// Total power.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.dynamic + self.leakage + self.static_floor
+    }
+}
+
+impl core::ops::Add for PowerBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            dynamic: self.dynamic + rhs.dynamic,
+            leakage: self.leakage + rhs.leakage,
+            static_floor: self.static_floor + rhs.static_floor,
+        }
+    }
+}
+
+impl core::iter::Sum for PowerBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |acc, b| acc + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_units::Hertz;
+    use proptest::prelude::*;
+
+    fn params() -> PowerParams {
+        PowerParams::new(
+            2.8e-10,
+            LeakageParams::new(120.0, 8000.0).unwrap(),
+            Watts::new(0.05),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_negative_parameters() {
+        assert!(LeakageParams::new(-1.0, 8000.0).is_err());
+        assert!(LeakageParams::new(1.0, 0.0).is_err());
+        assert!(LeakageParams::new(1.0, f64::NAN).is_err());
+        let leak = LeakageParams::new(1.0, 8000.0).unwrap();
+        assert!(PowerParams::new(-1e-10, leak, Watts::ZERO).is_err());
+        assert!(PowerParams::new(1e-10, leak, Watts::new(-0.1)).is_err());
+    }
+
+    #[test]
+    fn dynamic_power_scales_quadratically_with_voltage() {
+        let p = params();
+        let f = Hertz::from_mhz(1000);
+        let low = p.dynamic_power(Volts::new(0.9), f, 1.0);
+        let high = p.dynamic_power(Volts::new(1.8), f, 1.0);
+        assert!((high.value() / low.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_linear_in_frequency_and_util() {
+        let p = params();
+        let v = Volts::new(1.0);
+        let base = p.dynamic_power(v, Hertz::from_mhz(500), 1.0);
+        assert!(
+            (p.dynamic_power(v, Hertz::from_mhz(1000), 1.0).value() - 2.0 * base.value()).abs()
+                < 1e-12
+        );
+        assert!(
+            (p.dynamic_power(v, Hertz::from_mhz(500), 4.0).value() - 4.0 * base.value()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn negative_utilization_is_clamped() {
+        let p = params();
+        assert_eq!(
+            p.dynamic_power(Volts::new(1.0), Hertz::from_mhz(500), -3.0),
+            Watts::ZERO
+        );
+    }
+
+    #[test]
+    fn leakage_grows_superlinearly_with_temperature() {
+        let leak = LeakageParams::new(120.0, 8000.0).unwrap();
+        let v = Volts::new(1.1);
+        let p40 = leak.power(v, Kelvin::new(313.15));
+        let p60 = leak.power(v, Kelvin::new(333.15));
+        let p80 = leak.power(v, Kelvin::new(353.15));
+        // Each 20 K step multiplies leakage by more than the previous level.
+        assert!(p60.value() / p40.value() > 2.0);
+        assert!(p80.value() / p60.value() > 1.5);
+    }
+
+    #[test]
+    fn leakage_at_absolute_zero_is_zero() {
+        let leak = LeakageParams::new(120.0, 8000.0).unwrap();
+        assert_eq!(leak.power(Volts::new(1.0), Kelvin::new(0.0)), Watts::ZERO);
+        assert_eq!(leak.power(Volts::new(1.0), Kelvin::new(-5.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn breakdown_total_sums_parts() {
+        let p = params().power(Volts::new(1.1), Hertz::from_mhz(1800), 2.0, Kelvin::new(330.0));
+        assert!(
+            (p.total().value() - (p.dynamic + p.leakage + p.static_floor).value()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn breakdown_sum_over_components() {
+        let a = PowerBreakdown::new(Watts::new(1.0), Watts::new(0.1), Watts::new(0.01));
+        let b = PowerBreakdown::new(Watts::new(2.0), Watts::new(0.2), Watts::new(0.02));
+        let total: PowerBreakdown = [a, b].into_iter().sum();
+        assert!((total.total().value() - 3.33).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_leakage_monotone_in_temperature(t1 in 250.0_f64..400.0, t2 in 250.0_f64..400.0) {
+            let leak = LeakageParams::new(120.0, 8000.0).unwrap();
+            let v = Volts::new(1.0);
+            let (p1, p2) = (leak.power(v, Kelvin::new(t1)), leak.power(v, Kelvin::new(t2)));
+            if t1 < t2 {
+                prop_assert!(p1 <= p2);
+            }
+        }
+
+        #[test]
+        fn prop_power_is_nonnegative(
+            v in 0.0_f64..2.0,
+            f in 0u64..3000,
+            u in -1.0_f64..8.0,
+            t in 200.0_f64..420.0,
+        ) {
+            let b = params().power(Volts::new(v), Hertz::from_mhz(f), u, Kelvin::new(t));
+            prop_assert!(b.total().value() >= 0.0);
+            prop_assert!(b.dynamic.value() >= 0.0);
+            prop_assert!(b.leakage.value() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Sensor inventory descriptors.
+//!
+//! Platforms differ in what they let software observe. The Odroid-XU3
+//! exposes per-rail INA231 current sensors (little, big, GPU, memory) plus
+//! per-core thermal sensors; the Nexus 6P exposes thermal sensors but *no*
+//! power sensors — the paper had to attach an external NI DAQ. These
+//! descriptors record what each platform can sense so the measurement
+//! substrate (`mpt-daq`) and the governors only use data that the real
+//! hardware could provide.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ComponentId;
+
+/// A thermal sensor on the SoC.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::platforms;
+///
+/// let nexus = platforms::snapdragon_810();
+/// assert!(nexus.temperature_sensors().iter().any(|s| s.name() == "package"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemperatureSensor {
+    name: String,
+    thermal_node: String,
+}
+
+impl TemperatureSensor {
+    /// Creates a sensor that reads the named thermal-network node.
+    #[must_use]
+    pub fn new(name: impl Into<String>, thermal_node: impl Into<String>) -> Self {
+        Self { name: name.into(), thermal_node: thermal_node.into() }
+    }
+
+    /// Sensor name (e.g. `"package"`, `"big0"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The thermal-network node this sensor reads.
+    #[must_use]
+    pub fn thermal_node(&self) -> &str {
+        &self.thermal_node
+    }
+}
+
+/// A power-measurement rail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerRail {
+    name: String,
+    component: ComponentId,
+}
+
+impl PowerRail {
+    /// Creates a rail measuring one component's power.
+    #[must_use]
+    pub fn new(name: impl Into<String>, component: ComponentId) -> Self {
+        Self { name: name.into(), component }
+    }
+
+    /// Rail name (e.g. `"vdd_arm"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component measured by this rail.
+    #[must_use]
+    pub const fn component(&self) -> ComponentId {
+        self.component
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_accessors() {
+        let s = TemperatureSensor::new("package", "package");
+        assert_eq!(s.name(), "package");
+        assert_eq!(s.thermal_node(), "package");
+    }
+
+    #[test]
+    fn rail_accessors() {
+        let r = PowerRail::new("vdd_g3d", ComponentId::Gpu);
+        assert_eq!(r.name(), "vdd_g3d");
+        assert_eq!(r.component(), ComponentId::Gpu);
+    }
+}

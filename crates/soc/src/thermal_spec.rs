@@ -1,0 +1,207 @@
+//! Thermal-network parameters of a package (plain data).
+//!
+//! The SoC crate stores only the *parameters* of the package thermal
+//! network — node heat capacities and inter-node conductances. The
+//! `mpt-thermal` crate turns a [`ThermalSpec`] into a simulatable RC
+//! network. Keeping the data here lets a platform definition be fully
+//! self-contained without a dependency cycle.
+
+use serde::{Deserialize, Serialize};
+
+use mpt_units::Celsius;
+
+use crate::{ComponentId, Result, SocError};
+
+/// One node of the thermal RC network.
+///
+/// A node is either a silicon hotspot co-located with a component (and
+/// receives that component's power) or a passive node such as the package/
+/// skin (heated only through couplings).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalNodeSpec {
+    /// Node name used in telemetry (e.g. `"big"`, `"package"`).
+    pub name: String,
+    /// The component whose power is injected at this node, if any.
+    pub component: Option<ComponentId>,
+    /// Heat capacity in J/K.
+    pub heat_capacity: f64,
+    /// Direct conductance to ambient in W/K (0 for interior nodes).
+    pub ambient_conductance: f64,
+}
+
+/// A symmetric thermal conductance between two nodes, in W/K.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalCoupling {
+    /// Index of the first node.
+    pub a: usize,
+    /// Index of the second node.
+    pub b: usize,
+    /// Conductance in W/K.
+    pub conductance: f64,
+}
+
+/// Full thermal-network description of a platform package.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::platforms;
+///
+/// let spec = platforms::exynos_5422().thermal_spec().clone();
+/// assert!(spec.node_index("big").is_some());
+/// spec.validate()?;
+/// # Ok::<(), mpt_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSpec {
+    /// The network nodes.
+    pub nodes: Vec<ThermalNodeSpec>,
+    /// Symmetric couplings between nodes.
+    pub couplings: Vec<ThermalCoupling>,
+    /// Ambient temperature.
+    pub ambient: Celsius,
+}
+
+impl ThermalSpec {
+    /// Index of the node with the given name.
+    #[must_use]
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Index of the node that receives a component's power.
+    #[must_use]
+    pub fn node_for_component(&self, id: ComponentId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.component == Some(id))
+    }
+
+    /// Validates the network: positive capacities, non-negative
+    /// conductances, in-range coupling indices, unique node names, and at
+    /// least one path to ambient.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::InvalidThermalSpec`] describing the first problem found.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(SocError::InvalidThermalSpec { reason: "no nodes".into() });
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !(n.heat_capacity.is_finite() && n.heat_capacity > 0.0) {
+                return Err(SocError::InvalidThermalSpec {
+                    reason: format!("node {i} ({}) has non-positive heat capacity", n.name),
+                });
+            }
+            if !(n.ambient_conductance.is_finite() && n.ambient_conductance >= 0.0) {
+                return Err(SocError::InvalidThermalSpec {
+                    reason: format!("node {i} ({}) has invalid ambient conductance", n.name),
+                });
+            }
+            if self.nodes.iter().filter(|m| m.name == n.name).count() > 1 {
+                return Err(SocError::InvalidThermalSpec {
+                    reason: format!("duplicate node name {:?}", n.name),
+                });
+            }
+        }
+        for (i, c) in self.couplings.iter().enumerate() {
+            if c.a >= self.nodes.len() || c.b >= self.nodes.len() || c.a == c.b {
+                return Err(SocError::InvalidThermalSpec {
+                    reason: format!("coupling {i} references invalid nodes {}..{}", c.a, c.b),
+                });
+            }
+            if !(c.conductance.is_finite() && c.conductance > 0.0) {
+                return Err(SocError::InvalidThermalSpec {
+                    reason: format!("coupling {i} has non-positive conductance"),
+                });
+            }
+        }
+        if !self.nodes.iter().any(|n| n.ambient_conductance > 0.0) {
+            return Err(SocError::InvalidThermalSpec {
+                reason: "no node is coupled to ambient; heat cannot leave the package".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ThermalSpec {
+        ThermalSpec {
+            nodes: vec![
+                ThermalNodeSpec {
+                    name: "big".into(),
+                    component: Some(ComponentId::BigCluster),
+                    heat_capacity: 2.0,
+                    ambient_conductance: 0.0,
+                },
+                ThermalNodeSpec {
+                    name: "package".into(),
+                    component: None,
+                    heat_capacity: 5.0,
+                    ambient_conductance: 0.07,
+                },
+            ],
+            couplings: vec![ThermalCoupling { a: 0, b: 1, conductance: 0.4 }],
+            ambient: Celsius::new(25.0),
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().validate().unwrap();
+    }
+
+    #[test]
+    fn lookup_by_name_and_component() {
+        let s = spec();
+        assert_eq!(s.node_index("package"), Some(1));
+        assert_eq!(s.node_index("nope"), None);
+        assert_eq!(s.node_for_component(ComponentId::BigCluster), Some(0));
+        assert_eq!(s.node_for_component(ComponentId::Gpu), None);
+    }
+
+    #[test]
+    fn rejects_nonpositive_capacity() {
+        let mut s = spec();
+        s.nodes[0].heat_capacity = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_self_coupling() {
+        let mut s = spec();
+        s.couplings[0].b = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_coupling() {
+        let mut s = spec();
+        s.couplings[0].b = 9;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_isolated_package() {
+        let mut s = spec();
+        s.nodes[1].ambient_conductance = 0.0;
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("ambient"));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut s = spec();
+        s.nodes[1].name = "big".into();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let s = ThermalSpec { nodes: vec![], couplings: vec![], ambient: Celsius::new(25.0) };
+        assert!(s.validate().is_err());
+    }
+}

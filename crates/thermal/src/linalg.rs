@@ -1,0 +1,111 @@
+//! Minimal dense linear algebra for small thermal networks.
+//!
+//! Thermal networks in this workspace have a handful of nodes, so a plain
+//! Gaussian elimination with partial pivoting is both sufficient and
+//! dependency-free.
+
+/// Solves `A·x = b` in place for a small dense system.
+///
+/// Returns `None` if the matrix is (numerically) singular.
+#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solution_satisfies_system(
+            seed in proptest::collection::vec(-5.0_f64..5.0, 9),
+            b in proptest::collection::vec(-5.0_f64..5.0, 3),
+        ) {
+            // Build a diagonally dominant (hence nonsingular) matrix.
+            let mut a = vec![vec![0.0; 3]; 3];
+            for i in 0..3 {
+                let mut row_sum = 0.0;
+                for j in 0..3 {
+                    if i != j {
+                        a[i][j] = seed[i * 3 + j];
+                        row_sum += a[i][j].abs();
+                    }
+                }
+                a[i][i] = row_sum + 1.0;
+            }
+            let x = solve(a.clone(), b.clone()).unwrap();
+            for i in 0..3 {
+                let lhs: f64 = (0..3).map(|j| a[i][j] * x[j]).sum();
+                prop_assert!((lhs - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

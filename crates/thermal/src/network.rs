@@ -1,0 +1,623 @@
+//! Multi-node RC thermal network.
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the matrix math
+
+use mpt_units::{Celsius, Kelvin, Seconds, Watts};
+
+use mpt_soc::ThermalSpec;
+
+use crate::{linalg, LumpedModel, Result, ThermalError};
+
+/// A simulatable RC thermal network.
+///
+/// Built from a platform [`ThermalSpec`]; holds the current node
+/// temperatures and integrates the heat equation
+///
+/// ```text
+/// C_i · dT_i/dt = P_i − Σ_j G_ij (T_i − T_j) − G_a,i (T_i − T_amb)
+/// ```
+///
+/// with forward-Euler sub-stepping sized for numerical stability. Power is
+/// injected per node each step; the caller is responsible for including
+/// leakage in the injected power (the simulation loop computes leakage
+/// from the previous step's temperatures, closing the power–temperature
+/// feedback loop with one tick of latency).
+///
+/// # Examples
+///
+/// ```
+/// use mpt_soc::platforms;
+/// use mpt_thermal::RcNetwork;
+/// use mpt_units::{Seconds, Watts};
+///
+/// let mut net = RcNetwork::from_spec(platforms::exynos_5422().thermal_spec())?;
+/// let big = net.node_index("big").unwrap();
+/// let mut powers = vec![Watts::ZERO; net.len()];
+/// powers[big] = Watts::new(3.0);
+/// for _ in 0..1000 {
+///     net.step(Seconds::new(0.1), &powers)?;
+/// }
+/// assert!(net.temperature(big) > net.ambient());
+/// # Ok::<(), mpt_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RcNetwork {
+    names: Vec<String>,
+    heat_capacity: Vec<f64>,
+    /// Symmetric conductance matrix between nodes (W/K); diagonal unused.
+    conductance: Vec<Vec<f64>>,
+    /// Per-node conductance to ambient (W/K).
+    ambient_conductance: Vec<f64>,
+    ambient: Kelvin,
+    temperatures: Vec<Kelvin>,
+    /// Largest stable Euler step (s).
+    max_step: f64,
+}
+
+impl RcNetwork {
+    /// Builds a network from a platform spec, with all nodes initially at
+    /// ambient temperature.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidSpec`] if the spec fails validation.
+    pub fn from_spec(spec: &ThermalSpec) -> Result<Self> {
+        spec.validate()?;
+        let n = spec.nodes.len();
+        let mut conductance = vec![vec![0.0; n]; n];
+        for c in &spec.couplings {
+            conductance[c.a][c.b] += c.conductance;
+            conductance[c.b][c.a] += c.conductance;
+        }
+        let ambient: Kelvin = spec.ambient.to_kelvin();
+        let heat_capacity: Vec<f64> = spec.nodes.iter().map(|n| n.heat_capacity).collect();
+        let ambient_conductance: Vec<f64> =
+            spec.nodes.iter().map(|n| n.ambient_conductance).collect();
+        // Stability bound for forward Euler: dt < C_i / (Σ_j G_ij + G_a,i).
+        let mut max_step = f64::INFINITY;
+        for i in 0..n {
+            let g_total: f64 =
+                conductance[i].iter().sum::<f64>() + ambient_conductance[i];
+            if g_total > 0.0 {
+                max_step = max_step.min(0.5 * heat_capacity[i] / g_total);
+            }
+        }
+        Ok(Self {
+            names: spec.nodes.iter().map(|n| n.name.clone()).collect(),
+            heat_capacity,
+            conductance,
+            ambient_conductance,
+            ambient,
+            temperatures: vec![ambient; n],
+            max_step,
+        })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the network has no nodes (never true for a constructed
+    /// network; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Node names, in index order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of a named node.
+    #[must_use]
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The ambient temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Kelvin {
+        self.ambient
+    }
+
+    /// Current temperature of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn temperature(&self, i: usize) -> Kelvin {
+        self.temperatures[i]
+    }
+
+    /// All current node temperatures.
+    #[must_use]
+    pub fn temperatures(&self) -> &[Kelvin] {
+        &self.temperatures
+    }
+
+    /// The hottest node and its temperature.
+    #[must_use]
+    pub fn hottest(&self) -> (usize, Kelvin) {
+        let mut best = (0, self.temperatures[0]);
+        for (i, &t) in self.temperatures.iter().enumerate() {
+            if t > best.1 {
+                best = (i, t);
+            }
+        }
+        best
+    }
+
+    /// Overrides all node temperatures (e.g. to start an experiment from a
+    /// pre-warmed state).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerLengthMismatch`] if the slice length differs
+    /// from the node count.
+    pub fn set_temperatures(&mut self, temps: &[Kelvin]) -> Result<()> {
+        if temps.len() != self.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.len(),
+                actual: temps.len(),
+            });
+        }
+        self.temperatures.copy_from_slice(temps);
+        Ok(())
+    }
+
+    /// Sets every node to the same temperature.
+    pub fn set_uniform_temperature(&mut self, t: Kelvin) {
+        self.temperatures.iter_mut().for_each(|x| *x = t);
+    }
+
+    /// Advances the network by `dt` with per-node injected power.
+    ///
+    /// Internally sub-steps to stay within the explicit-Euler stability
+    /// bound, so any `dt` is safe.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerLengthMismatch`] if `powers` has the wrong
+    /// length.
+    pub fn step(&mut self, dt: Seconds, powers: &[Watts]) -> Result<()> {
+        if powers.len() != self.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.len(),
+                actual: powers.len(),
+            });
+        }
+        let total = dt.value();
+        if total <= 0.0 {
+            return Ok(());
+        }
+        let substeps = (total / self.max_step).ceil().max(1.0) as usize;
+        let h = total / substeps as f64;
+        let n = self.len();
+        for _ in 0..substeps {
+            let mut deriv = vec![0.0; n];
+            for i in 0..n {
+                let ti = self.temperatures[i].value();
+                let mut flow = powers[i].value();
+                for j in 0..n {
+                    let g = self.conductance[i][j];
+                    if g > 0.0 {
+                        flow -= g * (ti - self.temperatures[j].value());
+                    }
+                }
+                flow -= self.ambient_conductance[i] * (ti - self.ambient.value());
+                deriv[i] = flow / self.heat_capacity[i];
+            }
+            for i in 0..n {
+                self.temperatures[i] = Kelvin::new(self.temperatures[i].value() + h * deriv[i]);
+            }
+        }
+        Ok(())
+    }
+
+    /// The steady-state temperatures for a fixed power injection (linear
+    /// solve; leakage feedback is *not* iterated here — use the lumped
+    /// analysis for that).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerLengthMismatch`] or
+    /// [`ThermalError::SingularNetwork`].
+    pub fn steady_state(&self, powers: &[Watts]) -> Result<Vec<Kelvin>> {
+        if powers.len() != self.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.len(),
+                actual: powers.len(),
+            });
+        }
+        let n = self.len();
+        let mut a = vec![vec![0.0; n]; n];
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            let mut diag = self.ambient_conductance[i];
+            for j in 0..n {
+                let g = self.conductance[i][j];
+                if g > 0.0 {
+                    diag += g;
+                    a[i][j] -= g;
+                }
+            }
+            a[i][i] += diag;
+            b[i] = powers[i].value() + self.ambient_conductance[i] * self.ambient.value();
+        }
+        let t = linalg::solve(a, b).ok_or(ThermalError::SingularNetwork)?;
+        Ok(t.into_iter().map(Kelvin::new).collect())
+    }
+
+    /// The steady-state thermal gain `dT_i/dP_j` in K/W: how much node `i`
+    /// heats per watt injected at node `j`.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::SingularNetwork`].
+    pub fn gain(&self, node: usize, injected_at: usize) -> Result<f64> {
+        let mut powers = vec![Watts::ZERO; self.len()];
+        powers[injected_at] = Watts::new(1.0);
+        let with = self.steady_state(&powers)?;
+        let without = self.steady_state(&vec![Watts::ZERO; self.len()])?;
+        Ok(with[node].value() - without[node].value())
+    }
+
+    /// The slowest natural time constant of the network, in seconds:
+    /// `1/λ_min` of `C⁻¹G`, computed by power iteration on `G⁻¹C`. This
+    /// is the mode that dominates long package/board temperature ramps.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::SingularNetwork`].
+    pub fn dominant_time_constant(&self) -> Result<Seconds> {
+        let n = self.len();
+        // Build the full conductance matrix (same as steady_state).
+        let mut g = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            let mut diag = self.ambient_conductance[i];
+            for j in 0..n {
+                let c = self.conductance[i][j];
+                if c > 0.0 {
+                    diag += c;
+                    g[i][j] -= c;
+                }
+            }
+            g[i][i] += diag;
+        }
+        // Power iteration on G⁻¹C: dominant eigenvalue = slowest τ.
+        let mut x = vec![1.0; n];
+        let mut tau = 0.0;
+        for _ in 0..200 {
+            let cx: Vec<f64> = (0..n).map(|i| self.heat_capacity[i] * x[i]).collect();
+            let y = linalg::solve(g.clone(), cx).ok_or(ThermalError::SingularNetwork)?;
+            let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm < 1e-300 {
+                return Err(ThermalError::SingularNetwork);
+            }
+            tau = norm;
+            for i in 0..n {
+                x[i] = y[i] / norm;
+            }
+        }
+        Ok(Seconds::new(tau))
+    }
+
+    /// Reduces the network to a [`LumpedModel`] as seen from the hottest
+    /// node under the given power distribution.
+    ///
+    /// The lumped thermal resistance is the power-weighted steady-state
+    /// gain from each injection node to the hot node; `leak_gain` and
+    /// `beta` come from the caller (summed over components at their
+    /// current voltages); `tau` is the network's dominant time constant.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::SingularNetwork`], a power-length mismatch, or
+    /// invalid derived parameters.
+    pub fn reduce(
+        &self,
+        powers: &[Watts],
+        hot_node: usize,
+        leak_gain: f64,
+        beta: f64,
+    ) -> Result<LumpedModel> {
+        if powers.len() != self.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.len(),
+                actual: powers.len(),
+            });
+        }
+        let total: f64 = powers.iter().map(|p| p.value()).sum();
+        let mut r_eq = 0.0;
+        if total > 1e-9 {
+            for (j, p) in powers.iter().enumerate() {
+                if p.value() > 0.0 {
+                    r_eq += self.gain(hot_node, j)? * (p.value() / total);
+                }
+            }
+        } else {
+            // No power flowing: use the self-gain of the hot node as a
+            // conservative default.
+            r_eq = self.gain(hot_node, hot_node)?;
+        }
+        let tau = self.dominant_time_constant()?;
+        LumpedModel::new(self.ambient, r_eq, beta, leak_gain, tau)
+    }
+
+    /// Convenience: current temperature of a named node.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::UnknownNode`].
+    pub fn temperature_of(&self, name: &str) -> Result<Kelvin> {
+        self.node_index(name)
+            .map(|i| self.temperatures[i])
+            .ok_or_else(|| ThermalError::UnknownNode { name: name.to_owned() })
+    }
+
+    /// Current temperature of a named node in Celsius.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::UnknownNode`].
+    pub fn celsius_of(&self, name: &str) -> Result<Celsius> {
+        self.temperature_of(name).map(Kelvin::to_celsius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_soc::platforms;
+    use proptest::prelude::*;
+
+    fn odroid_network() -> RcNetwork {
+        RcNetwork::from_spec(platforms::exynos_5422().thermal_spec()).unwrap()
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let net = odroid_network();
+        for &t in net.temperatures() {
+            assert_eq!(t, net.ambient());
+        }
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut net = odroid_network();
+        let powers = vec![Watts::ZERO; net.len()];
+        for _ in 0..100 {
+            net.step(Seconds::new(1.0), &powers).unwrap();
+        }
+        for &t in net.temperatures() {
+            assert!((t.value() - net.ambient().value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn relaxes_back_to_ambient() {
+        let mut net = odroid_network();
+        net.set_uniform_temperature(Kelvin::new(360.0));
+        let powers = vec![Watts::ZERO; net.len()];
+        for _ in 0..20_000 {
+            net.step(Seconds::new(1.0), &powers).unwrap();
+        }
+        for &t in net.temperatures() {
+            assert!((t.value() - net.ambient().value()).abs() < 0.01, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn integration_converges_to_steady_state() {
+        let mut net = odroid_network();
+        let big = net.node_index("big").unwrap();
+        let gpu = net.node_index("gpu").unwrap();
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[big] = Watts::new(2.0);
+        powers[gpu] = Watts::new(1.5);
+        let ss = net.steady_state(&powers).unwrap();
+        for _ in 0..5_000 {
+            net.step(Seconds::new(1.0), &powers).unwrap();
+        }
+        for (i, &t) in net.temperatures().iter().enumerate() {
+            assert!(
+                (t.value() - ss[i].value()).abs() < 0.05,
+                "node {i}: integrated {t} vs steady {}",
+                ss[i]
+            );
+        }
+    }
+
+    #[test]
+    fn hotter_node_is_the_powered_one() {
+        let mut net = odroid_network();
+        let big = net.node_index("big").unwrap();
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[big] = Watts::new(3.0);
+        for _ in 0..3_000 {
+            net.step(Seconds::new(1.0), &powers).unwrap();
+        }
+        let (hot, _) = net.hottest();
+        assert_eq!(hot, big);
+    }
+
+    #[test]
+    fn big_cluster_gain_matches_hand_calculation() {
+        // Power injected at the big node flows through G(big,board)=0.45
+        // then G(board,amb)=0.052 (plus a small parallel path through the
+        // GPU lateral coupling), so the self-gain is slightly below
+        // 1/0.45 + 1/0.052 = 21.5 K/W.
+        let net = odroid_network();
+        let big = net.node_index("big").unwrap();
+        let g = net.gain(big, big).unwrap();
+        assert!(g > 19.5 && g < 21.6, "gain = {g}");
+    }
+
+    #[test]
+    fn odroid_reaches_paper_figure8_band_at_3_65w() {
+        // The paper's Figure 8 shows ~85-95 C for 3DMark + BML (3.65 W
+        // total). Check the steady-state hotspot lands in that band with a
+        // representative power split (big-heavy, as in Fig. 9b).
+        let net = odroid_network();
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[net.node_index("little").unwrap()] = Watts::new(0.26);
+        powers[net.node_index("big").unwrap()] = Watts::new(2.19);
+        powers[net.node_index("gpu").unwrap()] = Watts::new(0.9);
+        powers[net.node_index("mem").unwrap()] = Watts::new(0.3);
+        let ss = net.steady_state(&powers).unwrap();
+        let hot = ss
+            .iter()
+            .map(|t| t.to_celsius().value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((85.0..105.0).contains(&hot), "hotspot = {hot} C");
+    }
+
+    #[test]
+    fn power_length_mismatch_is_rejected() {
+        let mut net = odroid_network();
+        let err = net.step(Seconds::new(0.1), &[Watts::ZERO]).unwrap_err();
+        assert!(matches!(err, ThermalError::PowerLengthMismatch { .. }));
+        assert!(net.steady_state(&[Watts::ZERO]).is_err());
+    }
+
+    #[test]
+    fn set_temperatures_validates_length() {
+        let mut net = odroid_network();
+        assert!(net.set_temperatures(&[Kelvin::new(300.0)]).is_err());
+        let temps = vec![Kelvin::new(310.0); net.len()];
+        net.set_temperatures(&temps).unwrap();
+        assert_eq!(net.temperature(0), Kelvin::new(310.0));
+    }
+
+    #[test]
+    fn named_lookups() {
+        let net = odroid_network();
+        assert!(net.temperature_of("big").is_ok());
+        assert!(matches!(
+            net.temperature_of("nope").unwrap_err(),
+            ThermalError::UnknownNode { .. }
+        ));
+        let c = net.celsius_of("board").unwrap();
+        assert!((c.value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skin_lags_behind_the_package_and_runs_cooler() {
+        let mut net =
+            RcNetwork::from_spec(platforms::snapdragon_810().thermal_spec()).unwrap();
+        let gpu = net.node_index("gpu").unwrap();
+        let pkg = net.node_index("package").unwrap();
+        let skin = net.node_index("skin").unwrap();
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[gpu] = Watts::new(2.5);
+        // Early in the transient the skin trails the package clearly.
+        let mut t = 0.0;
+        while t < 30.0 {
+            net.step(Seconds::new(0.5), &powers).unwrap();
+            t += 0.5;
+        }
+        let early_gap = net.temperature(pkg).value() - net.temperature(skin).value();
+        assert!(early_gap > 1.0, "early gap {early_gap}");
+        // At steady state the skin stays slightly cooler than the
+        // package (heat flows package -> skin -> ambient).
+        while t < 2000.0 {
+            net.step(Seconds::new(1.0), &powers).unwrap();
+            t += 1.0;
+        }
+        let pkg_c = net.temperature(pkg).to_celsius().value();
+        let skin_c = net.temperature(skin).to_celsius().value();
+        assert!(skin_c < pkg_c, "skin {skin_c} vs package {pkg_c}");
+        assert!(pkg_c - skin_c < 5.0, "skin tracks the package");
+    }
+
+    #[test]
+    fn dominant_time_constant_matches_relaxation() {
+        // Heat the whole board, release, and check the observed decay
+        // rate of the slowest phase against the computed constant.
+        let mut net = odroid_network();
+        let tau = net.dominant_time_constant().unwrap().value();
+        assert!(tau > 5.0 && tau < 500.0, "tau = {tau}");
+        net.set_uniform_temperature(Kelvin::new(350.0));
+        let powers = vec![Watts::ZERO; net.len()];
+        // Skip the fast initial modes.
+        let mut elapsed = 0.0;
+        while elapsed < tau {
+            net.step(Seconds::new(0.5), &powers).unwrap();
+            elapsed += 0.5;
+        }
+        let d0 = net.hottest().1.value() - net.ambient().value();
+        while elapsed < 2.0 * tau {
+            net.step(Seconds::new(0.5), &powers).unwrap();
+            elapsed += 0.5;
+        }
+        let d1 = net.hottest().1.value() - net.ambient().value();
+        let observed = tau / (d0 / d1).ln();
+        let rel = (observed - tau).abs() / tau;
+        assert!(rel < 0.1, "computed tau {tau}, observed {observed}");
+    }
+
+    #[test]
+    fn reduce_produces_consistent_lumped_resistance() {
+        let net = odroid_network();
+        let big = net.node_index("big").unwrap();
+        let mut powers = vec![Watts::ZERO; net.len()];
+        powers[big] = Watts::new(3.0);
+        let lumped = net.reduce(&powers, big, 1700.0, 8000.0).unwrap();
+        // All power at the big node: R_eq equals the big self-gain.
+        let g = net.gain(big, big).unwrap();
+        assert!((lumped.r_th() - g).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_steady_state_is_monotone_in_power(p1 in 0.0_f64..4.0, p2 in 0.0_f64..4.0) {
+            let net = odroid_network();
+            let big = net.node_index("big").unwrap();
+            let mut powers = vec![Watts::ZERO; net.len()];
+            powers[big] = Watts::new(p1);
+            let t1 = net.steady_state(&powers).unwrap()[big];
+            powers[big] = Watts::new(p2);
+            let t2 = net.steady_state(&powers).unwrap()[big];
+            if p1 < p2 {
+                prop_assert!(t1 <= t2);
+            }
+        }
+
+        #[test]
+        fn prop_all_nodes_at_or_above_ambient(p in 0.0_f64..5.0, node in 0usize..4) {
+            let net = odroid_network();
+            let mut powers = vec![Watts::ZERO; net.len()];
+            powers[node] = Watts::new(p);
+            let ss = net.steady_state(&powers).unwrap();
+            for t in ss {
+                prop_assert!(t.value() >= net.ambient().value() - 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_substepping_is_consistent(dt in 0.01_f64..20.0) {
+            // One big step must land near many small steps.
+            let mut coarse = odroid_network();
+            let mut fine = odroid_network();
+            let big = coarse.node_index("big").unwrap();
+            let mut powers = vec![Watts::ZERO; coarse.len()];
+            powers[big] = Watts::new(3.0);
+            coarse.step(Seconds::new(dt), &powers).unwrap();
+            for _ in 0..100 {
+                fine.step(Seconds::new(dt / 100.0), &powers).unwrap();
+            }
+            for i in 0..coarse.len() {
+                prop_assert!(
+                    (coarse.temperature(i).value() - fine.temperature(i).value()).abs() < 0.5
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Energy quantities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{impl_f64_quantity, Seconds, Watts};
+
+/// Energy in joules.
+///
+/// Produced by integrating power over time; the DAQ substrate accumulates
+/// joules per rail so experiments can report energy as well as power.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_units::{Joules, Watts, Seconds};
+///
+/// let e = Watts::new(3.65) * Seconds::new(10.0);
+/// assert_eq!(e, Joules::new(36.5));
+/// assert_eq!(e.average_power(Seconds::new(10.0)), Watts::new(3.65));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Joules(f64);
+
+impl_f64_quantity!(Joules, "J");
+
+impl Joules {
+    /// The average power over a window of length `dt`.
+    ///
+    /// Returns [`Watts::ZERO`] for an empty window, so callers can fold an
+    /// incrementally built energy total without special-casing start-up.
+    #[must_use]
+    pub fn average_power(self, dt: Seconds) -> Watts {
+        if dt.value() <= 0.0 {
+            Watts::ZERO
+        } else {
+            Watts::new(self.0 / dt.value())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn average_power_of_empty_window_is_zero() {
+        assert_eq!(Joules::new(5.0).average_power(Seconds::ZERO), Watts::ZERO);
+    }
+
+    #[test]
+    fn integrating_then_averaging_recovers_power() {
+        let p = Watts::new(2.0);
+        let e = p * Seconds::new(4.0);
+        assert_eq!(e.average_power(Seconds::new(4.0)), p);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_energy_additivity(p in 0.0_f64..10.0, t1 in 0.001_f64..100.0, t2 in 0.001_f64..100.0) {
+            let whole = Watts::new(p) * Seconds::new(t1 + t2);
+            let split = Watts::new(p) * Seconds::new(t1) + Watts::new(p) * Seconds::new(t2);
+            prop_assert!((whole.value() - split.value()).abs() < 1e-9);
+        }
+    }
+}

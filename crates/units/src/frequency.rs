@@ -1,0 +1,242 @@
+//! Clock frequencies.
+//!
+//! Operating-point frequencies on mobile SoCs are discrete values published
+//! by the vendor (e.g. the Adreno 430 steps 180/305/390/450/510/600 MHz), so
+//! [`Hertz`] is backed by an integer: two operating points are either the
+//! same frequency or they are not, and frequencies are usable as map keys.
+
+use serde::{Deserialize, Serialize};
+
+/// A clock frequency in hertz, backed by `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_units::Hertz;
+///
+/// let f = Hertz::from_mhz(600);
+/// assert_eq!(f.as_mhz(), 600);
+/// assert_eq!(format!("{f}"), "600 MHz");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Hertz(u64);
+
+impl Hertz {
+    /// The zero frequency (a powered-off component).
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a frequency from a raw hertz count.
+    #[must_use]
+    pub const fn new(hz: u64) -> Self {
+        Self(hz)
+    }
+
+    /// Creates a frequency from a megahertz count.
+    #[must_use]
+    pub const fn from_mhz(mhz: u64) -> Self {
+        Self(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from a kilohertz count (the unit used by the
+    /// Linux cpufreq sysfs interface).
+    #[must_use]
+    pub const fn from_khz(khz: u64) -> Self {
+        Self(khz * 1_000)
+    }
+
+    /// Raw value in hertz.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Whole megahertz (truncating).
+    #[must_use]
+    pub const fn as_mhz(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole kilohertz (truncating), for sysfs-style interfaces.
+    #[must_use]
+    pub const fn as_khz(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Frequency as a floating-point hertz value, for power/cycle math.
+    #[must_use]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Cycles elapsed in `dt` seconds at this frequency.
+    #[must_use]
+    pub fn cycles_in(self, dt: crate::Seconds) -> f64 {
+        self.as_f64() * dt.value()
+    }
+
+    /// Returns the ratio `self / other` as a dimensionless `f64`.
+    ///
+    /// Returns 0.0 when `other` is zero.
+    #[must_use]
+    pub fn ratio_of(self, other: Self) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.as_f64() / other.as_f64()
+        }
+    }
+}
+
+impl core::fmt::Display for Hertz {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
+            write!(f, "{} MHz", self.as_mhz())
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{} kHz", self.as_khz())
+        } else {
+            write!(f, "{} Hz", self.0)
+        }
+    }
+}
+
+/// A frequency expressed in megahertz; a convenience wrapper for building
+/// OPP tables from vendor data sheets.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_units::{MegaHertz, Hertz};
+///
+/// assert_eq!(Hertz::from(MegaHertz::new(510)), Hertz::from_mhz(510));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct MegaHertz(u64);
+
+impl MegaHertz {
+    /// Creates a megahertz value.
+    #[must_use]
+    pub const fn new(mhz: u64) -> Self {
+        Self(mhz)
+    }
+
+    /// Raw megahertz count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<MegaHertz> for Hertz {
+    fn from(m: MegaHertz) -> Self {
+        Hertz::from_mhz(m.0)
+    }
+}
+
+impl core::fmt::Display for MegaHertz {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+/// A frequency expressed in kilohertz; the native unit of Linux cpufreq.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_units::{KiloHertz, Hertz};
+///
+/// assert_eq!(Hertz::from(KiloHertz::new(384_000)), Hertz::from_mhz(384));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct KiloHertz(u64);
+
+impl KiloHertz {
+    /// Creates a kilohertz value.
+    #[must_use]
+    pub const fn new(khz: u64) -> Self {
+        Self(khz)
+    }
+
+    /// Raw kilohertz count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<KiloHertz> for Hertz {
+    fn from(k: KiloHertz) -> Self {
+        Hertz::from_khz(k.0)
+    }
+}
+
+impl From<Hertz> for KiloHertz {
+    fn from(h: Hertz) -> Self {
+        KiloHertz::new(h.as_khz())
+    }
+}
+
+impl core::fmt::Display for KiloHertz {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} kHz", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Seconds;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mhz_khz_constructors_agree() {
+        assert_eq!(Hertz::from_mhz(960), Hertz::from_khz(960_000));
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Hertz::from_mhz(180).to_string(), "180 MHz");
+        assert_eq!(Hertz::from_khz(32).to_string(), "32 kHz");
+        assert_eq!(Hertz::new(7).to_string(), "7 Hz");
+    }
+
+    #[test]
+    fn cycles_in_window() {
+        // 600 MHz for 10 ms => 6 million cycles.
+        let c = Hertz::from_mhz(600).cycles_in(Seconds::new(0.01));
+        assert!((c - 6.0e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ratio_of_zero_is_zero() {
+        assert_eq!(Hertz::from_mhz(100).ratio_of(Hertz::ZERO), 0.0);
+    }
+
+    #[test]
+    fn frequencies_order() {
+        let mut opps = vec![Hertz::from_mhz(510), Hertz::from_mhz(180), Hertz::from_mhz(390)];
+        opps.sort();
+        assert_eq!(
+            opps,
+            vec![Hertz::from_mhz(180), Hertz::from_mhz(390), Hertz::from_mhz(510)]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ratio_inverse(a in 1_u64..5_000, b in 1_u64..5_000) {
+            let (fa, fb) = (Hertz::from_mhz(a), Hertz::from_mhz(b));
+            let product = fa.ratio_of(fb) * fb.ratio_of(fa);
+            prop_assert!((product - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Application and benchmark workload models.
+//!
+//! The paper evaluates on two kinds of workloads:
+//!
+//! - **Popular Android apps** on the Nexus 6P (Section III): Paper.io and
+//!   Stickman Hook (games), Amazon (shopping), Google Hangouts (video
+//!   conferencing) and Facebook (social) — modelled here as frame-based
+//!   demand generators with app-specific CPU/GPU per-frame costs, phases
+//!   and interaction patterns ([`apps`]).
+//! - **Benchmarks** on the Odroid-XU3 (Section IV): a 3DMark-style
+//!   two-part GPU benchmark (GT1/GT2), a Nenamark-style level benchmark
+//!   that terminates when the frame rate drops below a threshold, and
+//!   MiBench's `basicmath_large` as the power-hungry background task
+//!   ([`benchmarks`]). The basicmath kernels themselves (cubic roots,
+//!   integer square root, angle conversion) are ported for real in
+//!   [`mibench`] — the background load is genuinely computable, not a
+//!   placeholder.
+//!
+//! A [`Workload`] expresses per-tick *demand* (CPU cycles with a
+//! parallelism bound, GPU cycles, interaction events); the simulator
+//! allocates capacity and reports back what was *delivered*; the
+//! [`FramePipeline`] turns delivered cycles into completed frames and
+//! frame-rate statistics (median FPS — the paper's Tables I and II
+//! metric).
+
+pub mod apps;
+pub mod benchmarks;
+mod demand;
+pub mod mibench;
+mod pipeline;
+pub mod trace;
+
+pub use demand::{Demand, Workload};
+pub use pipeline::FramePipeline;

@@ -1,0 +1,69 @@
+//! The paper's Nexus 6P case study for one app: temperature profile
+//! (Figures 1/3/5) and GPU/CPU frequency residency (Figures 2/4/6), with
+//! and without the stock thermal governor.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example nexus_throttling [paper_io|stickman|amazon|hangouts|facebook]
+//! ```
+
+use std::collections::BTreeMap;
+
+use mobile_thermal::core::experiments::{nexus_run, NexusApp};
+use mobile_thermal::daq::chart;
+use mobile_thermal::units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "paper_io".to_owned());
+    let app = match which.as_str() {
+        "paper_io" => NexusApp::PaperIo,
+        "stickman" => NexusApp::StickmanHook,
+        "amazon" => NexusApp::Amazon,
+        "hangouts" => NexusApp::GoogleHangouts,
+        "facebook" => NexusApp::Facebook,
+        other => {
+            eprintln!("unknown app {other:?}; use paper_io|stickman|amazon|hangouts|facebook");
+            std::process::exit(2);
+        }
+    };
+
+    println!("running {} for 140 s, twice (throttling off / on)...", app.name());
+    let without = nexus_run(app, false, 42, Seconds::new(140.0))?;
+    let with = nexus_run(app, true, 42, Seconds::new(140.0))?;
+
+    println!("\nTemperature profile ({}):", app.name());
+    print!(
+        "{}",
+        chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14)
+    );
+    println!("          (* = without throttling, + = with throttling)");
+
+    let to_labels = |r: &mobile_thermal::daq::Residency| -> BTreeMap<String, f64> {
+        r.percentages()
+            .into_iter()
+            .map(|(f, pct)| (format!("{:>4} MHz", f.as_mhz()), pct))
+            .collect()
+    };
+
+    // CPU-heavy apps show the big-cluster residency (paper Fig. 6),
+    // GPU-heavy ones the GPU residency (paper Figs. 2/4).
+    let cpu_heavy = matches!(app, NexusApp::Amazon | NexusApp::GoogleHangouts);
+    let (res_free, res_thr, which_unit) = if cpu_heavy {
+        (&without.big_residency, &with.big_residency, "big-core")
+    } else {
+        (&without.gpu_residency, &with.gpu_residency, "GPU")
+    };
+    println!("\n{which_unit} frequency residency WITHOUT throttling:");
+    print!("{}", chart::bar_chart(&to_labels(res_free), 40));
+    println!("\n{which_unit} frequency residency WITH throttling:");
+    print!("{}", chart::bar_chart(&to_labels(res_thr), 40));
+
+    println!(
+        "\nmedian frame rate: {:.0} FPS -> {:.0} FPS ({:.0}% reduction)",
+        without.median_fps,
+        with.median_fps,
+        (without.median_fps - with.median_fps) / without.median_fps * 100.0
+    );
+    Ok(())
+}
