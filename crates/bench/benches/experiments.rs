@@ -18,8 +18,7 @@ fn short_odroid(proposed: bool) {
     let soc = platforms::exynos_5422();
     let mut builder = SimBuilder::new(soc.clone()).initial_temperature(Celsius::new(50.0));
     if proposed {
-        builder =
-            builder.system_policy(Box::new(AppAwareGovernor::new(AppAwareConfig::default())));
+        builder = builder.system_policy(Box::new(AppAwareGovernor::new(AppAwareConfig::default())));
     } else {
         builder = builder.thermal_governor(Box::new(IpaGovernor::new(
             IpaConfig {
@@ -35,7 +34,10 @@ fn short_odroid(proposed: bool) {
     }
     let mut sim = builder
         .attach_realtime(
-            Box::new(ThreeDMark::with_durations(Seconds::new(5.0), Seconds::new(5.0))),
+            Box::new(ThreeDMark::with_durations(
+                Seconds::new(5.0),
+                Seconds::new(5.0),
+            )),
             ProcessClass::Foreground,
             ComponentId::BigCluster,
         )

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  window {:>6.1} ms -> first victim {:<16} ({})",
             r.window.as_millis(),
             r.first_victim,
-            if r.victim_correct { "correct" } else { "fooled by the burst" }
+            if r.victim_correct {
+                "correct"
+            } else {
+                "fooled by the burst"
+            }
         );
     }
 

@@ -4,9 +4,19 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "repro_fig1", "repro_fig2", "repro_fig3", "repro_fig4", "repro_fig5",
-        "repro_fig6", "repro_table1", "repro_fig7", "repro_fig8", "repro_fig9",
-        "repro_table2", "repro_ablations", "repro_advisor",
+        "repro_fig1",
+        "repro_fig2",
+        "repro_fig3",
+        "repro_fig4",
+        "repro_fig5",
+        "repro_fig6",
+        "repro_table1",
+        "repro_fig7",
+        "repro_fig8",
+        "repro_fig9",
+        "repro_table2",
+        "repro_ablations",
+        "repro_advisor",
     ];
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("exe dir");

@@ -8,7 +8,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let without = nexus_run(NexusApp::PaperIo, false, 42, Seconds::new(140.0))?;
     let with = nexus_run(NexusApp::PaperIo, true, 42, Seconds::new(140.0))?;
     println!("Fig. 1: Temperature profile for Paper.io game\n");
-    println!("{}", mpt_daq::chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14));
+    println!(
+        "{}",
+        mpt_daq::chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14)
+    );
     println!("          (* = without throttling, + = with throttling)");
     let _ = format_nexus_figure;
     Ok(())

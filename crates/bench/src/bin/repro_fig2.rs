@@ -8,8 +8,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let without = nexus_run(NexusApp::PaperIo, false, 42, Seconds::new(140.0))?;
     let with = nexus_run(NexusApp::PaperIo, true, 42, Seconds::new(140.0))?;
     println!("Fig. 2: Usage of GPU frequencies in the Paper.io game\n");
-    print!("{}", format_residency("without throttling:", &without.gpu_residency));
+    print!(
+        "{}",
+        format_residency("without throttling:", &without.gpu_residency)
+    );
     println!();
-    print!("{}", format_residency("with throttling:", &with.gpu_residency));
+    print!(
+        "{}",
+        format_residency("with throttling:", &with.gpu_residency)
+    );
     Ok(())
 }

@@ -7,7 +7,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let without = nexus_run(NexusApp::StickmanHook, false, 43, Seconds::new(140.0))?;
     let with = nexus_run(NexusApp::StickmanHook, true, 43, Seconds::new(140.0))?;
     println!("Fig. 3: Temperature profile for Stickman Hook game\n");
-    println!("{}", mpt_daq::chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14));
+    println!(
+        "{}",
+        mpt_daq::chart::line_chart(&[&without.package_temp, &with.package_temp], 70, 14)
+    );
     println!("          (* = without throttling, + = with throttling)");
     Ok(())
 }

@@ -8,8 +8,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let without = nexus_run(NexusApp::StickmanHook, false, 43, Seconds::new(140.0))?;
     let with = nexus_run(NexusApp::StickmanHook, true, 43, Seconds::new(140.0))?;
     println!("Fig. 4: Usage of GPU frequencies in the Stickman Hook game\n");
-    print!("{}", format_residency("without throttling:", &without.gpu_residency));
+    print!(
+        "{}",
+        format_residency("without throttling:", &without.gpu_residency)
+    );
     println!();
-    print!("{}", format_residency("with throttling:", &with.gpu_residency));
+    print!(
+        "{}",
+        format_residency("with throttling:", &with.gpu_residency)
+    );
     Ok(())
 }

@@ -8,8 +8,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let without = nexus_run(NexusApp::Amazon, false, 44, Seconds::new(140.0))?;
     let with = nexus_run(NexusApp::Amazon, true, 44, Seconds::new(140.0))?;
     println!("Fig. 6: Usage of big core frequencies in the Amazon app\n");
-    print!("{}", format_residency("without throttling:", &without.big_residency));
+    print!(
+        "{}",
+        format_residency("without throttling:", &without.big_residency)
+    );
     println!();
-    print!("{}", format_residency("with throttling:", &with.big_residency));
+    print!(
+        "{}",
+        format_residency("with throttling:", &with.big_residency)
+    );
     Ok(())
 }

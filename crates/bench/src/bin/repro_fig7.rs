@@ -24,7 +24,11 @@ fn main() {
             }
             Stability::Runaway => "no fixed points (thermal runaway)".to_owned(),
         };
-        println!("{} Total Power = {:.1} W -> {class}", curve.label, curve.power.value());
+        println!(
+            "{} Total Power = {:.1} W -> {class}",
+            curve.label,
+            curve.power.value()
+        );
         print!("{}", mpt_daq::chart::line_chart(&[&ts], 70, 12));
         println!("          x-axis: auxiliary temperature theta = beta/T (increasing = cooler)\n");
     }

@@ -7,6 +7,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("regenerating Table I (10 runs of 140 s)...\n");
     let rows = table1(42)?;
     print!("{}", format_table1(&rows));
-    println!("\npaper reference: 35->23 (34%), 59->40 (32%), 35->28 (20%), 42->38 (10%), 35->24 (31%)");
+    println!(
+        "\npaper reference: 35->23 (34%), 59->40 (32%), 35->28 (20%), 42->38 (10%), 35->24 (31%)"
+    );
     Ok(())
 }

@@ -1,24 +1,84 @@
-//! Runs a JSON-defined scenario (see `mpt_core::scenario`) and prints the
-//! outcome.
+//! Runs a JSON-defined scenario or campaign (see `mpt_core::scenario`)
+//! and prints the outcome.
 //!
 //! ```sh
+//! # One scenario:
 //! cargo run --release -p mpt-bench --bin run_scenario -- scenarios/odroid_proposed.json
+//!
+//! # A campaign (sweep grid) on 4 worker threads:
+//! cargo run --release -p mpt-bench --bin run_scenario -- \
+//!     --campaign scenarios/odroid_policy_sweep.campaign.json --jobs 4
 //! ```
 
 use std::io::Read;
 
+use mpt_core::campaign::run_campaign_json;
 use mpt_core::scenario::run_scenario_json;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let json = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)?,
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\nWith no file, a scenario is read from stdin. --jobs 0 (the default)\nuses one worker thread per CPU."
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    path: Option<String>,
+    campaign: bool,
+    jobs: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        path: None,
+        campaign: false,
+        jobs: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--campaign" => args.campaign = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                args.jobs = n;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => {
+                if args.path.replace(other.to_owned()).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+    args
+}
+
+fn read_input(path: Option<&str>) -> std::io::Result<String> {
+    match path {
+        Some(path) => std::fs::read_to_string(path),
         None => {
             let mut buf = String::new();
             std::io::stdin().read_to_string(&mut buf)?;
-            buf
+            Ok(buf)
         }
-    };
-    let outcome = run_scenario_json(&json)?;
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let json = read_input(args.path.as_deref())?;
+    if args.campaign {
+        run_campaign_cli(&json, args.jobs)
+    } else {
+        run_scenario_cli(&json)
+    }
+}
+
+fn run_scenario_cli(json: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let outcome = run_scenario_json(json)?;
     println!("peak temperature : {:.1} C", outcome.peak_temperature_c);
     println!("average power    : {:.2} W", outcome.average_power_w);
     println!("energy           : {:.1} J", outcome.energy_j);
@@ -26,12 +86,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nworkloads:");
     for w in &outcome.workloads {
         match w.median_fps {
-            Some(fps) => println!("  {:<20} {:>6.1} FPS  (on {})", w.name, fps, w.final_cluster),
+            Some(fps) => println!(
+                "  {:<20} {:>6.1} FPS  (on {})",
+                w.name, fps, w.final_cluster
+            ),
             None => println!("  {:<20} {:>10}  (on {})", w.name, "-", w.final_cluster),
         }
     }
     if !outcome.events.is_empty() {
         println!("\nevents:\n{}", outcome.events.trim_end());
     }
+    Ok(())
+}
+
+fn run_campaign_cli(json: &str, jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let report = run_campaign_json(json, jobs)?;
+    println!(
+        "{:<52} {:>9} {:>9} {:>9} {:>6}",
+        "cell", "peak C", "avg W", "J", "migr"
+    );
+    println!("{}", "-".repeat(90));
+    for cell in &report.cells {
+        println!(
+            "{:<52} {:>9.1} {:>9.2} {:>9.1} {:>6}",
+            cell.label,
+            cell.outcome.peak_temperature_c,
+            cell.outcome.average_power_w,
+            cell.outcome.energy_j,
+            cell.outcome.migrations,
+        );
+    }
+    println!("{}", "-".repeat(90));
+    let row = |name: &str, s: &mpt_core::campaign::SummaryStats| {
+        println!(
+            "{name:<18} min {:>8.2}   median {:>8.2}   mean {:>8.2}   p95 {:>8.2}   max {:>8.2}",
+            s.min, s.median, s.mean, s.p95, s.max
+        );
+    };
+    row("peak temp [C]", &report.peak_temperature_c);
+    row("avg power [W]", &report.average_power_w);
+    row("energy [J]", &report.energy_j);
+    println!(
+        "\n{} cells in {:.2} s wall clock ({})",
+        report.cells.len(),
+        report.wall_clock_s,
+        if jobs == 0 {
+            "one worker per CPU".to_owned()
+        } else {
+            format!("{jobs} worker{}", if jobs == 1 { "" } else { "s" })
+        }
+    );
     Ok(())
 }

@@ -30,9 +30,7 @@ use mpt_core::experiments::{NexusRun, Table1Row, Table2};
 #[must_use]
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "TABLE I: Median frame rate achieved while running popular Android apps\n",
-    );
+    out.push_str("TABLE I: Median frame rate achieved while running popular Android apps\n");
     out.push_str(&format!(
         "{:<16} {:>18} {:>16} {:>22}\n",
         "App", "Without Throttling", "With Throttling", "Percentage Reduction"
@@ -60,11 +58,17 @@ pub fn format_table2(t: &Table2) -> String {
     ));
     out.push_str(&format!(
         "{:<14} {:>8} FPS {:>8} FPS {:>24} FPS\n",
-        "3DMark GT1", format!("{:.0}", t.gt1[0]), format!("{:.0}", t.gt1[1]), format!("{:.0}", t.gt1[2])
+        "3DMark GT1",
+        format!("{:.0}", t.gt1[0]),
+        format!("{:.0}", t.gt1[1]),
+        format!("{:.0}", t.gt1[2])
     ));
     out.push_str(&format!(
         "{:<14} {:>8} FPS {:>8} FPS {:>24} FPS\n",
-        "3DMark GT2", format!("{:.0}", t.gt2[0]), format!("{:.0}", t.gt2[1]), format!("{:.0}", t.gt2[2])
+        "3DMark GT2",
+        format!("{:.0}", t.gt2[0]),
+        format!("{:.0}", t.gt2[1]),
+        format!("{:.0}", t.gt2[2])
     ));
     out.push_str(&format!(
         "{:<14} {:>6} levels {:>6} levels {:>22} levels\n",
@@ -100,16 +104,25 @@ pub fn format_nexus_figure(without: &NexusRun, with: &NexusRun, gpu: bool) -> St
     ));
     out.push_str("          (* = without throttling, + = with throttling)\n\n");
     if gpu {
-        out.push_str(&format_residency("GPU residency, no throttling:", &without.gpu_residency));
+        out.push_str(&format_residency(
+            "GPU residency, no throttling:",
+            &without.gpu_residency,
+        ));
         out.push('\n');
-        out.push_str(&format_residency("GPU residency, throttling:", &with.gpu_residency));
+        out.push_str(&format_residency(
+            "GPU residency, throttling:",
+            &with.gpu_residency,
+        ));
     } else {
         out.push_str(&format_residency(
             "big-core residency, no throttling:",
             &without.big_residency,
         ));
         out.push('\n');
-        out.push_str(&format_residency("big-core residency, throttling:", &with.big_residency));
+        out.push_str(&format_residency(
+            "big-core residency, throttling:",
+            &with.big_residency,
+        ));
     }
     out
 }
@@ -147,7 +160,10 @@ mod tests {
     #[test]
     fn residency_formatting_renders_bars() {
         let mut r = mpt_daq::Residency::new();
-        r.record(mpt_units::Hertz::from_mhz(390), mpt_units::Seconds::new(1.0));
+        r.record(
+            mpt_units::Hertz::from_mhz(390),
+            mpt_units::Seconds::new(1.0),
+        );
         let s = format_residency("t", &r);
         assert!(s.contains("390 MHz"));
         assert!(s.contains('#'));

@@ -40,12 +40,7 @@ fn scaled(spec: &AppSpec, scale: f64) -> AppSpec {
 /// Probes one complexity scale: run briefly, then predict the
 /// steady-state temperature from the measured power with the lumped
 /// analysis. Returns `(predicted steady temp, median fps)`.
-fn probe(
-    soc: &Platform,
-    spec: &AppSpec,
-    scale: f64,
-    seed: u64,
-) -> Result<(Option<Kelvin>, f64)> {
+fn probe(soc: &Platform, spec: &AppSpec, scale: f64, seed: u64) -> Result<(Option<Kelvin>, f64)> {
     let mut sim = SimBuilder::new(soc.clone())
         .attach(
             Box::new(AppModel::new(&scaled(spec, scale), seed)),
@@ -73,7 +68,7 @@ fn probe(
     }
     let (hot, _) = sim.network().hottest();
     let lumped = sim.network().reduce(&node_powers, hot, leak_gain, beta)?;
-    let pid = sim.pid_of(&spec.name.to_string()).expect("app attached");
+    let pid = sim.pid_of(spec.name).expect("app attached");
     Ok((
         lumped.steady_state_temperature(p_dyn),
         sim.median_fps(pid).unwrap_or(0.0),
@@ -113,11 +108,7 @@ fn probe(
 /// );
 /// # Ok::<(), mpt_sim::SimError>(())
 /// ```
-pub fn sustainable_complexity(
-    spec: &AppSpec,
-    trip: Celsius,
-    seed: u64,
-) -> Result<AdvisorReport> {
+pub fn sustainable_complexity(spec: &AppSpec, trip: Celsius, seed: u64) -> Result<AdvisorReport> {
     let soc = platforms::snapdragon_810();
     let limit = trip.to_kelvin();
     let (full_temp, fps_at_full) = probe(&soc, spec, 1.0, seed)?;
@@ -146,8 +137,7 @@ pub fn sustainable_complexity(
         sustainable_scale: lo,
         fps_at_full,
         fps_at_sustainable: fps,
-        steady_temp: temp
-            .map_or(Celsius::new(f64::NAN), Kelvin::to_celsius),
+        steady_temp: temp.map_or(Celsius::new(f64::NAN), Kelvin::to_celsius),
     })
 }
 
@@ -179,7 +169,11 @@ mod tests {
             report.sustainable_scale
         );
         assert!(report.sustainable_scale > 0.05);
-        assert!(report.steady_temp.value() <= 41.5, "steady {}", report.steady_temp);
+        assert!(
+            report.steady_temp.value() <= 41.5,
+            "steady {}",
+            report.steady_temp
+        );
         let _ = apps::paper_io(1);
     }
 

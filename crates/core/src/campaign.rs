@@ -1,0 +1,328 @@
+//! Parallel scenario-campaign execution.
+//!
+//! A [`CampaignSpec`] expands into a grid of scenarios (cells); this
+//! module runs the cells on a scoped thread pool and aggregates their
+//! outcomes into a [`CampaignReport`]. Simulators are built *inside* the
+//! worker threads (a [`Simulator`](mpt_sim::Simulator) is not `Send`),
+//! and every cell's seed is fixed at expansion time, so the report is
+//! bit-identical whatever the worker count:
+//!
+//! ```
+//! use mpt_core::campaign::run_campaign;
+//! use mpt_core::scenario::{
+//!     CampaignSpec, ClusterSpec, PlatformSpec, ScenarioSpec, SweepAxes,
+//!     ThermalPolicySpec, WorkloadKind, WorkloadSpec,
+//! };
+//!
+//! let spec = CampaignSpec {
+//!     base: ScenarioSpec {
+//!         platform: PlatformSpec::Exynos5422,
+//!         duration_s: 1.0,
+//!         initial_temperature_c: Some(50.0),
+//!         thermal: ThermalPolicySpec::Disabled,
+//!         app_aware: None,
+//!         workloads: vec![WorkloadSpec {
+//!             kind: WorkloadKind::BasicMath,
+//!             cluster: ClusterSpec::Big,
+//!             foreground: false,
+//!             realtime: false,
+//!             seed: 0,
+//!         }],
+//!     },
+//!     sweep: SweepAxes {
+//!         initial_temperatures_c: vec![35.0, 50.0],
+//!         ..SweepAxes::default()
+//!     },
+//!     seed: 0,
+//! };
+//! let report = run_campaign(&spec, 2)?;
+//! assert_eq!(report.cells.len(), 2);
+//! # Ok::<(), mpt_sim::SimError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use mpt_daq::stats;
+use mpt_sim::Result;
+
+use crate::scenario::{self, CampaignCell, CampaignSpec, ScenarioOutcome};
+
+/// Runs `count` independent jobs on up to `jobs` scoped worker threads
+/// and returns their results in index order.
+///
+/// `jobs == 0` means one worker per available CPU. Work is handed out
+/// through a shared counter, so threads never contend for more than an
+/// index increment; results land in their own slots, so the output order
+/// (and therefore any downstream aggregation) is independent of thread
+/// scheduling.
+///
+/// This is the escape hatch the experiment drivers use for grids that
+/// need richer products than [`ScenarioOutcome`] (time series,
+/// residencies, downcast benchmark scores).
+pub fn run_parallel<T, F>(count: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_jobs(jobs).min(count.max(1));
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    let slots = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = run(i);
+                slots.lock().expect("result mutex is never poisoned")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result mutex is never poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index was executed"))
+        .collect()
+}
+
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// Five-number summary (plus mean/standard deviation) of one metric
+/// across a campaign's cells, computed with [`mpt_daq::stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Smallest cell value.
+    pub min: f64,
+    /// Median across cells.
+    pub median: f64,
+    /// Mean across cells.
+    pub mean: f64,
+    /// 95th percentile across cells.
+    pub p95: f64,
+    /// Largest cell value.
+    pub max: f64,
+    /// Population standard deviation across cells.
+    pub std_dev: f64,
+}
+
+impl SummaryStats {
+    fn of(values: &[f64]) -> Self {
+        Self {
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            median: stats::median(values).unwrap_or(f64::NAN),
+            mean: stats::mean(values).unwrap_or(f64::NAN),
+            p95: stats::percentile(values, 95.0).unwrap_or(f64::NAN),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std_dev: stats::std_dev(values).unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// One executed campaign cell: the expansion metadata plus the scenario
+/// outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Position in the expansion order.
+    pub index: usize,
+    /// The cell's axis-value label.
+    pub label: String,
+    /// The seed mixed into the cell's workloads.
+    pub seed: u64,
+    /// The scenario outcome.
+    pub outcome: ScenarioOutcome,
+}
+
+/// The results of a campaign: per-cell outcomes (in expansion order,
+/// independent of worker count) and aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Every cell, in expansion order.
+    pub cells: Vec<CellOutcome>,
+    /// Peak-temperature summary across cells.
+    pub peak_temperature_c: SummaryStats,
+    /// Average-power summary across cells.
+    pub average_power_w: SummaryStats,
+    /// Energy summary across cells.
+    pub energy_j: SummaryStats,
+    /// Wall-clock execution time in seconds. Excluded from nothing but
+    /// comparisons: compare [`cells`](Self::cells) when checking
+    /// determinism across worker counts.
+    pub wall_clock_s: f64,
+}
+
+/// Runs every expanded cell of a campaign on up to `jobs` worker threads
+/// (`0` = one per CPU).
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`](mpt_sim::SimError::InvalidConfig) for a
+/// malformed campaign or cell; the first failing cell's error otherwise.
+pub fn run_campaign(spec: &CampaignSpec, jobs: usize) -> Result<CampaignReport> {
+    run_cells(&spec.expand()?, jobs)
+}
+
+/// Runs pre-expanded campaign cells — the entry point for callers that
+/// build or filter the grid themselves.
+///
+/// # Errors
+///
+/// The first failing cell's error, by expansion order.
+pub fn run_cells(cells: &[CampaignCell], jobs: usize) -> Result<CampaignReport> {
+    let start = std::time::Instant::now();
+    let results = run_parallel(cells.len(), jobs, |i| {
+        scenario::run_scenario(&cells[i].scenario)
+    });
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for (cell, result) in cells.iter().zip(results) {
+        outcomes.push(CellOutcome {
+            index: cell.index,
+            label: cell.label.clone(),
+            seed: cell.seed,
+            outcome: result?,
+        });
+    }
+    let metric = |f: fn(&ScenarioOutcome) -> f64| {
+        SummaryStats::of(&outcomes.iter().map(|c| f(&c.outcome)).collect::<Vec<_>>())
+    };
+    Ok(CampaignReport {
+        peak_temperature_c: metric(|o| o.peak_temperature_c),
+        average_power_w: metric(|o| o.average_power_w),
+        energy_j: metric(|o| o.energy_j),
+        wall_clock_s: start.elapsed().as_secs_f64(),
+        cells: outcomes,
+    })
+}
+
+/// Parses a JSON campaign and runs it.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`](mpt_sim::SimError::InvalidConfig) if the
+/// JSON does not parse; otherwise as [`run_campaign`].
+pub fn run_campaign_json(json: &str, jobs: usize) -> Result<CampaignReport> {
+    let spec: CampaignSpec =
+        serde_json::from_str(json).map_err(|e| mpt_sim::SimError::InvalidConfig {
+            reason: format!("bad campaign json: {e}"),
+        })?;
+    run_campaign(&spec, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{
+        ClusterSpec, PlatformSpec, ScenarioSpec, SweepAxes, ThermalPolicySpec, WorkloadKind,
+        WorkloadSpec,
+    };
+
+    fn small_campaign() -> CampaignSpec {
+        CampaignSpec {
+            base: ScenarioSpec {
+                platform: PlatformSpec::Exynos5422,
+                duration_s: 2.0,
+                initial_temperature_c: Some(50.0),
+                thermal: ThermalPolicySpec::Disabled,
+                app_aware: None,
+                workloads: vec![WorkloadSpec {
+                    kind: WorkloadKind::BasicMath,
+                    cluster: ClusterSpec::Big,
+                    foreground: false,
+                    realtime: false,
+                    seed: 0,
+                }],
+            },
+            sweep: SweepAxes {
+                platforms: vec![PlatformSpec::Exynos5422, PlatformSpec::Snapdragon810],
+                initial_temperatures_c: vec![35.0, 50.0],
+                ..SweepAxes::default()
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_parallel_preserves_index_order() {
+        let out = run_parallel(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_zero_jobs_uses_available_cpus() {
+        let out = run_parallel(3, 0, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product() {
+        let spec = small_campaign();
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells.len(), spec.sweep.cell_count());
+        assert!(cells[0].label.contains("platform=exynos5422"));
+        assert!(cells[0].label.contains("ambient=35C"));
+        assert!(cells[3].label.contains("platform=snapdragon810"));
+        assert!(cells[3].label.contains("ambient=50C"));
+        // A nonzero campaign seed decorrelates the cells.
+        let seeds: std::collections::BTreeSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn zero_seed_keeps_workload_seeds() {
+        let mut spec = small_campaign();
+        spec.seed = 0;
+        spec.base.workloads[0].seed = 42;
+        let cells = spec.expand().unwrap();
+        assert!(cells.iter().all(|c| c.seed == 0));
+        assert!(cells.iter().all(|c| c.scenario.workloads[0].seed == 42));
+    }
+
+    #[test]
+    fn trips_sweep_requires_step_wise() {
+        let mut spec = small_campaign();
+        spec.sweep.trips_c = vec![vec![40.0, 43.0]];
+        assert!(spec.expand().is_err());
+        spec.base.thermal = ThermalPolicySpec::StepWise {
+            trips_c: vec![45.0],
+            period_s: 1.0,
+        };
+        let cells = spec.expand().unwrap();
+        assert!(cells.iter().all(|c| matches!(
+            &c.scenario.thermal,
+            ThermalPolicySpec::StepWise { trips_c, .. } if trips_c == &vec![40.0, 43.0]
+        )));
+    }
+
+    #[test]
+    fn report_is_identical_across_worker_counts() {
+        let spec = small_campaign();
+        let serial = run_campaign(&spec, 1).unwrap();
+        let parallel = run_campaign(&spec, 4).unwrap();
+        assert_eq!(serial.cells, parallel.cells);
+        assert_eq!(serial.peak_temperature_c, parallel.peak_temperature_c);
+        assert_eq!(serial.cells.len(), 4);
+        assert!(serial.peak_temperature_c.max >= serial.peak_temperature_c.min);
+        assert!(serial.average_power_w.mean > 0.0);
+    }
+
+    #[test]
+    fn campaign_spec_round_trips_through_json() {
+        let spec = small_campaign();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

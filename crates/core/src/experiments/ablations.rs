@@ -34,67 +34,58 @@ pub struct WindowAblation {
 ///
 /// Propagates simulator errors.
 pub fn window_ablation(windows: &[Seconds]) -> Result<Vec<WindowAblation>> {
-    windows
-        .iter()
-        .map(|&window| {
-            let gov = AppAwareGovernor::new(AppAwareConfig::default());
-            let stats = gov.stats();
-            let mut sim = SimBuilder::new(platforms::exynos_5422())
-                .accounting_window(window)
-                .attach_realtime(
-                    Box::new(ThreeDMark::with_durations(
-                        Seconds::new(60.0),
-                        Seconds::new(60.0),
-                    )),
-                    ProcessClass::Foreground,
-                    ComponentId::BigCluster,
-                )
-                .attach(
-                    Box::new(BasicMathLarge::new()),
-                    ProcessClass::Background,
-                    ComponentId::BigCluster,
-                )
-                .attach(
-                    Box::new(BurstyCompute::new(
-                        "bursty-decoy",
-                        Seconds::new(0.12),
-                        Seconds::new(0.88),
-                    )),
-                    ProcessClass::Background,
-                    ComponentId::BigCluster,
-                )
-                .system_policy(Box::new(gov))
-                .initial_temperature(Celsius::new(75.0))
-                .build()?;
-            sim.run_until(|_| stats.migrations() >= 1, Seconds::new(60.0))?;
-            let bml = sim.pid_of("basicmath_large").expect("bml attached");
-            let decoy = sim.pid_of("bursty-decoy").expect("decoy attached");
-            let first_victim = if sim
-                .scheduler()
-                .process(bml)
-                .expect("bml")
-                .cluster()
-                == ComponentId::LittleCluster
-            {
+    crate::campaign::run_parallel(windows.len(), 0, |i| {
+        let window = windows[i];
+        let gov = AppAwareGovernor::new(AppAwareConfig::default());
+        let stats = gov.stats();
+        let mut sim = SimBuilder::new(platforms::exynos_5422())
+            .accounting_window(window)
+            .attach_realtime(
+                Box::new(ThreeDMark::with_durations(
+                    Seconds::new(60.0),
+                    Seconds::new(60.0),
+                )),
+                ProcessClass::Foreground,
+                ComponentId::BigCluster,
+            )
+            .attach(
+                Box::new(BasicMathLarge::new()),
+                ProcessClass::Background,
+                ComponentId::BigCluster,
+            )
+            .attach(
+                Box::new(BurstyCompute::new(
+                    "bursty-decoy",
+                    Seconds::new(0.12),
+                    Seconds::new(0.88),
+                )),
+                ProcessClass::Background,
+                ComponentId::BigCluster,
+            )
+            .system_policy(Box::new(gov))
+            .initial_temperature(Celsius::new(75.0))
+            .build()?;
+        sim.run_until(|_| stats.migrations() >= 1, Seconds::new(60.0))?;
+        let bml = sim.pid_of("basicmath_large").expect("bml attached");
+        let decoy = sim.pid_of("bursty-decoy").expect("decoy attached");
+        let first_victim =
+            if sim.scheduler().process(bml).expect("bml").cluster() == ComponentId::LittleCluster {
                 "basicmath_large".to_owned()
-            } else if sim
-                .scheduler()
-                .process(decoy)
-                .expect("decoy")
-                .cluster()
+            } else if sim.scheduler().process(decoy).expect("decoy").cluster()
                 == ComponentId::LittleCluster
             {
                 "bursty-decoy".to_owned()
             } else {
                 "(none)".to_owned()
             };
-            Ok(WindowAblation {
-                window,
-                victim_correct: first_victim == "basicmath_large",
-                first_victim,
-            })
+        Ok(WindowAblation {
+            window,
+            victim_correct: first_victim == "basicmath_large",
+            first_victim,
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Outcome of one governor-period ablation run.
@@ -115,31 +106,29 @@ pub struct PeriodAblation {
 ///
 /// Propagates simulator errors.
 pub fn period_ablation(periods: &[Seconds]) -> Result<Vec<PeriodAblation>> {
-    periods
-        .iter()
-        .map(|&period| {
-            let gov = AppAwareGovernor::new(AppAwareConfig {
-                period,
-                ..AppAwareConfig::default()
-            });
-            let stats = gov.stats();
-            let mut sim = bml_scenario(Box::new(gov))?;
-            let mut first_migration = None;
-            while sim.time() < Seconds::new(120.0) {
-                sim.step()?;
-                if first_migration.is_none() && stats.migrations() >= 1 {
-                    first_migration = Some(sim.time());
-                }
+    crate::campaign::run_parallel(periods.len(), 0, |i| {
+        let period = periods[i];
+        let gov = AppAwareGovernor::new(AppAwareConfig {
+            period,
+            ..AppAwareConfig::default()
+        });
+        let stats = gov.stats();
+        let mut sim = bml_scenario(Box::new(gov))?;
+        let mut first_migration = None;
+        while sim.time() < Seconds::new(120.0) {
+            sim.step()?;
+            if first_migration.is_none() && stats.migrations() >= 1 {
+                first_migration = Some(sim.time());
             }
-            Ok(PeriodAblation {
-                period,
-                first_migration,
-                peak: Celsius::new(
-                    sim.telemetry().max_temperature().max().unwrap_or(f64::NAN),
-                ),
-            })
+        }
+        Ok(PeriodAblation {
+            period,
+            first_migration,
+            peak: Celsius::new(sim.telemetry().max_temperature().max().unwrap_or(f64::NAN)),
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Outcome of one throttling-mechanism ablation run.
@@ -164,33 +153,31 @@ pub struct ActionAblation {
 ///
 /// Propagates simulator errors.
 pub fn action_ablation() -> Result<Vec<ActionAblation>> {
-    [ThrottleAction::MigrateToLittle, ThrottleAction::CapBigCluster]
-        .into_iter()
-        .map(|action| {
-            let gov = AppAwareGovernor::new(AppAwareConfig {
-                action,
-                ..AppAwareConfig::default()
-            });
-            let mut sim = bml_scenario(Box::new(gov))?;
-            sim.run_for(Seconds::new(120.0))?;
-            let gt = sim.pid_of("3DMark").expect("3dmark attached");
-            let bml = sim.pid_of("basicmath_large").expect("bml attached");
-            let bench = sim
-                .workload_as::<ThreeDMark>(gt)
-                .expect("3dmark type");
-            let bml_w = sim
-                .workload_as::<BasicMathLarge>(bml)
-                .expect("bml type");
-            Ok(ActionAblation {
-                action,
-                gt1: bench.gt1_fps().unwrap_or(0.0),
-                bml_iterations: bml_w.iterations(),
-                peak: Celsius::new(
-                    sim.telemetry().max_temperature().max().unwrap_or(f64::NAN),
-                ),
-            })
+    let actions = [
+        ThrottleAction::MigrateToLittle,
+        ThrottleAction::CapBigCluster,
+    ];
+    crate::campaign::run_parallel(actions.len(), 0, |i| {
+        let action = actions[i];
+        let gov = AppAwareGovernor::new(AppAwareConfig {
+            action,
+            ..AppAwareConfig::default()
+        });
+        let mut sim = bml_scenario(Box::new(gov))?;
+        sim.run_for(Seconds::new(120.0))?;
+        let gt = sim.pid_of("3DMark").expect("3dmark attached");
+        let bml = sim.pid_of("basicmath_large").expect("bml attached");
+        let bench = sim.workload_as::<ThreeDMark>(gt).expect("3dmark type");
+        let bml_w = sim.workload_as::<BasicMathLarge>(bml).expect("bml type");
+        Ok(ActionAblation {
+            action,
+            gt1: bench.gt1_fps().unwrap_or(0.0),
+            bml_iterations: bml_w.iterations(),
+            peak: Celsius::new(sim.telemetry().max_temperature().max().unwrap_or(f64::NAN)),
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Outcome of one horizon ablation run.
@@ -212,31 +199,29 @@ pub struct HorizonAblation {
 ///
 /// Propagates simulator errors.
 pub fn horizon_ablation(horizons: &[Seconds]) -> Result<Vec<HorizonAblation>> {
-    horizons
-        .iter()
-        .map(|&horizon| {
-            let gov = AppAwareGovernor::new(AppAwareConfig {
-                horizon,
-                ..AppAwareConfig::default()
-            });
-            let stats = gov.stats();
-            let mut sim = bml_scenario(Box::new(gov))?;
-            let mut first_migration = None;
-            while sim.time() < Seconds::new(120.0) {
-                sim.step()?;
-                if first_migration.is_none() && stats.migrations() >= 1 {
-                    first_migration = Some(sim.time());
-                }
+    crate::campaign::run_parallel(horizons.len(), 0, |i| {
+        let horizon = horizons[i];
+        let gov = AppAwareGovernor::new(AppAwareConfig {
+            horizon,
+            ..AppAwareConfig::default()
+        });
+        let stats = gov.stats();
+        let mut sim = bml_scenario(Box::new(gov))?;
+        let mut first_migration = None;
+        while sim.time() < Seconds::new(120.0) {
+            sim.step()?;
+            if first_migration.is_none() && stats.migrations() >= 1 {
+                first_migration = Some(sim.time());
             }
-            Ok(HorizonAblation {
-                horizon,
-                first_migration,
-                peak: Celsius::new(
-                    sim.telemetry().max_temperature().max().unwrap_or(f64::NAN),
-                ),
-            })
+        }
+        Ok(HorizonAblation {
+            horizon,
+            first_migration,
+            peak: Celsius::new(sim.telemetry().max_temperature().max().unwrap_or(f64::NAN)),
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 fn bml_scenario(policy: Box<dyn mpt_sim::SystemPolicy>) -> Result<Simulator> {
@@ -282,7 +267,9 @@ pub struct PredictionRow {
 pub fn prediction_accuracy(powers: &[Watts]) -> mpt_thermal::Result<Vec<PredictionRow>> {
     let soc = platforms::exynos_5422();
     let spec = soc.thermal_spec();
-    let big_node = spec.node_for_component(ComponentId::BigCluster).expect("big node");
+    let big_node = spec
+        .node_for_component(ComponentId::BigCluster)
+        .expect("big node");
     let big = soc.component(ComponentId::BigCluster).expect("big cluster");
     let leak = big.power_params().leakage();
     let v = big.opps().highest().voltage();
@@ -292,7 +279,12 @@ pub fn prediction_accuracy(powers: &[Watts]) -> mpt_thermal::Result<Vec<Predicti
             let net = RcNetwork::from_spec(spec)?;
             let mut node_powers = vec![Watts::ZERO; net.len()];
             node_powers[big_node] = p;
-            let lumped = net.reduce(&node_powers, big_node, leak.alpha() * v.value(), leak.beta())?;
+            let lumped = net.reduce(
+                &node_powers,
+                big_node,
+                leak.alpha() * v.value(),
+                leak.beta(),
+            )?;
             let predicted = lumped.steady_state_temperature(p).map(Kelvin::to_celsius);
             // Ground truth: integrate the network with leakage feedback
             // until it settles (or detect runaway).
@@ -314,7 +306,11 @@ pub fn prediction_accuracy(powers: &[Watts]) -> mpt_thermal::Result<Vec<Predicti
                 }
                 prev = now;
             }
-            Ok(PredictionRow { power: p, predicted, simulated })
+            Ok(PredictionRow {
+                power: p,
+                predicted,
+                simulated,
+            })
         })
         .collect()
 }
@@ -325,8 +321,7 @@ mod tests {
 
     #[test]
     fn one_second_window_picks_the_steady_offender() {
-        let results =
-            window_ablation(&[Seconds::from_millis(50.0), Seconds::new(1.0)]).unwrap();
+        let results = window_ablation(&[Seconds::from_millis(50.0), Seconds::new(1.0)]).unwrap();
         let short = &results[0];
         let paper = &results[1];
         assert!(
@@ -341,11 +336,7 @@ mod tests {
 
     #[test]
     fn slower_governor_reacts_later() {
-        let results = period_ablation(&[
-            Seconds::from_millis(100.0),
-            Seconds::new(5.0),
-        ])
-        .unwrap();
+        let results = period_ablation(&[Seconds::from_millis(100.0), Seconds::new(5.0)]).unwrap();
         let fast = results[0].first_migration.expect("fast governor migrates");
         let slow = results[1].first_migration.expect("slow governor migrates");
         assert!(
@@ -381,8 +372,8 @@ mod tests {
 
     #[test]
     fn prediction_matches_simulated_steady_state() {
-        let rows = prediction_accuracy(&[Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)])
-            .unwrap();
+        let rows =
+            prediction_accuracy(&[Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)]).unwrap();
         for row in rows {
             let p = row.predicted.expect("stable at low power");
             let s = row.simulated.expect("network settles");

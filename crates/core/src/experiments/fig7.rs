@@ -97,7 +97,11 @@ mod tests {
     #[test]
     fn curve_a_has_two_roots_in_range() {
         let curves = fig7_curves();
-        assert_eq!(curves[0].sign_changes(), 2, "Fig. 7a shows two fixed points");
+        assert_eq!(
+            curves[0].sign_changes(),
+            2,
+            "Fig. 7a shows two fixed points"
+        );
     }
 
     #[test]
@@ -110,7 +114,10 @@ mod tests {
     fn higher_power_curves_lie_below_lower_power_curves() {
         let curves = fig7_curves();
         for ((t1, f1), (_, f2)) in curves[0].points.iter().zip(&curves[2].points) {
-            assert!(f2 < f1, "at θ={t1} the 8 W curve must be below the 2 W curve");
+            assert!(
+                f2 < f1,
+                "at θ={t1} the 8 W curve must be below the 2 W curve"
+            );
         }
     }
 }

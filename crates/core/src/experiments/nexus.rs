@@ -111,12 +111,7 @@ fn stock_thermal(soc: &mpt_soc::Platform) -> Box<StepWiseGovernor> {
 /// # Errors
 ///
 /// Propagates simulator construction/stepping errors.
-pub fn nexus_run(
-    app: NexusApp,
-    throttled: bool,
-    seed: u64,
-    duration: Seconds,
-) -> Result<NexusRun> {
+pub fn nexus_run(app: NexusApp, throttled: bool, seed: u64, duration: Seconds) -> Result<NexusRun> {
     let soc = platforms::snapdragon_810();
     let mut builder = SimBuilder::new(soc.clone())
         .attach(
@@ -198,23 +193,48 @@ impl Table1Row {
 /// Regenerates the paper's Table I: each app run for 140 s (the span of
 /// Figures 1–5) with and without the stock thermal governor.
 ///
+/// The ten runs execute on one worker per CPU; see [`table1_jobs`] to
+/// pick the worker count.
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn table1(seed: u64) -> Result<Vec<Table1Row>> {
+    table1_jobs(seed, 0)
+}
+
+/// [`table1`] with an explicit worker-thread count (`0` = one per CPU).
+///
+/// The grid of (app × throttled) runs goes through the campaign layer's
+/// [`run_parallel`](crate::campaign::run_parallel); each cell's seed is
+/// fixed up front, so results are identical for any `jobs`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn table1_jobs(seed: u64, jobs: usize) -> Result<Vec<Table1Row>> {
     let duration = Seconds::new(140.0);
-    NexusApp::ALL
+    let grid: Vec<(NexusApp, bool)> = NexusApp::ALL
         .iter()
-        .map(|&app| {
-            let without = nexus_run(app, false, seed, duration)?;
-            let with = nexus_run(app, true, seed, duration)?;
-            Ok(Table1Row {
-                app,
-                fps_without: without.median_fps,
-                fps_with: with.median_fps,
-            })
+        .flat_map(|&app| [(app, false), (app, true)])
+        .collect();
+    let runs = crate::campaign::run_parallel(grid.len(), jobs, |i| {
+        let (app, throttled) = grid[i];
+        nexus_run(app, throttled, seed, duration)
+    });
+    let mut fps = Vec::with_capacity(grid.len());
+    for run in runs {
+        fps.push(run?.median_fps);
+    }
+    Ok(NexusApp::ALL
+        .iter()
+        .zip(fps.chunks_exact(2))
+        .map(|(&app, pair)| Table1Row {
+            app,
+            fps_without: pair[0],
+            fps_with: pair[1],
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -263,12 +283,19 @@ mod tests {
         let with = nexus_run(NexusApp::PaperIo, true, 42, Seconds::new(140.0)).unwrap();
         let top_share = |r: &Residency| {
             let p = r.percentages();
-            p.get(&mpt_units::Hertz::from_mhz(510)).copied().unwrap_or(0.0)
-                + p.get(&mpt_units::Hertz::from_mhz(600)).copied().unwrap_or(0.0)
+            p.get(&mpt_units::Hertz::from_mhz(510))
+                .copied()
+                .unwrap_or(0.0)
+                + p.get(&mpt_units::Hertz::from_mhz(600))
+                    .copied()
+                    .unwrap_or(0.0)
         };
         let free_top = top_share(&without.gpu_residency);
         let thr_top = top_share(&with.gpu_residency);
         assert!(free_top > 30.0, "unthrottled high-OPP share {free_top}%");
-        assert!(thr_top < free_top / 2.0, "throttled high-OPP share {thr_top}%");
+        assert!(
+            thr_top < free_top / 2.0,
+            "throttled high-OPP share {thr_top}%"
+        );
     }
 }

@@ -137,9 +137,11 @@ fn attach_background(builder: SimBuilder, scenario: OdroidScenario) -> SimBuilde
     }
 }
 
-fn finish(sim: &Simulator, scenario: OdroidScenario, stats: Option<&crate::GovernorStats>)
-    -> OdroidRun
-{
+fn finish(
+    sim: &Simulator,
+    scenario: OdroidScenario,
+    stats: Option<&crate::GovernorStats>,
+) -> OdroidRun {
     let threedmark = sim
         .pid_of("3DMark")
         .and_then(|pid| sim.workload_as::<ThreeDMark>(pid));
@@ -231,18 +233,50 @@ pub struct Table2 {
 
 /// Regenerates the paper's Table II.
 ///
+/// The six runs (3DMark and Nenamark under each of the three scenarios)
+/// execute on one worker per CPU; see [`table2_jobs`] to pick the worker
+/// count.
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn table2(seed: u64) -> Result<Table2> {
+    table2_jobs(seed, 0)
+}
+
+/// [`table2`] with an explicit worker-thread count (`0` = one per CPU).
+///
+/// The grid goes through the campaign layer's
+/// [`run_parallel`](crate::campaign::run_parallel); results are
+/// identical for any `jobs`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn table2_jobs(seed: u64, jobs: usize) -> Result<Table2> {
+    enum Cell {
+        ThreeDMark(OdroidRun),
+        Nenamark(f64),
+    }
+    let runs = crate::campaign::run_parallel(6, jobs, |i| {
+        let scenario = OdroidScenario::ALL[i % 3];
+        if i < 3 {
+            threedmark_run(scenario, seed).map(Cell::ThreeDMark)
+        } else {
+            nenamark_run(scenario, seed).map(Cell::Nenamark)
+        }
+    });
     let mut gt1 = [0.0; 3];
     let mut gt2 = [0.0; 3];
     let mut nenamark = [0.0; 3];
-    for (i, scenario) in OdroidScenario::ALL.into_iter().enumerate() {
-        let run = threedmark_run(scenario, seed)?;
-        gt1[i] = run.gt1.unwrap_or(0.0);
-        gt2[i] = run.gt2.unwrap_or(0.0);
-        nenamark[i] = nenamark_run(scenario, seed)?;
+    for (i, run) in runs.into_iter().enumerate() {
+        match run? {
+            Cell::ThreeDMark(run) => {
+                gt1[i % 3] = run.gt1.unwrap_or(0.0);
+                gt2[i % 3] = run.gt2.unwrap_or(0.0);
+            }
+            Cell::Nenamark(score) => nenamark[i % 3] = score,
+        }
     }
     Ok(Table2 { gt1, gt2, nenamark })
 }
@@ -289,7 +323,10 @@ mod tests {
     fn proposed_control_migrates_and_shifts_power_to_little() {
         let with = threedmark_run(OdroidScenario::WithBml, 1).unwrap();
         let proposed = threedmark_run(OdroidScenario::WithBmlProposed, 1).unwrap();
-        assert!(proposed.migrations >= 1, "proposed governor must migrate BML");
+        assert!(
+            proposed.migrations >= 1,
+            "proposed governor must migrate BML"
+        );
         let share = |run: &OdroidRun, key: &str| {
             let total: f64 = run.shares.iter().map(|(_, v)| v).sum();
             run.shares.iter().find(|(k, _)| *k == key).unwrap().1 / total * 100.0
@@ -311,7 +348,12 @@ mod tests {
     fn table2_shape_matches_the_paper() {
         let t = table2(1).unwrap();
         // Who wins: alone >= proposed >= default, for both tests.
-        assert!(t.gt1[0] > t.gt1[1], "GT1 alone {} > default {}", t.gt1[0], t.gt1[1]);
+        assert!(
+            t.gt1[0] > t.gt1[1],
+            "GT1 alone {} > default {}",
+            t.gt1[0],
+            t.gt1[1]
+        );
         assert!(
             t.gt1[2] > t.gt1[1],
             "GT1 proposed {} > default {}",

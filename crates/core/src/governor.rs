@@ -271,10 +271,7 @@ impl SystemPolicy for AppAwareGovernor {
                 node_powers[node] += b.total();
             }
         }
-        let Ok(lumped) = view
-            .network
-            .reduce(&node_powers, hot_node, leak_gain, beta)
-        else {
+        let Ok(lumped) = view.network.reduce(&node_powers, hot_node, leak_gain, beta) else {
             return;
         };
 
@@ -299,8 +296,8 @@ impl SystemPolicy for AppAwareGovernor {
                 self.act(&mut view);
             }
         } else if let Some(margin) = self.config.restore_margin {
-            let calm = predicted
-                .is_some_and(|t| t.to_celsius() < self.config.thermal_limit - margin);
+            let calm =
+                predicted.is_some_and(|t| t.to_celsius() < self.config.thermal_limit - margin);
             if calm {
                 self.calm_streak += 1;
                 // Require a sustained calm spell (10 periods = 1 s by

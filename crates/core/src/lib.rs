@@ -49,6 +49,7 @@
 //! ```
 
 pub mod advisor;
+pub mod campaign;
 pub mod experiments;
 mod governor;
 pub mod scenario;

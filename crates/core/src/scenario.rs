@@ -149,13 +149,21 @@ impl WorkloadSpec {
             }
             WorkloadKind::Nenamark => Box::new(Nenamark::new()),
             WorkloadKind::BasicMath => Box::new(BasicMathLarge::new()),
-            WorkloadKind::Steady { name, rate, threads } => {
+            WorkloadKind::Steady {
+                name,
+                rate,
+                threads,
+            } => {
                 if *rate <= 0.0 || *threads <= 0.0 {
                     return Err("steady rate and threads must be positive".to_owned());
                 }
                 Box::new(SteadyCompute::new(name.clone(), *rate, *threads))
             }
-            WorkloadKind::Bursty { name, burst_s, idle_s } => {
+            WorkloadKind::Bursty {
+                name,
+                burst_s,
+                idle_s,
+            } => {
                 if *burst_s <= 0.0 || *idle_s <= 0.0 {
                     return Err("burst and idle durations must be positive".to_owned());
                 }
@@ -181,9 +189,7 @@ impl WorkloadSpec {
             WorkloadKind::ThreeDMark { .. } => "3DMark".to_owned(),
             WorkloadKind::Nenamark => "Nenamark".to_owned(),
             WorkloadKind::BasicMath => "basicmath_large".to_owned(),
-            WorkloadKind::Steady { name, .. } | WorkloadKind::Bursty { name, .. } => {
-                name.clone()
-            }
+            WorkloadKind::Steady { name, .. } | WorkloadKind::Bursty { name, .. } => name.clone(),
         }
     }
 }
@@ -267,6 +273,219 @@ pub struct ScenarioSpec {
     pub app_aware: Option<AppAwareSpec>,
     /// Workloads to attach.
     pub workloads: Vec<WorkloadSpec>,
+}
+
+/// The sweep axes of a [`CampaignSpec`].
+///
+/// Every non-empty axis multiplies the campaign: the expansion is the
+/// cartesian product of all non-empty axes applied over the base
+/// scenario. An empty axis inherits the base scenario's setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SweepAxes {
+    /// Platforms to sweep.
+    #[serde(default)]
+    pub platforms: Vec<PlatformSpec>,
+    /// Baseline thermal policies (governors) to sweep.
+    #[serde(default)]
+    pub thermal: Vec<ThermalPolicySpec>,
+    /// Workload sets to sweep; each entry replaces the base workloads.
+    #[serde(default)]
+    pub workloads: Vec<Vec<WorkloadSpec>>,
+    /// Step-wise trip ladders to sweep; each entry replaces the trip
+    /// temperatures of the cell's step-wise policy (an error if the
+    /// cell's policy is not step-wise).
+    #[serde(default)]
+    pub trips_c: Vec<Vec<f64>>,
+    /// Starting (ambient/pre-warm) temperatures to sweep, in Celsius.
+    #[serde(default)]
+    pub initial_temperatures_c: Vec<f64>,
+}
+
+impl SweepAxes {
+    /// How many cells these axes expand to (product of non-empty axes).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        fn len(n: usize) -> usize {
+            n.max(1)
+        }
+        len(self.platforms.len())
+            * len(self.thermal.len())
+            * len(self.workloads.len())
+            * len(self.trips_c.len())
+            * len(self.initial_temperatures_c.len())
+    }
+}
+
+/// A scenario *campaign*: one base scenario plus sweep axes, expanding
+/// into a grid of scenarios (cells) run by
+/// [`run_campaign`](crate::campaign::run_campaign).
+///
+/// Campaign files use the same JSON surface as scenarios:
+///
+/// ```sh
+/// cargo run --release -p mpt-bench --bin run_scenario -- \
+///     --campaign scenarios/odroid_policy_sweep.campaign.json --jobs 4
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// The scenario every cell starts from.
+    pub base: ScenarioSpec,
+    /// The axes swept over the base.
+    #[serde(default)]
+    pub sweep: SweepAxes,
+    /// Campaign seed. `0` (the default) leaves every workload's own seed
+    /// untouched, giving a controlled sweep; any other value derives a
+    /// deterministic per-cell seed from `(seed, cell index)` and adds it
+    /// to each workload's seed, decorrelating the cells. Seeds are
+    /// assigned at expansion time, so results never depend on how many
+    /// worker threads execute the campaign.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// One expanded cell of a campaign: a concrete scenario with its label
+/// and seed fixed at expansion time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Position in the expansion order.
+    pub index: usize,
+    /// Human-readable summary of the swept axis values.
+    pub label: String,
+    /// The seed mixed into this cell's workloads (0 when the campaign
+    /// seed is 0).
+    pub seed: u64,
+    /// The fully resolved scenario.
+    pub scenario: ScenarioSpec,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn thermal_label(t: &ThermalPolicySpec) -> String {
+    match t {
+        ThermalPolicySpec::Disabled => "disabled".to_owned(),
+        ThermalPolicySpec::StepWise { trips_c, .. } => format!(
+            "step_wise({})",
+            trips_c
+                .iter()
+                .map(|c| format!("{c}"))
+                .collect::<Vec<_>>()
+                .join("/")
+        ),
+        ThermalPolicySpec::Ipa { sustainable_w, .. } => format!("ipa({sustainable_w}W)"),
+    }
+}
+
+impl CampaignSpec {
+    /// Expands the campaign into its cells, in deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if a `trips_c` axis is combined with a
+    /// non-step-wise thermal policy.
+    pub fn expand(&self) -> Result<Vec<CampaignCell>> {
+        fn axis<T: Clone>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().cloned().map(Some).collect()
+            }
+        }
+        let platforms = axis(&self.sweep.platforms);
+        let thermals = axis(&self.sweep.thermal);
+        let workload_sets = axis(&self.sweep.workloads);
+        let trip_sets = axis(&self.sweep.trips_c);
+        let ambients = axis(&self.sweep.initial_temperatures_c);
+        let mut cells = Vec::with_capacity(self.sweep.cell_count());
+        for platform in &platforms {
+            for thermal in &thermals {
+                for workloads in &workload_sets {
+                    for trips in &trip_sets {
+                        for ambient in &ambients {
+                            let mut scenario = self.base.clone();
+                            let mut label = Vec::new();
+                            if let Some(p) = platform {
+                                scenario.platform = *p;
+                                label.push(format!(
+                                    "platform={}",
+                                    match p {
+                                        PlatformSpec::Snapdragon810 => "snapdragon810",
+                                        PlatformSpec::Exynos5422 => "exynos5422",
+                                    }
+                                ));
+                            }
+                            if let Some(t) = thermal {
+                                scenario.thermal = t.clone();
+                                label.push(format!("thermal={}", thermal_label(t)));
+                            }
+                            if let Some(w) = workloads {
+                                scenario.workloads.clone_from(w);
+                                label.push(format!(
+                                    "workloads={}",
+                                    w.iter()
+                                        .map(WorkloadSpec::display_name)
+                                        .collect::<Vec<_>>()
+                                        .join("+")
+                                ));
+                            }
+                            if let Some(t) = trips {
+                                match &mut scenario.thermal {
+                                    ThermalPolicySpec::StepWise { trips_c, .. } => {
+                                        trips_c.clone_from(t);
+                                    }
+                                    other => {
+                                        return Err(invalid(format!(
+                                            "trips_c sweep needs a step_wise policy, \
+                                             cell has {}",
+                                            thermal_label(other)
+                                        )));
+                                    }
+                                }
+                                label.push(format!(
+                                    "trips={}",
+                                    t.iter()
+                                        .map(|c| format!("{c}"))
+                                        .collect::<Vec<_>>()
+                                        .join("/")
+                                ));
+                            }
+                            if let Some(a) = ambient {
+                                scenario.initial_temperature_c = Some(*a);
+                                label.push(format!("ambient={a}C"));
+                            }
+                            let index = cells.len();
+                            let seed = if self.seed == 0 {
+                                0
+                            } else {
+                                splitmix64(
+                                    self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                )
+                            };
+                            for w in &mut scenario.workloads {
+                                w.seed = w.seed.wrapping_add(seed);
+                            }
+                            cells.push(CampaignCell {
+                                index,
+                                label: if label.is_empty() {
+                                    format!("cell {index}")
+                                } else {
+                                    label.join(" ")
+                                },
+                                seed,
+                                scenario,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
 }
 
 /// Per-workload results.
@@ -353,7 +572,11 @@ pub fn build_scenario(
                 )))
                 .thermal_period(Seconds::new(*period_s));
         }
-        ThermalPolicySpec::Ipa { control_c, sustainable_w, gpu_weight } => {
+        ThermalPolicySpec::Ipa {
+            control_c,
+            sustainable_w,
+            gpu_weight,
+        } => {
             if *gpu_weight <= 0.0 {
                 return Err(invalid("ipa gpu weight must be positive".into()));
             }
@@ -438,11 +661,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioOutcome> {
         })
         .collect();
     Ok(ScenarioOutcome {
-        peak_temperature_c: sim
-            .telemetry()
-            .max_temperature()
-            .max()
-            .unwrap_or(f64::NAN),
+        peak_temperature_c: sim.telemetry().max_temperature().max().unwrap_or(f64::NAN),
         average_power_w: sim.telemetry().average_total_power().value(),
         energy_j: sim.telemetry().total_energy(),
         workloads,
@@ -495,7 +714,11 @@ mod tests {
     #[test]
     fn runs_a_minimal_scenario() {
         let outcome = run_scenario(&bml_spec()).unwrap();
-        assert!(outcome.average_power_w > 0.5, "power {}", outcome.average_power_w);
+        assert!(
+            outcome.average_power_w > 0.5,
+            "power {}",
+            outcome.average_power_w
+        );
         assert!(outcome.peak_temperature_c > 50.0);
         assert_eq!(outcome.workloads[0].final_cluster, "big");
         assert_eq!(outcome.migrations, 0);
@@ -530,7 +753,9 @@ mod tests {
         assert!(run_scenario(&spec).is_err());
 
         let mut spec = bml_spec();
-        spec.workloads[0].kind = WorkloadKind::App { name: "tiktok".into() };
+        spec.workloads[0].kind = WorkloadKind::App {
+            name: "tiktok".into(),
+        };
         assert!(run_scenario(&spec).is_err());
 
         assert!(run_scenario_json("{ not json").is_err());

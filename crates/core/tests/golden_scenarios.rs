@@ -1,0 +1,86 @@
+//! Golden checks over the JSON files shipped in `scenarios/`: every file
+//! must parse into its spec type and survive one simulated second, and
+//! campaign execution must be bit-identical regardless of worker count.
+
+use std::path::PathBuf;
+
+use mpt_core::campaign::run_cells;
+use mpt_core::scenario::{run_scenario, CampaignSpec, ScenarioSpec};
+
+/// The repo-level `scenarios/` directory, relative to this crate.
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn is_campaign(path: &std::path::Path) -> bool {
+    path.to_string_lossy().ends_with(".campaign.json")
+}
+
+#[test]
+fn every_shipped_scenario_parses_and_runs_one_second() {
+    let files = scenario_files();
+    assert!(
+        files.len() >= 5,
+        "expected the shipped scenario set, got {files:?}"
+    );
+    for path in files {
+        let json = std::fs::read_to_string(&path).expect("readable file");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if is_campaign(&path) {
+            let spec: CampaignSpec =
+                serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut cells = spec.expand().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                cells.len() >= 12,
+                "{name}: campaign should sweep >= 12 cells"
+            );
+            for cell in &mut cells {
+                cell.scenario.duration_s = 1.0;
+            }
+            let report = run_cells(&cells, 2).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(report.cells.len(), cells.len(), "{name}");
+        } else {
+            let mut spec: ScenarioSpec =
+                serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+            spec.duration_s = 1.0;
+            let outcome = run_scenario(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(outcome.peak_temperature_c.is_finite(), "{name}");
+        }
+    }
+}
+
+#[test]
+fn scenario_runs_are_bit_identical_across_repeats() {
+    for path in scenario_files().iter().filter(|p| !is_campaign(p)) {
+        let json = std::fs::read_to_string(path).expect("readable file");
+        let mut spec: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+        spec.duration_s = 2.0;
+        let first = run_scenario(&spec).expect("runs");
+        let second = run_scenario(&spec).expect("runs");
+        assert_eq!(first, second, "{}", path.display());
+    }
+}
+
+#[test]
+fn campaign_cells_are_identical_between_one_and_eight_workers() {
+    let path = scenarios_dir().join("odroid_policy_sweep.campaign.json");
+    let json = std::fs::read_to_string(path).expect("readable file");
+    let spec: CampaignSpec = serde_json::from_str(&json).expect("parses");
+    let mut cells = spec.expand().expect("expands");
+    for cell in &mut cells {
+        cell.scenario.duration_s = 1.0;
+    }
+    let serial = run_cells(&cells, 1).expect("runs");
+    let parallel = run_cells(&cells, 8).expect("runs");
+    assert_eq!(serial.cells, parallel.cells);
+}

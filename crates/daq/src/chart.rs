@@ -141,8 +141,14 @@ pub fn share_table(title: &str, shares: &[(&str, f64)]) -> String {
     let mut out = format!("{title} (total {total:.2} W)\n");
     let label_width = shares.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, value) in shares {
-        let pct = if total > 0.0 { value / total * 100.0 } else { 0.0 };
-        out.push_str(&format!("  {label:>label_width$}: {value:6.2} W  {pct:5.1}%\n"));
+        let pct = if total > 0.0 {
+            value / total * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {label:>label_width$}: {value:6.2} W  {pct:5.1}%\n"
+        ));
     }
     out
 }

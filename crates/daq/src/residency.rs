@@ -30,7 +30,10 @@ impl<K: Ord + Copy> Residency<K> {
     /// Creates an empty counter.
     #[must_use]
     pub fn new() -> Self {
-        Self { time_in_state: BTreeMap::new(), total: 0.0 }
+        Self {
+            time_in_state: BTreeMap::new(),
+            total: 0.0,
+        }
     }
 
     /// Records `dt` spent in `state`. Non-positive durations are ignored.

@@ -32,8 +32,14 @@ impl NoiseModel {
     /// Panics if `std_dev` is negative or non-finite.
     #[must_use]
     pub fn new(std_dev: f64, seed: u64) -> Self {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "noise std-dev must be non-negative");
-        Self { std_dev, rng: StdRng::seed_from_u64(seed) }
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "noise std-dev must be non-negative"
+        );
+        Self {
+            std_dev,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// A noiseless "model" (useful for deterministic tests).

@@ -29,7 +29,11 @@ impl TimeSeries {
     /// Creates an empty trace.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), times: Vec::new(), values: Vec::new() }
+        Self {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The trace name.
@@ -46,7 +50,11 @@ impl TimeSeries {
     /// strictly forward in time; recording out of order is a harness bug).
     pub fn push(&mut self, t: Seconds, value: f64) {
         if let Some(&last) = self.times.last() {
-            assert!(t.value() >= last, "time series must be monotone: {} < {last}", t.value());
+            assert!(
+                t.value() >= last,
+                "time series must be monotone: {} < {last}",
+                t.value()
+            );
         }
         self.times.push(t.value());
         self.values.push(value);
@@ -136,7 +144,11 @@ impl TimeSeries {
         let span = (t1 - t0).max(0.0);
         (0..n)
             .map(|i| {
-                let t = if n == 1 { t0 } else { t0 + span * i as f64 / (n - 1) as f64 };
+                let t = if n == 1 {
+                    t0
+                } else {
+                    t0 + span * i as f64 / (n - 1) as f64
+                };
                 let v = self.at(Seconds::new(t)).unwrap_or(self.values[0]);
                 (t, v)
             })

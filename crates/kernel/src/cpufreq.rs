@@ -34,8 +34,7 @@ pub trait FrequencyGovernor: fmt::Debug + Send {
     fn name(&self) -> &'static str;
 
     /// Picks a target frequency.
-    fn target(&mut self, opps: &OppTable, current: Hertz, load: ClusterLoad, dt: Seconds)
-        -> Hertz;
+    fn target(&mut self, opps: &OppTable, current: Hertz, load: ClusterLoad, dt: Seconds) -> Hertz;
 }
 
 /// Always runs at the maximum frequency.
@@ -136,7 +135,10 @@ pub struct Conservative {
 
 impl Default for Conservative {
     fn default() -> Self {
-        Self { up_threshold: 0.80, down_threshold: 0.20 }
+        Self {
+            up_threshold: 0.80,
+            down_threshold: 0.20,
+        }
     }
 }
 
@@ -416,7 +418,10 @@ mod tests {
     }
 
     fn load(u: f64) -> ClusterLoad {
-        ClusterLoad { utilization: Ratio::new(u), interaction: false }
+        ClusterLoad {
+            utilization: Ratio::new(u),
+            interaction: false,
+        }
     }
 
     const DT: Seconds = Seconds::new(0.1);
@@ -477,7 +482,10 @@ mod tests {
     #[test]
     fn interactive_boosts_on_interaction() {
         let mut p = gpu_policy(GovernorKind::Interactive);
-        let boost = ClusterLoad { utilization: Ratio::new(0.2), interaction: true };
+        let boost = ClusterLoad {
+            utilization: Ratio::new(0.2),
+            interaction: true,
+        };
         p.update(boost, DT);
         assert_eq!(p.current().as_mhz(), 600, "interaction must boost to max");
     }
@@ -485,7 +493,13 @@ mod tests {
     #[test]
     fn interactive_delays_ramp_down() {
         let mut p = gpu_policy(GovernorKind::Interactive);
-        p.update(ClusterLoad { utilization: Ratio::new(0.2), interaction: true }, DT);
+        p.update(
+            ClusterLoad {
+                utilization: Ratio::new(0.2),
+                interaction: true,
+            },
+            DT,
+        );
         assert_eq!(p.current().as_mhz(), 600);
         // Low load for less than min_sample_time (80 ms): holds.
         p.update(load(0.1), Seconds::from_millis(40.0));
@@ -504,7 +518,10 @@ mod tests {
         ] {
             let mut p = gpu_policy(kind);
             p.set_max_cap(Some(Hertz::from_mhz(390)));
-            let boosted = ClusterLoad { utilization: Ratio::ONE, interaction: true };
+            let boosted = ClusterLoad {
+                utilization: Ratio::ONE,
+                interaction: true,
+            };
             p.update(boosted, DT);
             assert!(
                 p.current().as_mhz() <= 390,

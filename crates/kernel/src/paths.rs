@@ -97,12 +97,18 @@ mod tests {
             max_freq(ComponentId::BigCluster),
             "/sys/devices/system/cpu/cpu4/cpufreq/scaling_max_freq"
         );
-        assert_eq!(governor(ComponentId::Gpu), "/sys/class/devfreq/gpu/scaling_governor");
+        assert_eq!(
+            governor(ComponentId::Gpu),
+            "/sys/class/devfreq/gpu/scaling_governor"
+        );
     }
 
     #[test]
     fn thermal_paths() {
-        assert_eq!(thermal_zone_temp(0), "/sys/class/thermal/thermal_zone0/temp");
+        assert_eq!(
+            thermal_zone_temp(0),
+            "/sys/class/thermal/thermal_zone0/temp"
+        );
         assert_eq!(
             trip_point_temp(1, 2),
             "/sys/class/thermal/thermal_zone1/trip_point_2_temp"
@@ -111,7 +117,10 @@ mod tests {
 
     #[test]
     fn rail_paths() {
-        assert_eq!(power_rail_uw("vdd_arm"), "/sys/bus/i2c/drivers/INA231/vdd_arm/sensor_w");
+        assert_eq!(
+            power_rail_uw("vdd_arm"),
+            "/sys/bus/i2c/drivers/INA231/vdd_arm/sensor_w"
+        );
     }
 
     #[test]

@@ -18,9 +18,7 @@ use mpt_units::{Seconds, Watts};
 /// let pid = Pid::new(1234);
 /// assert_eq!(pid.to_string(), "pid 1234");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Pid(u32);
 
 impl Pid {
@@ -89,7 +87,11 @@ impl UtilWindow {
     #[must_use]
     pub fn new(span: Seconds) -> Self {
         assert!(span.value() > 0.0, "window span must be positive");
-        Self { span: span.value(), samples: VecDeque::new(), total_time: 0.0 }
+        Self {
+            span: span.value(),
+            samples: VecDeque::new(),
+            total_time: 0.0,
+        }
     }
 
     /// The configured span.
@@ -321,7 +323,11 @@ mod tests {
             w.push(0.1, Seconds::new(0.1));
         }
         w.push(4.0, Seconds::new(0.1)); // spike
-        assert!(w.average() < 0.6, "avg {} should damp the spike", w.average());
+        assert!(
+            w.average() < 0.6,
+            "avg {} should damp the spike",
+            w.average()
+        );
     }
 
     #[test]

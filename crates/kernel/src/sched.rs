@@ -49,7 +49,11 @@ pub fn allocate_max_min(demands: &[(Pid, f64)], capacity: f64) -> Vec<Allocation
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut result = vec![
-        Allocation { pid: Pid::new(0), delivered: 0.0, demanded: 0.0 };
+        Allocation {
+            pid: Pid::new(0),
+            delivered: 0.0,
+            demanded: 0.0
+        };
         demands.len()
     ];
     let mut remaining = capacity.max(0.0);
@@ -59,7 +63,11 @@ pub fn allocate_max_min(demands: &[(Pid, f64)], capacity: f64) -> Vec<Allocation
         let demand = demand.max(0.0);
         let fair_share = remaining / left as f64;
         let granted = demand.min(fair_share);
-        result[idx] = Allocation { pid, delivered: granted, demanded: demand };
+        result[idx] = Allocation {
+            pid,
+            delivered: granted,
+            demanded: demand,
+        };
         remaining -= granted;
         left -= 1;
     }
@@ -92,14 +100,22 @@ impl Scheduler {
     /// window.
     #[must_use]
     pub fn new() -> Self {
-        Self { processes: BTreeMap::new(), next_pid: 1, window: None }
+        Self {
+            processes: BTreeMap::new(),
+            next_pid: 1,
+            window: None,
+        }
     }
 
     /// Creates a scheduler whose processes use a custom accounting window
     /// (used by the ablation study on the paper's 1 s choice).
     #[must_use]
     pub fn with_window(window: Seconds) -> Self {
-        Self { processes: BTreeMap::new(), next_pid: 1, window: Some(window) }
+        Self {
+            processes: BTreeMap::new(),
+            next_pid: 1,
+            window: Some(window),
+        }
     }
 
     /// Spawns a process on a CPU cluster, returning its pid.
@@ -184,7 +200,9 @@ impl Scheduler {
 
     /// Iterates over the processes currently assigned to `cluster`.
     pub fn on_cluster(&self, cluster: ComponentId) -> impl Iterator<Item = &Process> {
-        self.processes.values().filter(move |p| p.cluster() == cluster)
+        self.processes
+            .values()
+            .filter(move |p| p.cluster() == cluster)
     }
 
     /// Registers a process as real-time (exempt from application-aware
@@ -249,7 +267,10 @@ mod tests {
         let a = s.spawn("a", ProcessClass::Foreground, ComponentId::BigCluster);
         s.kill(a).unwrap();
         assert!(s.is_empty());
-        assert!(matches!(s.kill(a).unwrap_err(), KernelError::NoSuchProcess { .. }));
+        assert!(matches!(
+            s.kill(a).unwrap_err(),
+            KernelError::NoSuchProcess { .. }
+        ));
     }
 
     #[test]
@@ -301,8 +322,16 @@ mod tests {
     #[test]
     fn most_power_hungry_can_exclude_a_cluster() {
         let mut s = Scheduler::new();
-        let big = s.spawn("big-task", ProcessClass::Background, ComponentId::BigCluster);
-        let little = s.spawn("little-task", ProcessClass::Background, ComponentId::LittleCluster);
+        let big = s.spawn(
+            "big-task",
+            ProcessClass::Background,
+            ComponentId::BigCluster,
+        );
+        let little = s.spawn(
+            "little-task",
+            ProcessClass::Background,
+            ComponentId::LittleCluster,
+        );
         for _ in 0..10 {
             s.process_mut(big)
                 .unwrap()
@@ -313,7 +342,9 @@ mod tests {
         }
         // Excluding the little cluster (already-throttled victims) picks
         // the big-cluster process even though it draws less.
-        let victim = s.most_power_hungry(Some(ComponentId::LittleCluster)).unwrap();
+        let victim = s
+            .most_power_hungry(Some(ComponentId::LittleCluster))
+            .unwrap();
         assert_eq!(victim.pid(), big);
     }
 

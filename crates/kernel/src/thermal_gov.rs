@@ -88,7 +88,10 @@ impl TripPoint {
     /// Creates a trip point.
     #[must_use]
     pub const fn new(temperature: Celsius, hysteresis: Celsius) -> Self {
-        Self { temperature, hysteresis }
+        Self {
+            temperature,
+            hysteresis,
+        }
     }
 }
 
@@ -151,11 +154,11 @@ impl StepWiseGovernor {
     ///
     /// Panics if `trips` is empty.
     #[must_use]
-    pub fn with_state_limits(
-        trips: Vec<TripPoint>,
-        governed: Vec<(Component, usize)>,
-    ) -> Self {
-        assert!(!trips.is_empty(), "step-wise governor needs at least one trip point");
+    pub fn with_state_limits(trips: Vec<TripPoint>, governed: Vec<(Component, usize)>) -> Self {
+        assert!(
+            !trips.is_empty(),
+            "step-wise governor needs at least one trip point"
+        );
         let mut trips = trips;
         trips.sort_by(|a, b| {
             a.temperature
@@ -171,7 +174,11 @@ impl StepWiseGovernor {
             })
             .collect();
         let state = governed.iter().map(|(c, _)| (c.id(), 0usize)).collect();
-        Self { trips, governed, state }
+        Self {
+            trips,
+            governed,
+            state,
+        }
     }
 
     /// The current cooling state (OPP steps below maximum) of a governed
@@ -200,11 +207,13 @@ impl ThermalGovernor for StepWiseGovernor {
             .filter(|t| control_temp > t.temperature)
             .count();
         let lowest = self.trips[0];
-        let release =
-            control_temp < lowest.temperature - lowest.hysteresis;
+        let release = control_temp < lowest.temperature - lowest.hysteresis;
         let mut actions = Vec::new();
         for (comp, limit) in &self.governed {
-            let state = self.state.get_mut(&comp.id()).expect("state tracked per component");
+            let state = self
+                .state
+                .get_mut(&comp.id())
+                .expect("state tracked per component");
             let max_state = *limit;
             let old = *state;
             if exceeded > 0 {
@@ -215,7 +224,9 @@ impl ThermalGovernor for StepWiseGovernor {
             }
             if *state != old {
                 if *state == 0 {
-                    actions.push(ThermalAction::ClearCap { component: comp.id() });
+                    actions.push(ThermalAction::ClearCap {
+                        component: comp.id(),
+                    });
                 } else {
                     let idx = comp.opps().len() - 1 - *state;
                     let freq = comp
@@ -223,7 +234,10 @@ impl ThermalGovernor for StepWiseGovernor {
                         .get(idx)
                         .expect("cooling state bounded by table size")
                         .frequency();
-                    actions.push(ThermalAction::SetMaxFreq { component: comp.id(), freq });
+                    actions.push(ThermalAction::SetMaxFreq {
+                        component: comp.id(),
+                        freq,
+                    });
                 }
             }
         }
@@ -321,7 +335,12 @@ impl IpaGovernor {
             "actor weights must be positive"
         );
         let last_caps = actors.iter().map(|(c, _)| (c.id(), None)).collect();
-        Self { config, actors, integral: 0.0, last_caps }
+        Self {
+            config,
+            actors,
+            integral: 0.0,
+            last_caps,
+        }
     }
 
     /// Divides `budget` among weighted requests by water-filling: every
@@ -377,8 +396,10 @@ impl IpaGovernor {
     pub fn power_budget(&self, control_temp: Celsius) -> Watts {
         let err = self.config.control_temp.value() - control_temp.value();
         let p = self.config.k_p * err;
-        let i = (self.config.k_i * self.integral)
-            .clamp(-self.config.integral_cap.value(), self.config.integral_cap.value());
+        let i = (self.config.k_i * self.integral).clamp(
+            -self.config.integral_cap.value(),
+            self.config.integral_cap.value(),
+        );
         Watts::new((self.config.sustainable_power.value() + p + i).max(0.0))
     }
 
@@ -390,8 +411,8 @@ impl IpaGovernor {
         // core: a briefly idle actor must not be granted infinite budget.
         let util = utilization.max(1.0);
         for opp in component.opps().iter().rev() {
-            let p = params.dynamic_power(opp.voltage(), opp.frequency(), util)
-                + params.static_floor();
+            let p =
+                params.dynamic_power(opp.voltage(), opp.frequency(), util) + params.static_floor();
             if p <= budget {
                 return opp.frequency();
             }
@@ -424,7 +445,10 @@ impl ThermalGovernor for IpaGovernor {
             if caps.get(&id).copied().flatten() != new {
                 caps.insert(id, new);
                 actions.push(match new {
-                    Some(freq) => ThermalAction::SetMaxFreq { component: id, freq },
+                    Some(freq) => ThermalAction::SetMaxFreq {
+                        component: id,
+                        freq,
+                    },
                     None => ThermalAction::ClearCap { component: id },
                 });
             }
@@ -490,7 +514,9 @@ pub fn validate_ipa_config(config: &IpaConfig) -> Result<()> {
         });
     }
     if config.k_p <= 0.0 || config.k_i < 0.0 {
-        return Err(KernelError::InvalidConfig { reason: "gains must be positive".into() });
+        return Err(KernelError::InvalidConfig {
+            reason: "gains must be positive".into(),
+        });
     }
     Ok(())
 }
@@ -597,7 +623,12 @@ mod tests {
             }]
         );
         let a = g.update(Celsius::new(40.5), &[], DT);
-        assert_eq!(a, vec![ThermalAction::ClearCap { component: ComponentId::Gpu }]);
+        assert_eq!(
+            a,
+            vec![ThermalAction::ClearCap {
+                component: ComponentId::Gpu
+            }]
+        );
     }
 
     #[test]
@@ -659,8 +690,16 @@ mod tests {
         // Big requests 4x the GPU's power: after capping, the big cap
         // should allow roughly 4x the GPU's allocated power.
         let actors = [
-            ActorState { id: ComponentId::BigCluster, power: Watts::new(2.8), utilization: 4.0 },
-            ActorState { id: ComponentId::Gpu, power: Watts::new(0.7), utilization: 1.0 },
+            ActorState {
+                id: ComponentId::BigCluster,
+                power: Watts::new(2.8),
+                utilization: 4.0,
+            },
+            ActorState {
+                id: ComponentId::Gpu,
+                power: Watts::new(0.7),
+                utilization: 1.0,
+            },
         ];
         let acts = ipa.update(Celsius::new(96.0), &actors, DT);
         let mut caps = BTreeMap::new();
@@ -692,9 +731,15 @@ mod tests {
     #[test]
     fn ipa_config_validation() {
         assert!(validate_ipa_config(&IpaConfig::default()).is_ok());
-        let bad = IpaConfig { sustainable_power: Watts::ZERO, ..IpaConfig::default() };
+        let bad = IpaConfig {
+            sustainable_power: Watts::ZERO,
+            ..IpaConfig::default()
+        };
         assert!(validate_ipa_config(&bad).is_err());
-        let bad = IpaConfig { k_p: 0.0, ..IpaConfig::default() };
+        let bad = IpaConfig {
+            k_p: 0.0,
+            ..IpaConfig::default()
+        };
         assert!(validate_ipa_config(&bad).is_err());
     }
 
@@ -713,7 +758,10 @@ mod tests {
     fn divvy_under_budget_grants_everything() {
         let granted = IpaGovernor::divvy(
             10.0,
-            &[(ComponentId::BigCluster, 4.0, 1.0), (ComponentId::Gpu, 2.0, 1.0)],
+            &[
+                (ComponentId::BigCluster, 4.0, 1.0),
+                (ComponentId::Gpu, 2.0, 1.0),
+            ],
         );
         assert!((granted[&ComponentId::BigCluster] - 4.0).abs() < 1e-9);
         assert!((granted[&ComponentId::Gpu] - 2.0).abs() < 1e-9);
@@ -723,7 +771,10 @@ mod tests {
     fn divvy_over_budget_splits_by_weight() {
         let granted = IpaGovernor::divvy(
             3.0,
-            &[(ComponentId::BigCluster, 10.0, 1.0), (ComponentId::Gpu, 10.0, 2.0)],
+            &[
+                (ComponentId::BigCluster, 10.0, 1.0),
+                (ComponentId::Gpu, 10.0, 2.0),
+            ],
         );
         assert!((granted[&ComponentId::BigCluster] - 1.0).abs() < 1e-9);
         assert!((granted[&ComponentId::Gpu] - 2.0).abs() < 1e-9);
@@ -735,7 +786,10 @@ mod tests {
         // flow to the hungry big cluster.
         let granted = IpaGovernor::divvy(
             4.0,
-            &[(ComponentId::BigCluster, 10.0, 1.0), (ComponentId::Gpu, 1.0, 1.0)],
+            &[
+                (ComponentId::BigCluster, 10.0, 1.0),
+                (ComponentId::Gpu, 1.0, 1.0),
+            ],
         );
         assert!((granted[&ComponentId::Gpu] - 1.0).abs() < 1e-9);
         assert!((granted[&ComponentId::BigCluster] - 3.0).abs() < 1e-9);

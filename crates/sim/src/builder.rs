@@ -1,0 +1,268 @@
+//! The simulator builder.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use mpt_kernel::{
+    CpuFreqPolicy, DisabledGovernor, GovernorKind, ProcessClass, Scheduler, ThermalGovernor,
+};
+use mpt_soc::{ComponentId, Platform};
+use mpt_sysfs::SysFs;
+use mpt_thermal::RcNetwork;
+use mpt_units::{Celsius, Seconds};
+use mpt_workloads::Workload;
+
+use crate::engine::{Attached, SimCore};
+use crate::stages::default_pipeline;
+use crate::{EventLog, Result, SimError, Simulator, SystemPolicy, Telemetry};
+
+/// Builder for [`Simulator`] (C-BUILDER).
+///
+/// Defaults mirror an Android system: `interactive` on both CPU clusters,
+/// `ondemand` on the GPU, `performance` on the memory bus, a disabled
+/// thermal governor (enable one explicitly for throttled runs), a 10 ms
+/// tick and a 100 ms thermal poll.
+pub struct SimBuilder {
+    platform: Platform,
+    dt: Seconds,
+    governors: BTreeMap<ComponentId, GovernorKind>,
+    thermal_governor: Box<dyn ThermalGovernor>,
+    thermal_period: Seconds,
+    system_policy: Option<Box<dyn SystemPolicy>>,
+    control_sensor: Option<String>,
+    initial_temperature: Option<Celsius>,
+    telemetry_period: Seconds,
+    accounting_window: Option<Seconds>,
+    workloads: Vec<(Box<dyn Workload>, ProcessClass, ComponentId, bool)>,
+}
+
+impl std::fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("platform", &self.platform.name())
+            .field("workloads", &self.workloads.len())
+            .finish()
+    }
+}
+
+impl SimBuilder {
+    /// Starts building a simulation of `platform`.
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        let mut governors = BTreeMap::new();
+        governors.insert(ComponentId::LittleCluster, GovernorKind::Interactive);
+        governors.insert(ComponentId::BigCluster, GovernorKind::Interactive);
+        governors.insert(ComponentId::Gpu, GovernorKind::Ondemand);
+        governors.insert(ComponentId::Memory, GovernorKind::Performance);
+        Self {
+            platform,
+            dt: Seconds::from_millis(10.0),
+            governors,
+            thermal_governor: Box::new(DisabledGovernor),
+            thermal_period: Seconds::from_millis(100.0),
+            system_policy: None,
+            control_sensor: None,
+            initial_temperature: None,
+            telemetry_period: Seconds::from_millis(100.0),
+            accounting_window: None,
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Sets the simulation tick.
+    #[must_use]
+    pub fn tick(mut self, dt: Seconds) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Selects the cpufreq governor for one component.
+    #[must_use]
+    pub fn governor(mut self, id: ComponentId, kind: GovernorKind) -> Self {
+        self.governors.insert(id, kind);
+        self
+    }
+
+    /// Installs a thermal governor (the stock baseline being step-wise
+    /// trips or IPA; the default is disabled, matching the paper's
+    /// "without throttling" runs).
+    #[must_use]
+    pub fn thermal_governor(mut self, governor: Box<dyn ThermalGovernor>) -> Self {
+        self.thermal_governor = governor;
+        self
+    }
+
+    /// Sets the thermal governor polling period (default 100 ms).
+    #[must_use]
+    pub fn thermal_period(mut self, period: Seconds) -> Self {
+        self.thermal_period = period;
+        self
+    }
+
+    /// Uses a specific sensor as the thermal governor's control input
+    /// (e.g. `"package"` on the Nexus 6P, as in the paper); by default the
+    /// maximum over all sensors is used.
+    #[must_use]
+    pub fn control_sensor(mut self, sensor: impl Into<String>) -> Self {
+        self.control_sensor = Some(sensor.into());
+        self
+    }
+
+    /// Installs a full-authority system policy (the paper's proposed
+    /// governor).
+    #[must_use]
+    pub fn system_policy(mut self, policy: Box<dyn SystemPolicy>) -> Self {
+        self.system_policy = Some(policy);
+        self
+    }
+
+    /// Starts all thermal nodes at the given temperature (pre-warmed
+    /// device, as in the paper's figures that begin above ambient).
+    #[must_use]
+    pub fn initial_temperature(mut self, t: Celsius) -> Self {
+        self.initial_temperature = Some(t);
+        self
+    }
+
+    /// Sets the telemetry time-series sampling period (default 100 ms).
+    #[must_use]
+    pub fn telemetry_period(mut self, period: Seconds) -> Self {
+        self.telemetry_period = period;
+        self
+    }
+
+    /// Sets the per-process utilization/power accounting window (the
+    /// paper uses 1 s, the default; the window-length ablation sweeps
+    /// this).
+    #[must_use]
+    pub fn accounting_window(mut self, window: Seconds) -> Self {
+        self.accounting_window = Some(window);
+        self
+    }
+
+    /// Attaches a workload as a process on a CPU cluster.
+    #[must_use]
+    pub fn attach(
+        mut self,
+        workload: Box<dyn Workload>,
+        class: ProcessClass,
+        cluster: ComponentId,
+    ) -> Self {
+        self.workloads.push((workload, class, cluster, false));
+        self
+    }
+
+    /// Attaches a workload registered as real-time (exempt from
+    /// application-aware throttling, per the paper's registration
+    /// mechanism).
+    #[must_use]
+    pub fn attach_realtime(
+        mut self,
+        workload: Box<dyn Workload>,
+        class: ProcessClass,
+        cluster: ComponentId,
+    ) -> Self {
+        self.workloads.push((workload, class, cluster, true));
+        self
+    }
+
+    /// Finalizes the simulator: builds the shared [`SimCore`] and the
+    /// standard stage pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for bad parameters,
+    /// [`SimError::Thermal`] if the platform thermal spec is invalid, or
+    /// [`SimError::SysFs`] if the control plane cannot be populated.
+    pub fn build(self) -> Result<Simulator> {
+        if self.dt.value() <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                reason: "tick must be positive".into(),
+            });
+        }
+        if self.thermal_period < self.dt {
+            return Err(SimError::InvalidConfig {
+                reason: "thermal period must be at least one tick".into(),
+            });
+        }
+        if let Some(sensor) = &self.control_sensor {
+            if !self
+                .platform
+                .temperature_sensors()
+                .iter()
+                .any(|s| s.name() == sensor.as_str())
+            {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("control sensor {sensor:?} does not exist"),
+                });
+            }
+        }
+        let mut network = RcNetwork::from_spec(self.platform.thermal_spec())?;
+        if let Some(t0) = self.initial_temperature {
+            network.set_uniform_temperature(t0.to_kelvin());
+        }
+        let mut policies = BTreeMap::new();
+        for component in self.platform.components() {
+            let kind = self
+                .governors
+                .get(&component.id())
+                .copied()
+                .unwrap_or(GovernorKind::Performance);
+            policies.insert(component.id(), CpuFreqPolicy::new(component, kind));
+        }
+        let mut scheduler = match self.accounting_window {
+            Some(w) => {
+                if w.value() <= 0.0 {
+                    return Err(SimError::InvalidConfig {
+                        reason: "accounting window must be positive".into(),
+                    });
+                }
+                Scheduler::with_window(w)
+            }
+            None => Scheduler::new(),
+        };
+        let mut attached = Vec::new();
+        for (workload, class, cluster, realtime) in self.workloads {
+            if !cluster.is_cpu() {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "workload {:?} attached to non-CPU {cluster}",
+                        workload.name()
+                    ),
+                });
+            }
+            if self.platform.component(cluster).is_err() {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("platform has no {cluster} cluster"),
+                });
+            }
+            let pid = scheduler.spawn(workload.name().to_owned(), class, cluster);
+            scheduler.set_realtime(pid, realtime)?;
+            attached.push(Attached { pid, workload });
+        }
+        let mut core = SimCore {
+            platform: self.platform,
+            network,
+            scheduler,
+            policies,
+            control_sensor: self.control_sensor,
+            workloads: attached,
+            time: Seconds::ZERO,
+            dt: self.dt,
+            telemetry: Telemetry::new(self.telemetry_period),
+            sysfs: SysFs::new(),
+            last_powers: BTreeMap::new(),
+            pending_migrations: Arc::new(Mutex::new(Vec::new())),
+            cluster_mirror: Arc::new(Mutex::new(BTreeMap::new())),
+            events: EventLog::new(),
+        };
+        core.register_sysfs()?;
+        core.sync_sysfs()?;
+        let stages = default_pipeline(
+            self.thermal_governor,
+            self.thermal_period,
+            self.system_policy,
+        );
+        Ok(Simulator { core, stages })
+    }
+}

@@ -1,25 +1,21 @@
-//! The simulation engine and its builder.
+//! The simulation engine: shared core state plus the staged pipeline.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use mpt_kernel::cpufreq::ClusterLoad;
-use mpt_kernel::thermal_gov::ActorState;
-use mpt_kernel::{
-    allocate_max_min, CpuFreqPolicy, DisabledGovernor, GovernorKind, Pid, ProcessClass,
-    Scheduler, ThermalAction, ThermalGovernor,
-};
+use mpt_kernel::{CpuFreqPolicy, Pid, Scheduler, ThermalAction};
 use mpt_soc::{Component, ComponentId, Platform, PowerBreakdown};
 use mpt_sysfs::{Attribute, SysFs};
 use mpt_thermal::RcNetwork;
-use mpt_units::{Celsius, Hertz, Kelvin, Ratio, Seconds, Watts};
+use mpt_units::{Celsius, Hertz, Kelvin, Seconds, Watts};
 use mpt_workloads::Workload;
 
-use crate::{Event, EventKind, EventLog, Result, SimError, SystemPolicy, SystemView, Telemetry};
+use crate::stages::{SimStage, StepContext};
+use crate::{Event, EventKind, EventLog, Result, Telemetry};
 
-struct Attached {
-    pid: Pid,
-    workload: Box<dyn Workload>,
+pub(crate) struct Attached {
+    pub(crate) pid: Pid,
+    pub(crate) workload: Box<dyn Workload>,
 }
 
 impl std::fmt::Debug for Attached {
@@ -31,393 +27,43 @@ impl std::fmt::Debug for Attached {
     }
 }
 
-/// Builder for [`Simulator`] (C-BUILDER).
+/// The shared simulation state every [`SimStage`] operates on: the
+/// platform, the live thermal network, the process table, per-component
+/// cpufreq policies, attached workloads, telemetry, the event log, and
+/// the sysfs control plane.
 ///
-/// Defaults mirror an Android system: `interactive` on both CPU clusters,
-/// `ondemand` on the GPU, `performance` on the memory bus, a disabled
-/// thermal governor (enable one explicitly for throttled runs), a 10 ms
-/// tick and a 100 ms thermal poll.
-pub struct SimBuilder {
-    platform: Platform,
-    dt: Seconds,
-    governors: BTreeMap<ComponentId, GovernorKind>,
-    thermal_governor: Box<dyn ThermalGovernor>,
-    thermal_period: Seconds,
-    system_policy: Option<Box<dyn SystemPolicy>>,
-    control_sensor: Option<String>,
-    initial_temperature: Option<Celsius>,
-    telemetry_period: Seconds,
-    accounting_window: Option<Seconds>,
-    workloads: Vec<(Box<dyn Workload>, ProcessClass, ComponentId, bool)>,
-}
-
-impl std::fmt::Debug for SimBuilder {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimBuilder")
-            .field("platform", &self.platform.name())
-            .field("workloads", &self.workloads.len())
-            .finish()
-    }
-}
-
-impl SimBuilder {
-    /// Starts building a simulation of `platform`.
-    #[must_use]
-    pub fn new(platform: Platform) -> Self {
-        let mut governors = BTreeMap::new();
-        governors.insert(ComponentId::LittleCluster, GovernorKind::Interactive);
-        governors.insert(ComponentId::BigCluster, GovernorKind::Interactive);
-        governors.insert(ComponentId::Gpu, GovernorKind::Ondemand);
-        governors.insert(ComponentId::Memory, GovernorKind::Performance);
-        Self {
-            platform,
-            dt: Seconds::from_millis(10.0),
-            governors,
-            thermal_governor: Box::new(DisabledGovernor),
-            thermal_period: Seconds::from_millis(100.0),
-            system_policy: None,
-            control_sensor: None,
-            initial_temperature: None,
-            telemetry_period: Seconds::from_millis(100.0),
-            accounting_window: None,
-            workloads: Vec::new(),
-        }
-    }
-
-    /// Sets the simulation tick.
-    #[must_use]
-    pub fn tick(mut self, dt: Seconds) -> Self {
-        self.dt = dt;
-        self
-    }
-
-    /// Selects the cpufreq governor for one component.
-    #[must_use]
-    pub fn governor(mut self, id: ComponentId, kind: GovernorKind) -> Self {
-        self.governors.insert(id, kind);
-        self
-    }
-
-    /// Installs a thermal governor (the stock baseline being step-wise
-    /// trips or IPA; the default is disabled, matching the paper's
-    /// "without throttling" runs).
-    #[must_use]
-    pub fn thermal_governor(mut self, governor: Box<dyn ThermalGovernor>) -> Self {
-        self.thermal_governor = governor;
-        self
-    }
-
-    /// Sets the thermal governor polling period (default 100 ms).
-    #[must_use]
-    pub fn thermal_period(mut self, period: Seconds) -> Self {
-        self.thermal_period = period;
-        self
-    }
-
-    /// Uses a specific sensor as the thermal governor's control input
-    /// (e.g. `"package"` on the Nexus 6P, as in the paper); by default the
-    /// maximum over all sensors is used.
-    #[must_use]
-    pub fn control_sensor(mut self, sensor: impl Into<String>) -> Self {
-        self.control_sensor = Some(sensor.into());
-        self
-    }
-
-    /// Installs a full-authority system policy (the paper's proposed
-    /// governor).
-    #[must_use]
-    pub fn system_policy(mut self, policy: Box<dyn SystemPolicy>) -> Self {
-        self.system_policy = Some(policy);
-        self
-    }
-
-    /// Starts all thermal nodes at the given temperature (pre-warmed
-    /// device, as in the paper's figures that begin above ambient).
-    #[must_use]
-    pub fn initial_temperature(mut self, t: Celsius) -> Self {
-        self.initial_temperature = Some(t);
-        self
-    }
-
-    /// Sets the telemetry time-series sampling period (default 100 ms).
-    #[must_use]
-    pub fn telemetry_period(mut self, period: Seconds) -> Self {
-        self.telemetry_period = period;
-        self
-    }
-
-    /// Sets the per-process utilization/power accounting window (the
-    /// paper uses 1 s, the default; the window-length ablation sweeps
-    /// this).
-    #[must_use]
-    pub fn accounting_window(mut self, window: Seconds) -> Self {
-        self.accounting_window = Some(window);
-        self
-    }
-
-    /// Attaches a workload as a process on a CPU cluster.
-    #[must_use]
-    pub fn attach(
-        mut self,
-        workload: Box<dyn Workload>,
-        class: ProcessClass,
-        cluster: ComponentId,
-    ) -> Self {
-        self.workloads.push((workload, class, cluster, false));
-        self
-    }
-
-    /// Attaches a workload registered as real-time (exempt from
-    /// application-aware throttling, per the paper's registration
-    /// mechanism).
-    #[must_use]
-    pub fn attach_realtime(
-        mut self,
-        workload: Box<dyn Workload>,
-        class: ProcessClass,
-        cluster: ComponentId,
-    ) -> Self {
-        self.workloads.push((workload, class, cluster, true));
-        self
-    }
-
-    /// Finalizes the simulator.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::InvalidConfig`] for bad parameters,
-    /// [`SimError::Thermal`] if the platform thermal spec is invalid, or
-    /// [`SimError::SysFs`] if the control plane cannot be populated.
-    pub fn build(self) -> Result<Simulator> {
-        if self.dt.value() <= 0.0 {
-            return Err(SimError::InvalidConfig { reason: "tick must be positive".into() });
-        }
-        if self.thermal_period < self.dt {
-            return Err(SimError::InvalidConfig {
-                reason: "thermal period must be at least one tick".into(),
-            });
-        }
-        if let Some(sensor) = &self.control_sensor {
-            if !self
-                .platform
-                .temperature_sensors()
-                .iter()
-                .any(|s| s.name() == sensor.as_str())
-            {
-                return Err(SimError::InvalidConfig {
-                    reason: format!("control sensor {sensor:?} does not exist"),
-                });
-            }
-        }
-        let mut network = RcNetwork::from_spec(self.platform.thermal_spec())?;
-        if let Some(t0) = self.initial_temperature {
-            network.set_uniform_temperature(t0.to_kelvin());
-        }
-        let mut policies = BTreeMap::new();
-        for component in self.platform.components() {
-            let kind = self
-                .governors
-                .get(&component.id())
-                .copied()
-                .unwrap_or(GovernorKind::Performance);
-            policies.insert(component.id(), CpuFreqPolicy::new(component, kind));
-        }
-        let mut scheduler = match self.accounting_window {
-            Some(w) => {
-                if w.value() <= 0.0 {
-                    return Err(SimError::InvalidConfig {
-                        reason: "accounting window must be positive".into(),
-                    });
-                }
-                Scheduler::with_window(w)
-            }
-            None => Scheduler::new(),
-        };
-        let mut attached = Vec::new();
-        for (workload, class, cluster, realtime) in self.workloads {
-            if !cluster.is_cpu() {
-                return Err(SimError::InvalidConfig {
-                    reason: format!("workload {:?} attached to non-CPU {cluster}", workload.name()),
-                });
-            }
-            if self.platform.component(cluster).is_err() {
-                return Err(SimError::InvalidConfig {
-                    reason: format!("platform has no {cluster} cluster"),
-                });
-            }
-            let pid = scheduler.spawn(workload.name().to_owned(), class, cluster);
-            scheduler.set_realtime(pid, realtime)?;
-            attached.push(Attached { pid, workload });
-        }
-        let sysfs = SysFs::new();
-        let mut sim = Simulator {
-            platform: self.platform,
-            network,
-            scheduler,
-            policies,
-            thermal_governor: self.thermal_governor,
-            thermal_period: self.thermal_period,
-            since_thermal: Seconds::ZERO,
-            system_policy: self.system_policy,
-            since_policy: Seconds::ZERO,
-            control_sensor: self.control_sensor,
-            workloads: attached,
-            time: Seconds::ZERO,
-            dt: self.dt,
-            telemetry: Telemetry::new(self.telemetry_period),
-            sysfs,
-            last_powers: BTreeMap::new(),
-            pending_migrations: Arc::new(Mutex::new(Vec::new())),
-            cluster_mirror: Arc::new(Mutex::new(BTreeMap::new())),
-            events: EventLog::new(),
-            prev_clusters: BTreeMap::new(),
-            finished: std::collections::BTreeSet::new(),
-        };
-        sim.register_sysfs()?;
-        sim.sync_sysfs()?;
-        Ok(sim)
-    }
-}
-
-/// The co-simulator. Build with [`SimBuilder`].
+/// Per-tick scratch state lives in [`StepContext`]; per-pipeline state
+/// (governor accumulators, previous-tick snapshots) lives inside the
+/// stages themselves.
 #[derive(Debug)]
-pub struct Simulator {
-    platform: Platform,
-    network: RcNetwork,
-    scheduler: Scheduler,
-    policies: BTreeMap<ComponentId, CpuFreqPolicy>,
-    thermal_governor: Box<dyn ThermalGovernor>,
-    thermal_period: Seconds,
-    since_thermal: Seconds,
-    system_policy: Option<Box<dyn SystemPolicy>>,
-    since_policy: Seconds,
-    control_sensor: Option<String>,
-    workloads: Vec<Attached>,
-    time: Seconds,
-    dt: Seconds,
-    telemetry: Telemetry,
-    sysfs: SysFs,
-    last_powers: BTreeMap<ComponentId, PowerBreakdown>,
+pub struct SimCore {
+    pub(crate) platform: Platform,
+    pub(crate) network: RcNetwork,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) policies: BTreeMap<ComponentId, CpuFreqPolicy>,
+    pub(crate) control_sensor: Option<String>,
+    pub(crate) workloads: Vec<Attached>,
+    pub(crate) time: Seconds,
+    pub(crate) dt: Seconds,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) sysfs: SysFs,
+    pub(crate) last_powers: BTreeMap<ComponentId, PowerBreakdown>,
     /// Cluster moves requested through the cpuset control plane, applied
     /// at the start of the next tick.
-    pending_migrations: Arc<Mutex<Vec<(Pid, ComponentId)>>>,
+    pub(crate) pending_migrations: Arc<Mutex<Vec<(Pid, ComponentId)>>>,
     /// Live mirror of each process's cluster, read by the cpuset files.
-    cluster_mirror: Arc<Mutex<BTreeMap<u32, &'static str>>>,
-    events: EventLog,
-    prev_clusters: BTreeMap<Pid, ComponentId>,
-    finished: std::collections::BTreeSet<Pid>,
+    pub(crate) cluster_mirror: Arc<Mutex<BTreeMap<u32, &'static str>>>,
+    pub(crate) events: EventLog,
 }
 
-impl Simulator {
-    /// Current simulation time.
-    #[must_use]
-    pub fn time(&self) -> Seconds {
-        self.time
-    }
-
-    /// The simulation tick.
-    #[must_use]
-    pub fn dt(&self) -> Seconds {
-        self.dt
-    }
-
-    /// The platform under simulation.
-    #[must_use]
-    pub fn platform(&self) -> &Platform {
-        &self.platform
-    }
-
-    /// The live thermal network.
-    #[must_use]
-    pub fn network(&self) -> &RcNetwork {
-        &self.network
-    }
-
-    /// The process table.
-    #[must_use]
-    pub fn scheduler(&self) -> &Scheduler {
-        &self.scheduler
-    }
-
-    /// Run telemetry.
-    #[must_use]
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
-    }
-
-    /// The sysfs control plane (live: caps written here take effect on
-    /// the next tick).
-    #[must_use]
-    pub fn sysfs(&self) -> &SysFs {
-        &self.sysfs
-    }
-
-    /// The current frequency of a component.
-    #[must_use]
-    pub fn current_frequency(&self, id: ComponentId) -> Option<Hertz> {
-        self.policies.get(&id).map(CpuFreqPolicy::current)
-    }
-
-    /// Per-component power from the last tick.
-    #[must_use]
-    pub fn last_powers(&self) -> &BTreeMap<ComponentId, PowerBreakdown> {
-        &self.last_powers
-    }
-
-    /// The discrete event log of the run (migrations, cap changes,
-    /// workload completions).
-    #[must_use]
-    pub fn events(&self) -> &EventLog {
-        &self.events
-    }
-
-    /// Total power from the last tick.
-    #[must_use]
-    pub fn total_power(&self) -> Watts {
-        self.last_powers.values().map(PowerBreakdown::total).sum()
-    }
-
-    /// The pid of the workload with the given name.
-    #[must_use]
-    pub fn pid_of(&self, name: &str) -> Option<Pid> {
-        self.workloads
-            .iter()
-            .find(|a| a.workload.name() == name)
-            .map(|a| a.pid)
-    }
-
-    /// Downcasts a workload to its concrete type (e.g. to read a
-    /// benchmark score after the run).
-    #[must_use]
-    pub fn workload_as<T: 'static>(&self, pid: Pid) -> Option<&T> {
-        self.workloads
-            .iter()
-            .find(|a| a.pid == pid)
-            .and_then(|a| a.workload.as_any().downcast_ref::<T>())
-    }
-
-    /// The median FPS reported by a workload, if it renders frames.
-    #[must_use]
-    pub fn median_fps(&self, pid: Pid) -> Option<f64> {
-        self.workloads
-            .iter()
-            .find(|a| a.pid == pid)
-            .and_then(|a| a.workload.median_fps())
-    }
-
-    /// Whether every attached workload reports completion.
-    #[must_use]
-    pub fn all_finished(&self) -> bool {
-        self.workloads.iter().all(|a| a.workload.is_finished())
-    }
-
-    fn component(&self, id: ComponentId) -> &Component {
+impl SimCore {
+    pub(crate) fn component(&self, id: ComponentId) -> &Component {
         self.platform
             .component(id)
             .expect("policies only exist for platform components")
     }
 
-    fn sensor_temps(&self) -> Vec<(String, Celsius)> {
+    pub(crate) fn sensor_temps(&self) -> Vec<(String, Celsius)> {
         self.platform
             .temperature_sensors()
             .iter()
@@ -430,7 +76,7 @@ impl Simulator {
             .collect()
     }
 
-    fn control_temperature(&self) -> Celsius {
+    pub(crate) fn control_temperature(&self) -> Celsius {
         let temps = self.sensor_temps();
         if let Some(sensor) = &self.control_sensor {
             if let Some((_, c)) = temps.iter().find(|(n, _)| n == sensor) {
@@ -443,331 +89,7 @@ impl Simulator {
             .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
     }
 
-    /// Advances the simulation by one tick.
-    ///
-    /// # Errors
-    ///
-    /// Propagates thermal/scheduler/sysfs errors (none occur in a
-    /// correctly built simulator).
-    pub fn step(&mut self) -> Result<()> {
-        let now = self.time;
-        let dt = self.dt;
-
-        // 0. External writes to the sysfs control plane take effect.
-        self.apply_sysfs_caps()?;
-        self.apply_pending_migrations()?;
-
-        // 1. Collect demands.
-        let mut demands = Vec::with_capacity(self.workloads.len());
-        let mut interaction = false;
-        for a in &mut self.workloads {
-            let d = a.workload.demand(now, dt);
-            interaction |= d.interaction;
-            demands.push((a.pid, d));
-        }
-
-        // 2. Allocate CPU per cluster and the GPU.
-        let mut delivered_cpu: BTreeMap<Pid, f64> = BTreeMap::new();
-        let mut cluster_busy_cores: BTreeMap<ComponentId, f64> = BTreeMap::new();
-        let mut cluster_util: BTreeMap<ComponentId, f64> = BTreeMap::new();
-        let mut cluster_delivered: BTreeMap<ComponentId, Vec<(Pid, f64)>> = BTreeMap::new();
-        for cluster in [ComponentId::LittleCluster, ComponentId::BigCluster] {
-            let Ok(component) = self.platform.component(cluster) else {
-                continue;
-            };
-            let freq = self.policies[&cluster].current();
-            let per_core = component.effective_rate(freq) * dt.value();
-            let cores = f64::from(component.core_count());
-            let capacity = per_core * cores;
-            let requests: Vec<(Pid, f64)> = demands
-                .iter()
-                .filter(|(pid, _)| {
-                    self.scheduler
-                        .process(*pid)
-                        .is_some_and(|p| p.cluster() == cluster)
-                })
-                .map(|(pid, d)| (*pid, d.cpu_cycles.min(d.cpu_threads * per_core)))
-                .collect();
-            let allocations = allocate_max_min(&requests, capacity);
-            let mut total = 0.0;
-            let mut per_pid = Vec::new();
-            // Governors see the *busiest CPU's* load, as the Linux
-            // cpufreq core does (a single saturated thread must drive the
-            // cluster to high frequency even though the cluster-average
-            // utilization is only 1/cores).
-            let mut busiest_thread = 0.0_f64;
-            for alloc in &allocations {
-                delivered_cpu.insert(alloc.pid, alloc.delivered);
-                total += alloc.delivered;
-                per_pid.push((alloc.pid, alloc.delivered));
-                let threads = demands
-                    .iter()
-                    .find(|(pid, _)| *pid == alloc.pid)
-                    .map_or(1.0, |(_, d)| d.cpu_threads.clamp(1.0, cores));
-                if per_core > 0.0 {
-                    busiest_thread =
-                        busiest_thread.max(alloc.delivered / (threads * per_core));
-                }
-            }
-            cluster_delivered.insert(cluster, per_pid);
-            let busy = if per_core > 0.0 { total / per_core } else { 0.0 };
-            cluster_busy_cores.insert(cluster, busy);
-            let avg = if capacity > 0.0 { total / capacity } else { 0.0 };
-            cluster_util.insert(cluster, avg.max(busiest_thread));
-        }
-
-        let mut delivered_gpu: BTreeMap<Pid, f64> = BTreeMap::new();
-        let mut gpu_util = 0.0;
-        if self.platform.component(ComponentId::Gpu).is_ok() {
-            let freq = self.policies[&ComponentId::Gpu].current();
-            let capacity = freq.as_f64() * dt.value();
-            let requests: Vec<(Pid, f64)> = demands
-                .iter()
-                .filter(|(_, d)| d.gpu_cycles > 0.0)
-                .map(|(pid, d)| (*pid, d.gpu_cycles))
-                .collect();
-            let allocations = allocate_max_min(&requests, capacity);
-            let mut total = 0.0;
-            for alloc in &allocations {
-                delivered_gpu.insert(alloc.pid, alloc.delivered);
-                total += alloc.delivered;
-            }
-            gpu_util = if capacity > 0.0 { total / capacity } else { 0.0 };
-        }
-
-        // 3. Deliver to workloads.
-        for a in &mut self.workloads {
-            let cpu = delivered_cpu.get(&a.pid).copied().unwrap_or(0.0);
-            let gpu = delivered_gpu.get(&a.pid).copied().unwrap_or(0.0);
-            a.workload.deliver(cpu, gpu, now, dt);
-        }
-
-        // 4. Power model (leakage from the previous tick's temperatures).
-        let mut powers: BTreeMap<ComponentId, PowerBreakdown> = BTreeMap::new();
-        let little_busy = cluster_busy_cores
-            .get(&ComponentId::LittleCluster)
-            .copied()
-            .unwrap_or(0.0);
-        let big_busy = cluster_busy_cores
-            .get(&ComponentId::BigCluster)
-            .copied()
-            .unwrap_or(0.0);
-        for component in self.platform.components() {
-            let id = component.id();
-            let freq = self.policies[&id].current();
-            let opp = component.opps().at_or_below(freq);
-            let util = match id {
-                ComponentId::LittleCluster => little_busy,
-                ComponentId::BigCluster => big_busy,
-                ComponentId::Gpu => gpu_util,
-                ComponentId::Memory => {
-                    (0.04 * little_busy + 0.08 * big_busy + 0.5 * gpu_util).min(1.0)
-                }
-            };
-            let node = self
-                .platform
-                .thermal_spec()
-                .node_for_component(id)
-                .expect("validated at platform build");
-            let temp = self.network.temperature(node);
-            powers.insert(
-                id,
-                component
-                    .power_params()
-                    .power(opp.voltage(), opp.frequency(), util, temp),
-            );
-        }
-
-        // 5. Attribute power to processes and record their windows. The
-        // paper's governor ranks processes "by monitoring the average
-        // utilization of each active process", i.e. by their *CPU*
-        // activity — GPU power is a property of the display pipeline, not
-        // of a schedulable process, so it is not attributed.
-        let mut attributed: BTreeMap<Pid, f64> = BTreeMap::new();
-        for (cluster, per_pid) in &cluster_delivered {
-            let total: f64 = per_pid.iter().map(|(_, c)| c).sum();
-            if total <= 0.0 {
-                continue;
-            }
-            let dyn_power = powers[cluster].dynamic.value();
-            for (pid, c) in per_pid {
-                *attributed.entry(*pid).or_insert(0.0) += dyn_power * c / total;
-            }
-        }
-        let pids: Vec<Pid> = self.workloads.iter().map(|a| a.pid).collect();
-        for pid in pids {
-            let cluster = self
-                .scheduler
-                .process(pid)
-                .expect("attached workloads have processes")
-                .cluster();
-            let component = self.component(cluster);
-            let freq = self.policies[&cluster].current();
-            let per_core = component.effective_rate(freq) * dt.value();
-            let util = if per_core > 0.0 {
-                delivered_cpu.get(&pid).copied().unwrap_or(0.0) / per_core
-            } else {
-                0.0
-            };
-            let power = Watts::new(attributed.get(&pid).copied().unwrap_or(0.0));
-            if let Some(p) = self.scheduler.process_mut(pid) {
-                p.record_tick(util, power, dt);
-            }
-        }
-
-        // 6. Thermal integration.
-        let mut node_powers = vec![Watts::ZERO; self.network.len()];
-        for (&id, breakdown) in &powers {
-            let node = self
-                .platform
-                .thermal_spec()
-                .node_for_component(id)
-                .expect("validated at platform build");
-            node_powers[node] += breakdown.total();
-        }
-        self.network.step(dt, &node_powers)?;
-
-        // 7. Telemetry.
-        let freqs: Vec<(ComponentId, Hertz)> = self
-            .policies
-            .iter()
-            .map(|(&id, p)| (id, p.current()))
-            .collect();
-        let sensor_temps = self.sensor_temps();
-        self.telemetry.record(now, dt, &sensor_temps, &freqs, &powers);
-        self.last_powers = powers;
-
-        // 8. cpufreq governors.
-        for (&id, policy) in &mut self.policies {
-            let utilization = match id {
-                ComponentId::LittleCluster | ComponentId::BigCluster => {
-                    cluster_util.get(&id).copied().unwrap_or(0.0)
-                }
-                ComponentId::Gpu => gpu_util,
-                ComponentId::Memory => 1.0,
-            };
-            policy.update(
-                ClusterLoad { utilization: Ratio::new(utilization), interaction },
-                dt,
-            );
-        }
-
-        // 9. Thermal governor at its period, acting through sysfs.
-        self.since_thermal += dt;
-        if self.since_thermal >= self.thermal_period {
-            self.since_thermal = Seconds::ZERO;
-            let control = self.control_temperature();
-            let actors: Vec<ActorState> = self
-                .last_powers
-                .iter()
-                .map(|(&id, b)| ActorState {
-                    id,
-                    power: b.total(),
-                    utilization: match id {
-                        ComponentId::LittleCluster => little_busy,
-                        ComponentId::BigCluster => big_busy,
-                        ComponentId::Gpu => gpu_util,
-                        ComponentId::Memory => 1.0,
-                    },
-                })
-                .collect();
-            let actions = self
-                .thermal_governor
-                .update(control, &actors, self.thermal_period);
-            self.apply_thermal_actions(&actions)?;
-        }
-
-        // 10. System policy (the paper's governor) at its period.
-        if let Some(mut policy) = self.system_policy.take() {
-            self.since_policy += dt;
-            if self.since_policy >= policy.period() {
-                self.since_policy = Seconds::ZERO;
-                policy.update(SystemView {
-                    time: now,
-                    platform: &self.platform,
-                    network: &self.network,
-                    scheduler: &mut self.scheduler,
-                    powers: &self.last_powers,
-                    policies: &mut self.policies,
-                    sysfs: &self.sysfs,
-                });
-            }
-            self.system_policy = Some(policy);
-        }
-
-        // 11. Record discrete events: cluster moves and completions.
-        for a in &self.workloads {
-            let Some(p) = self.scheduler.process(a.pid) else {
-                continue;
-            };
-            let cluster = p.cluster();
-            if let Some(&prev) = self.prev_clusters.get(&a.pid) {
-                if prev != cluster {
-                    self.events.push(Event {
-                        time: now,
-                        kind: EventKind::Migration {
-                            pid: a.pid,
-                            name: a.workload.name().to_owned(),
-                            from: prev,
-                            to: cluster,
-                        },
-                    });
-                }
-            }
-            self.prev_clusters.insert(a.pid, cluster);
-            if a.workload.is_finished() && self.finished.insert(a.pid) {
-                self.events.push(Event {
-                    time: now,
-                    kind: EventKind::WorkloadFinished {
-                        pid: a.pid,
-                        name: a.workload.name().to_owned(),
-                    },
-                });
-            }
-        }
-
-        // 12. Mirror live state into sysfs.
-        self.sync_sysfs()?;
-
-        self.time += dt;
-        Ok(())
-    }
-
-    /// Runs for a span of simulated time.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first [`step`](Self::step) error.
-    pub fn run_for(&mut self, span: Seconds) -> Result<()> {
-        let end = self.time + span;
-        while self.time < end {
-            self.step()?;
-        }
-        Ok(())
-    }
-
-    /// Runs until `predicate` returns true or `max` simulated time
-    /// elapses; returns whether the predicate fired.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first [`step`](Self::step) error.
-    pub fn run_until(
-        &mut self,
-        mut predicate: impl FnMut(&Simulator) -> bool,
-        max: Seconds,
-    ) -> Result<bool> {
-        let end = self.time + max;
-        while self.time < end {
-            if predicate(self) {
-                return Ok(true);
-            }
-            self.step()?;
-        }
-        Ok(predicate(self))
-    }
-
-    fn apply_thermal_actions(&mut self, actions: &[ThermalAction]) -> Result<()> {
+    pub(crate) fn apply_thermal_actions(&mut self, actions: &[ThermalAction]) -> Result<()> {
         for action in actions {
             match *action {
                 ThermalAction::SetMaxFreq { component, freq } => {
@@ -775,11 +97,7 @@ impl Simulator {
                     self.sysfs.write(&path, &freq.as_khz().to_string())?;
                 }
                 ThermalAction::ClearCap { component } => {
-                    let top = self
-                        .component(component)
-                        .opps()
-                        .highest()
-                        .frequency();
+                    let top = self.component(component).opps().highest().frequency();
                     let path = mpt_kernel::paths::max_freq(component);
                     self.sysfs.write(&path, &top.as_khz().to_string())?;
                 }
@@ -789,7 +107,7 @@ impl Simulator {
         self.apply_sysfs_caps()
     }
 
-    fn register_sysfs(&mut self) -> Result<()> {
+    pub(crate) fn register_sysfs(&mut self) -> Result<()> {
         for component in self.platform.components() {
             let id = component.id();
             let top = component.opps().highest().frequency();
@@ -889,7 +207,7 @@ impl Simulator {
         Ok(())
     }
 
-    fn sync_sysfs(&self) -> Result<()> {
+    pub(crate) fn sync_sysfs(&self) -> Result<()> {
         for (&id, policy) in &self.policies {
             self.sysfs.write(
                 &mpt_kernel::paths::cur_freq(id),
@@ -929,7 +247,7 @@ impl Simulator {
         Ok(())
     }
 
-    fn apply_pending_migrations(&mut self) -> Result<()> {
+    pub(crate) fn apply_pending_migrations(&mut self) -> Result<()> {
         let moves: Vec<(Pid, ComponentId)> = self
             .pending_migrations
             .lock()
@@ -942,12 +260,10 @@ impl Simulator {
         Ok(())
     }
 
-    fn apply_sysfs_caps(&mut self) -> Result<()> {
+    pub(crate) fn apply_sysfs_caps(&mut self) -> Result<()> {
         for component in self.platform.components() {
             let id = component.id();
-            let khz: u64 = self
-                .sysfs
-                .read_parsed(&mpt_kernel::paths::max_freq(id))?;
+            let khz: u64 = self.sysfs.read_parsed(&mpt_kernel::paths::max_freq(id))?;
             let cap = Hertz::from_khz(khz);
             let top = component.opps().highest().frequency();
             let policy = self
@@ -959,306 +275,204 @@ impl Simulator {
                 policy.set_max_cap(desired);
                 self.events.push(Event {
                     time: self.time,
-                    kind: EventKind::CapChanged { component: id, cap: desired },
+                    kind: EventKind::CapChanged {
+                        component: id,
+                        cap: desired,
+                    },
                 });
             }
         }
         Ok(())
+    }
+}
+
+/// The co-simulator: a [`SimCore`] advanced by a staged pipeline. Build
+/// with [`SimBuilder`](crate::SimBuilder).
+#[derive(Debug)]
+pub struct Simulator {
+    pub(crate) core: SimCore,
+    pub(crate) stages: Vec<Box<dyn SimStage>>,
+}
+
+impl Simulator {
+    /// Current simulation time.
+    #[must_use]
+    pub fn time(&self) -> Seconds {
+        self.core.time
+    }
+
+    /// The simulation tick.
+    #[must_use]
+    pub fn dt(&self) -> Seconds {
+        self.core.dt
+    }
+
+    /// The platform under simulation.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.core.platform
+    }
+
+    /// The live thermal network.
+    #[must_use]
+    pub fn network(&self) -> &RcNetwork {
+        &self.core.network
+    }
+
+    /// The process table.
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.core.scheduler
+    }
+
+    /// Run telemetry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.core.telemetry
+    }
+
+    /// The sysfs control plane (live: caps written here take effect on
+    /// the next tick).
+    #[must_use]
+    pub fn sysfs(&self) -> &SysFs {
+        &self.core.sysfs
+    }
+
+    /// The names of the pipeline stages, in tick order.
+    #[must_use]
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// The current frequency of a component.
+    #[must_use]
+    pub fn current_frequency(&self, id: ComponentId) -> Option<Hertz> {
+        self.core.policies.get(&id).map(CpuFreqPolicy::current)
+    }
+
+    /// Per-component power from the last tick.
+    #[must_use]
+    pub fn last_powers(&self) -> &BTreeMap<ComponentId, PowerBreakdown> {
+        &self.core.last_powers
+    }
+
+    /// The discrete event log of the run (migrations, cap changes,
+    /// workload completions).
+    #[must_use]
+    pub fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    /// Total power from the last tick.
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        self.core
+            .last_powers
+            .values()
+            .map(PowerBreakdown::total)
+            .sum()
+    }
+
+    /// The pid of the workload with the given name.
+    #[must_use]
+    pub fn pid_of(&self, name: &str) -> Option<Pid> {
+        self.core
+            .workloads
+            .iter()
+            .find(|a| a.workload.name() == name)
+            .map(|a| a.pid)
+    }
+
+    /// Downcasts a workload to its concrete type (e.g. to read a
+    /// benchmark score after the run).
+    #[must_use]
+    pub fn workload_as<T: 'static>(&self, pid: Pid) -> Option<&T> {
+        self.core
+            .workloads
+            .iter()
+            .find(|a| a.pid == pid)
+            .and_then(|a| a.workload.as_any().downcast_ref::<T>())
+    }
+
+    /// The median FPS reported by a workload, if it renders frames.
+    #[must_use]
+    pub fn median_fps(&self, pid: Pid) -> Option<f64> {
+        self.core
+            .workloads
+            .iter()
+            .find(|a| a.pid == pid)
+            .and_then(|a| a.workload.median_fps())
+    }
+
+    /// Whether every attached workload reports completion.
+    #[must_use]
+    pub fn all_finished(&self) -> bool {
+        self.core.workloads.iter().all(|a| a.workload.is_finished())
+    }
+
+    /// Advances the simulation by one tick: runs each pipeline stage in
+    /// order over the shared core, then advances the clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal/scheduler/sysfs errors (none occur in a
+    /// correctly built simulator).
+    pub fn step(&mut self) -> Result<()> {
+        let mut ctx = StepContext::new(self.core.time, self.core.dt);
+        for stage in &mut self.stages {
+            stage.run(&mut self.core, &mut ctx)?;
+        }
+        self.core.time += self.core.dt;
+        Ok(())
+    }
+
+    /// Runs for a span of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`step`](Self::step) error.
+    pub fn run_for(&mut self, span: Seconds) -> Result<()> {
+        let end = self.core.time + span;
+        while self.core.time < end {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `predicate` returns true or `max` simulated time
+    /// elapses; returns whether the predicate fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`step`](Self::step) error.
+    pub fn run_until(
+        &mut self,
+        mut predicate: impl FnMut(&Simulator) -> bool,
+        max: Seconds,
+    ) -> Result<bool> {
+        let end = self.core.time + max;
+        while self.core.time < end {
+            if predicate(self) {
+                return Ok(true);
+            }
+            self.step()?;
+        }
+        Ok(predicate(self))
     }
 
     /// Temperature of a named thermal node, in Celsius.
     ///
     /// # Errors
     ///
-    /// [`SimError::Thermal`] if the node does not exist.
+    /// [`SimError::Thermal`](crate::SimError::Thermal) if the node does
+    /// not exist.
     pub fn temperature_of(&self, node: &str) -> Result<Celsius> {
-        Ok(self.network.celsius_of(node)?)
+        Ok(self.core.network.celsius_of(node)?)
     }
 
     /// The hottest node temperature.
     #[must_use]
     pub fn max_temperature(&self) -> Kelvin {
-        self.network.hottest().1
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mpt_kernel::{StepWiseGovernor, TripPoint};
-    use mpt_soc::platforms;
-    use mpt_workloads::apps;
-    use mpt_workloads::benchmarks::BasicMathLarge;
-
-    fn game_sim() -> Simulator {
-        SimBuilder::new(platforms::snapdragon_810())
-            .attach(
-                Box::new(apps::paper_io(42)),
-                ProcessClass::Foreground,
-                ComponentId::BigCluster,
-            )
-            .build()
-            .unwrap()
-    }
-
-    #[test]
-    fn time_advances_by_ticks() {
-        let mut sim = game_sim();
-        sim.run_for(Seconds::new(1.0)).unwrap();
-        assert!((sim.time().value() - 1.0).abs() < 0.011);
-    }
-
-    #[test]
-    fn running_a_game_heats_the_phone() {
-        let mut sim = game_sim();
-        let start = sim.temperature_of("package").unwrap();
-        sim.run_for(Seconds::new(60.0)).unwrap();
-        let end = sim.temperature_of("package").unwrap();
-        assert!(
-            end.value() > start.value() + 3.0,
-            "package {start} -> {end} should warm by several degrees"
-        );
-    }
-
-    #[test]
-    fn game_achieves_a_playable_framerate() {
-        let mut sim = game_sim();
-        sim.run_for(Seconds::new(30.0)).unwrap();
-        let pid = sim.pid_of("Paper.io").unwrap();
-        let fps = sim.median_fps(pid).unwrap();
-        assert!(fps > 20.0 && fps <= 60.5, "fps = {fps}");
-    }
-
-    #[test]
-    fn gpu_clocks_up_under_game_load() {
-        let mut sim = game_sim();
-        sim.run_for(Seconds::new(10.0)).unwrap();
-        let f = sim.current_frequency(ComponentId::Gpu).unwrap();
-        assert!(f >= Hertz::from_mhz(450), "gpu at {f}");
-    }
-
-    fn nexus_stock_thermal(soc: &Platform) -> Box<dyn ThermalGovernor> {
-        // GPU may throttle down to 390 MHz (state 3), the big cluster no
-        // lower than 960 MHz (state 7 of 13) — cooling-device ranges like
-        // the vendor thermal engine's.
-        Box::new(StepWiseGovernor::with_state_limits(
-            vec![
-                TripPoint::new(Celsius::new(42.0), Celsius::new(1.5)),
-                TripPoint::new(Celsius::new(45.0), Celsius::new(1.5)),
-            ],
-            vec![
-                (soc.component(ComponentId::Gpu).unwrap().clone(), 3),
-                (soc.component(ComponentId::BigCluster).unwrap().clone(), 7),
-            ],
-        ))
-    }
-
-    #[test]
-    fn thermal_governor_caps_via_sysfs() {
-        let soc = platforms::snapdragon_810();
-        let gov = nexus_stock_thermal(&soc);
-        let mut sim = SimBuilder::new(soc)
-            .attach(
-                Box::new(apps::paper_io(42)),
-                ProcessClass::Foreground,
-                ComponentId::BigCluster,
-            )
-            .thermal_governor(gov)
-            .thermal_period(Seconds::new(1.0))
-            .control_sensor("package")
-            .initial_temperature(Celsius::new(35.0))
-            .build()
-            .unwrap();
-        sim.run_for(Seconds::new(200.0)).unwrap();
-        // The governor must keep the package well below the unthrottled
-        // steady state (~50 C).
-        let t = sim.temperature_of("package").unwrap();
-        assert!(t.value() < 47.0, "throttled package at {t}");
-        // And the GPU must have spent real time below its top OPP.
-        let res = sim.telemetry().residency(ComponentId::Gpu).unwrap();
-        let pct = res.percentages();
-        let top = pct.get(&Hertz::from_mhz(600)).copied().unwrap_or(0.0);
-        assert!(top < 80.0, "gpu spent {top}% at 600 MHz despite throttling");
-    }
-
-    #[test]
-    fn unthrottled_runs_hotter_but_faster() {
-        let soc = platforms::snapdragon_810();
-        let gov = nexus_stock_thermal(&soc);
-        let mut free = SimBuilder::new(platforms::snapdragon_810())
-            .attach(
-                Box::new(apps::paper_io(42)),
-                ProcessClass::Foreground,
-                ComponentId::BigCluster,
-            )
-            .initial_temperature(Celsius::new(35.0))
-            .build()
-            .unwrap();
-        let mut throttled = SimBuilder::new(soc)
-            .attach(
-                Box::new(apps::paper_io(42)),
-                ProcessClass::Foreground,
-                ComponentId::BigCluster,
-            )
-            .thermal_governor(gov)
-            .thermal_period(Seconds::new(1.0))
-            .control_sensor("package")
-            .initial_temperature(Celsius::new(35.0))
-            .build()
-            .unwrap();
-        free.run_for(Seconds::new(140.0)).unwrap();
-        throttled.run_for(Seconds::new(140.0)).unwrap();
-        let t_free = free.temperature_of("package").unwrap();
-        let t_thr = throttled.temperature_of("package").unwrap();
-        assert!(
-            t_free.value() > t_thr.value() + 2.0,
-            "throttling must lower temperature: {t_free} vs {t_thr}"
-        );
-        let fps_free = free.median_fps(free.pid_of("Paper.io").unwrap()).unwrap();
-        let fps_thr = throttled
-            .median_fps(throttled.pid_of("Paper.io").unwrap())
-            .unwrap();
-        assert!(
-            fps_free > fps_thr + 3.0,
-            "throttling must cost FPS: {fps_free} vs {fps_thr}"
-        );
-    }
-
-    #[test]
-    fn writing_sysfs_cap_takes_effect() {
-        let mut sim = game_sim();
-        sim.run_for(Seconds::new(5.0)).unwrap();
-        assert!(sim.current_frequency(ComponentId::Gpu).unwrap() > Hertz::from_mhz(390));
-        sim.sysfs()
-            .write(&mpt_kernel::paths::max_freq(ComponentId::Gpu), "390000")
-            .unwrap();
-        sim.run_for(Seconds::new(1.0)).unwrap();
-        assert!(sim.current_frequency(ComponentId::Gpu).unwrap() <= Hertz::from_mhz(390));
-    }
-
-    #[test]
-    fn bml_saturates_one_big_core() {
-        let mut sim = SimBuilder::new(platforms::exynos_5422())
-            .attach(
-                Box::new(BasicMathLarge::new()),
-                ProcessClass::Background,
-                ComponentId::BigCluster,
-            )
-            .build()
-            .unwrap();
-        sim.run_for(Seconds::new(10.0)).unwrap();
-        let pid = sim.pid_of("basicmath_large").unwrap();
-        let util = sim.scheduler().process(pid).unwrap().windowed_utilization();
-        assert!((util - 1.0).abs() < 0.05, "bml busy-cores = {util}");
-        let bml: &BasicMathLarge = sim.workload_as(pid).unwrap();
-        assert!(bml.iterations() > 100.0);
-    }
-
-    #[test]
-    fn migration_moves_load_to_little_cluster() {
-        let mut sim = SimBuilder::new(platforms::exynos_5422())
-            .attach(
-                Box::new(BasicMathLarge::new()),
-                ProcessClass::Background,
-                ComponentId::BigCluster,
-            )
-            .build()
-            .unwrap();
-        sim.run_for(Seconds::new(5.0)).unwrap();
-        let big_power = sim.last_powers()[&ComponentId::BigCluster].total();
-        let pid = sim.pid_of("basicmath_large").unwrap();
-        // Simulate the governor's decision directly.
-        sim.scheduler_mut_for_tests()
-            .migrate(pid, ComponentId::LittleCluster)
-            .unwrap();
-        sim.run_for(Seconds::new(5.0)).unwrap();
-        let big_after = sim.last_powers()[&ComponentId::BigCluster].total();
-        let little_after = sim.last_powers()[&ComponentId::LittleCluster].total();
-        assert!(big_after < big_power * 0.5, "big {big_power} -> {big_after}");
-        assert!(little_after.value() > 0.1, "little now busy: {little_after}");
-    }
-
-    #[test]
-    fn telemetry_accumulates() {
-        let mut sim = game_sim();
-        sim.run_for(Seconds::new(10.0)).unwrap();
-        assert!(sim.telemetry().total_energy() > 0.0);
-        assert!(sim.telemetry().temperature("package").is_some());
-        let res = sim.telemetry().residency(ComponentId::Gpu).unwrap();
-        assert!((res.total().value() - 10.0).abs() < 0.1);
-    }
-
-    #[test]
-    fn invalid_configs_are_rejected() {
-        let err = SimBuilder::new(platforms::snapdragon_810())
-            .control_sensor("nonexistent")
-            .build()
-            .unwrap_err();
-        assert!(matches!(err, SimError::InvalidConfig { .. }));
-
-        let err = SimBuilder::new(platforms::snapdragon_810())
-            .tick(Seconds::ZERO)
-            .build()
-            .unwrap_err();
-        assert!(matches!(err, SimError::InvalidConfig { .. }));
-
-        let err = SimBuilder::new(platforms::snapdragon_810())
-            .attach(
-                Box::new(apps::paper_io(1)),
-                ProcessClass::Foreground,
-                ComponentId::Gpu,
-            )
-            .build()
-            .unwrap_err();
-        assert!(matches!(err, SimError::InvalidConfig { .. }));
-    }
-
-    #[test]
-    fn run_until_stops_on_predicate() {
-        let mut sim = game_sim();
-        let hit = sim
-            .run_until(|s| s.time() >= Seconds::new(1.0), Seconds::new(10.0))
-            .unwrap();
-        assert!(hit);
-        assert!(sim.time() < Seconds::new(1.1));
-        // An immediately true predicate never steps.
-        let t = sim.time();
-        let hit = sim.run_until(|_| true, Seconds::new(10.0)).unwrap();
-        assert!(hit);
-        assert_eq!(sim.time(), t);
-        // A never-true predicate runs out the clock and reports false.
-        let hit = sim.run_until(|_| false, Seconds::new(0.5)).unwrap();
-        assert!(!hit);
-    }
-
-    #[test]
-    fn lookups_for_unknown_names_are_none() {
-        let sim = game_sim();
-        assert!(sim.pid_of("nonexistent").is_none());
-        let pid = sim.pid_of("Paper.io").unwrap();
-        // Wrong type downcast yields None, not a panic.
-        assert!(sim.workload_as::<BasicMathLarge>(pid).is_none());
-    }
-
-    #[test]
-    fn non_rendering_workloads_report_no_fps() {
-        let mut sim = SimBuilder::new(platforms::exynos_5422())
-            .attach(
-                Box::new(BasicMathLarge::new()),
-                ProcessClass::Background,
-                ComponentId::BigCluster,
-            )
-            .build()
-            .unwrap();
-        sim.run_for(Seconds::new(2.0)).unwrap();
-        let pid = sim.pid_of("basicmath_large").unwrap();
-        assert!(sim.median_fps(pid).is_none());
-        assert!(!sim.all_finished(), "BML never finishes");
-    }
-
-    impl Simulator {
-        fn scheduler_mut_for_tests(&mut self) -> &mut Scheduler {
-            &mut self.scheduler
-        }
+        self.core.network.hottest().1
     }
 }

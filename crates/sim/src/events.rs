@@ -57,10 +57,16 @@ impl std::fmt::Display for Event {
             EventKind::Migration { name, from, to, .. } => {
                 write!(f, "migrated {name:?} {from} -> {to}")
             }
-            EventKind::CapChanged { component, cap: Some(freq) } => {
+            EventKind::CapChanged {
+                component,
+                cap: Some(freq),
+            } => {
                 write!(f, "capped {component} at {freq}")
             }
-            EventKind::CapChanged { component, cap: None } => {
+            EventKind::CapChanged {
+                component,
+                cap: None,
+            } => {
                 write!(f, "uncapped {component}")
             }
             EventKind::WorkloadFinished { name, .. } => write!(f, "{name:?} finished"),
@@ -197,7 +203,10 @@ mod tests {
         assert_eq!(e.to_string(), "[    1.10 s] migrated \"bml\" big -> little");
         let cap = Event {
             time: Seconds::new(3.0),
-            kind: EventKind::CapChanged { component: ComponentId::Gpu, cap: None },
+            kind: EventKind::CapChanged {
+                component: ComponentId::Gpu,
+                cap: None,
+            },
         };
         assert!(cap.to_string().contains("uncapped gpu"));
     }

@@ -4,7 +4,8 @@
 //!
 //! The [`Simulator`] closes the loop between every substrate in the
 //! workspace, mirroring the paper's experimental stack. Each tick
-//! (default 10 ms):
+//! (default 10 ms) runs a fixed pipeline of [`stages`] over the shared
+//! [`SimCore`]:
 //!
 //! 1. **Workloads** express demand (CPU cycles + parallelism, GPU cycles,
 //!    touch interactions).
@@ -44,16 +45,20 @@
 //! # Ok::<(), mpt_sim::SimError>(())
 //! ```
 
+mod builder;
 mod engine;
 mod error;
 pub mod events;
 mod policy;
+pub mod stages;
 mod telemetry;
 
-pub use engine::{SimBuilder, Simulator};
-pub use events::{Event, EventKind, EventLog};
+pub use builder::SimBuilder;
+pub use engine::{SimCore, Simulator};
 pub use error::SimError;
+pub use events::{Event, EventKind, EventLog};
 pub use policy::{SystemPolicy, SystemView};
+pub use stages::{SimStage, StepContext};
 pub use telemetry::Telemetry;
 
 /// Result alias for simulator operations.

@@ -1,0 +1,27 @@
+//! Demand collection: workloads express what they want this tick.
+
+use crate::engine::SimCore;
+use crate::stages::{SimStage, StepContext};
+use crate::Result;
+
+/// Asks every attached workload for its per-tick demand (CPU cycles and
+/// parallelism, GPU cycles) and latches whether any touch interaction
+/// occurred — the trigger the `interactive` cpufreq governor boosts on.
+#[derive(Debug, Default)]
+pub struct DemandStage;
+
+impl SimStage for DemandStage {
+    fn name(&self) -> &'static str {
+        "demand"
+    }
+
+    fn run(&mut self, core: &mut SimCore, ctx: &mut StepContext) -> Result<()> {
+        ctx.demands.reserve(core.workloads.len());
+        for a in &mut core.workloads {
+            let d = a.workload.demand(ctx.now, ctx.dt);
+            ctx.interaction |= d.interaction;
+            ctx.demands.push((a.pid, d));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,126 @@
+//! The staged step pipeline.
+//!
+//! Each simulator tick runs a fixed sequence of [`SimStage`]s over the
+//! shared [`SimCore`](crate::SimCore) state, passing a per-tick
+//! [`StepContext`] from stage to stage:
+//!
+//! 1. [`govern::SysfsControlStage`] — external sysfs writes (frequency
+//!    caps, cpuset moves) take effect.
+//! 2. [`demand::DemandStage`] — workloads express demand.
+//! 3. [`schedule::ScheduleStage`] — per-cluster max–min allocation and
+//!    delivery back to the workloads.
+//! 4. [`power::PowerStage`] — the power model plus per-process power
+//!    attribution.
+//! 5. [`thermal::ThermalStage`] — heat-equation integration.
+//! 6. [`observe::TelemetryStage`] — time-series/residency recording.
+//! 7. [`govern::GovernStage`] — cpufreq governors, the periodic thermal
+//!    governor, and the optional [`SystemPolicy`](crate::SystemPolicy).
+//! 8. [`observe::EventStage`] — discrete-event detection and the sysfs
+//!    state mirror.
+//!
+//! Stage-local state (governor phase accumulators, previous-cluster
+//! maps) lives inside the stage structs; everything shared lives in
+//! `SimCore`; everything produced and consumed within one tick lives in
+//! `StepContext`.
+
+pub mod demand;
+pub mod govern;
+pub mod observe;
+pub mod power;
+pub mod schedule;
+pub mod thermal;
+
+use std::collections::BTreeMap;
+
+use mpt_kernel::{Pid, ThermalGovernor};
+use mpt_soc::{ComponentId, PowerBreakdown};
+use mpt_units::Seconds;
+use mpt_workloads::Demand;
+
+use crate::engine::SimCore;
+use crate::{Result, SystemPolicy};
+
+/// Per-tick scratch state carried through the pipeline.
+///
+/// A fresh context is created at the top of every
+/// [`Simulator::step`](crate::Simulator::step); earlier stages fill the
+/// maps that later stages consume.
+#[derive(Debug, Default)]
+pub struct StepContext {
+    /// Simulation time at the start of the tick.
+    pub now: Seconds,
+    /// The tick length.
+    pub dt: Seconds,
+    /// Whether any workload reported a touch interaction this tick.
+    pub interaction: bool,
+    /// Each process's demand for the tick.
+    pub demands: Vec<(Pid, Demand)>,
+    /// CPU cycles actually delivered to each process.
+    pub delivered_cpu: BTreeMap<Pid, f64>,
+    /// GPU cycles actually delivered to each process.
+    pub delivered_gpu: BTreeMap<Pid, f64>,
+    /// Busy-core equivalents per CPU cluster (0..=core count).
+    pub cluster_busy_cores: BTreeMap<ComponentId, f64>,
+    /// Governor-visible utilization per CPU cluster (busiest-thread
+    /// corrected, 0..=1).
+    pub cluster_util: BTreeMap<ComponentId, f64>,
+    /// Per-cluster delivered cycles, by process.
+    pub cluster_delivered: BTreeMap<ComponentId, Vec<(Pid, f64)>>,
+    /// GPU utilization (0..=1).
+    pub gpu_util: f64,
+    /// Per-component power of this tick.
+    pub powers: BTreeMap<ComponentId, PowerBreakdown>,
+}
+
+impl StepContext {
+    /// A fresh context for the tick starting at `now`.
+    #[must_use]
+    pub fn new(now: Seconds, dt: Seconds) -> Self {
+        Self {
+            now,
+            dt,
+            ..Self::default()
+        }
+    }
+}
+
+/// One phase of the simulator tick.
+///
+/// Stages mutate the shared [`SimCore`] and communicate with later
+/// stages through the [`StepContext`]. Implementations that need
+/// per-run state (periods, previous-tick snapshots) keep it in their own
+/// fields.
+pub trait SimStage: std::fmt::Debug {
+    /// Short stage name, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage for one tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; the pipeline aborts on the first
+    /// failing stage.
+    fn run(&mut self, core: &mut SimCore, ctx: &mut StepContext) -> Result<()>;
+}
+
+/// The standard pipeline, in tick order.
+pub(crate) fn default_pipeline(
+    thermal_governor: Box<dyn ThermalGovernor>,
+    thermal_period: Seconds,
+    system_policy: Option<Box<dyn SystemPolicy>>,
+) -> Vec<Box<dyn SimStage>> {
+    vec![
+        Box::new(govern::SysfsControlStage),
+        Box::new(demand::DemandStage),
+        Box::new(schedule::ScheduleStage),
+        Box::new(power::PowerStage),
+        Box::new(thermal::ThermalStage),
+        Box::new(observe::TelemetryStage),
+        Box::new(govern::GovernStage::new(
+            thermal_governor,
+            thermal_period,
+            system_policy,
+        )),
+        Box::new(observe::EventStage::default()),
+    ]
+}

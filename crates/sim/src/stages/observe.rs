@@ -1,0 +1,84 @@
+//! Observation: telemetry recording, discrete events, sysfs mirroring.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpt_kernel::Pid;
+use mpt_soc::ComponentId;
+use mpt_units::Hertz;
+
+use crate::engine::SimCore;
+use crate::stages::{SimStage, StepContext};
+use crate::{Event, EventKind, Result};
+
+/// Records the tick into the run telemetry (time series, residency,
+/// energy) and latches this tick's powers as
+/// [`Simulator::last_powers`](crate::Simulator::last_powers).
+#[derive(Debug, Default)]
+pub struct TelemetryStage;
+
+impl SimStage for TelemetryStage {
+    fn name(&self) -> &'static str {
+        "telemetry"
+    }
+
+    fn run(&mut self, core: &mut SimCore, ctx: &mut StepContext) -> Result<()> {
+        let freqs: Vec<(ComponentId, Hertz)> = core
+            .policies
+            .iter()
+            .map(|(&id, p)| (id, p.current()))
+            .collect();
+        let sensor_temps = core.sensor_temps();
+        core.telemetry
+            .record(ctx.now, ctx.dt, &sensor_temps, &freqs, &ctx.powers);
+        core.last_powers = std::mem::take(&mut ctx.powers);
+        Ok(())
+    }
+}
+
+/// Detects discrete events (cluster migrations, workload completions)
+/// against its previous-tick snapshot, then mirrors live state back into
+/// the sysfs control plane.
+#[derive(Debug, Default)]
+pub struct EventStage {
+    prev_clusters: BTreeMap<Pid, ComponentId>,
+    finished: BTreeSet<Pid>,
+}
+
+impl SimStage for EventStage {
+    fn name(&self) -> &'static str {
+        "events"
+    }
+
+    fn run(&mut self, core: &mut SimCore, ctx: &mut StepContext) -> Result<()> {
+        for a in &core.workloads {
+            let Some(p) = core.scheduler.process(a.pid) else {
+                continue;
+            };
+            let cluster = p.cluster();
+            if let Some(&prev) = self.prev_clusters.get(&a.pid) {
+                if prev != cluster {
+                    core.events.push(Event {
+                        time: ctx.now,
+                        kind: EventKind::Migration {
+                            pid: a.pid,
+                            name: a.workload.name().to_owned(),
+                            from: prev,
+                            to: cluster,
+                        },
+                    });
+                }
+            }
+            self.prev_clusters.insert(a.pid, cluster);
+            if a.workload.is_finished() && self.finished.insert(a.pid) {
+                core.events.push(Event {
+                    time: ctx.now,
+                    kind: EventKind::WorkloadFinished {
+                        pid: a.pid,
+                        name: a.workload.name().to_owned(),
+                    },
+                });
+            }
+        }
+        core.sync_sysfs()
+    }
+}

@@ -1,0 +1,32 @@
+//! Thermal integration: heat flows for one tick.
+
+use mpt_units::Watts;
+
+use crate::engine::SimCore;
+use crate::stages::{SimStage, StepContext};
+use crate::Result;
+
+/// Maps per-component power onto thermal-network nodes and integrates
+/// the heat equation across the tick.
+#[derive(Debug, Default)]
+pub struct ThermalStage;
+
+impl SimStage for ThermalStage {
+    fn name(&self) -> &'static str {
+        "thermal"
+    }
+
+    fn run(&mut self, core: &mut SimCore, ctx: &mut StepContext) -> Result<()> {
+        let mut node_powers = vec![Watts::ZERO; core.network.len()];
+        for (&id, breakdown) in &ctx.powers {
+            let node = core
+                .platform
+                .thermal_spec()
+                .node_for_component(id)
+                .expect("validated at platform build");
+            node_powers[node] += breakdown.total();
+        }
+        core.network.step(ctx.dt, &node_powers)?;
+        Ok(())
+    }
+}

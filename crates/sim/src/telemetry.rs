@@ -34,7 +34,10 @@ impl Telemetry {
     /// Panics if `sample_period` is not positive.
     #[must_use]
     pub fn new(sample_period: Seconds) -> Self {
-        assert!(sample_period.value() > 0.0, "sample period must be positive");
+        assert!(
+            sample_period.value() > 0.0,
+            "sample period must be positive"
+        );
         Self {
             sample_period: sample_period.value(),
             next_sample: 0.0,

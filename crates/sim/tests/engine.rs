@@ -1,0 +1,299 @@
+//! End-to-end engine behavior through the public API.
+
+use mpt_kernel::{ProcessClass, StepWiseGovernor, ThermalGovernor, TripPoint};
+use mpt_sim::{SimBuilder, SimError, Simulator};
+use mpt_soc::{platforms, ComponentId, Platform};
+use mpt_units::{Celsius, Hertz, Seconds};
+use mpt_workloads::apps;
+use mpt_workloads::benchmarks::BasicMathLarge;
+
+fn game_sim() -> Simulator {
+    SimBuilder::new(platforms::snapdragon_810())
+        .attach(
+            Box::new(apps::paper_io(42)),
+            ProcessClass::Foreground,
+            ComponentId::BigCluster,
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn time_advances_by_ticks() {
+    let mut sim = game_sim();
+    sim.run_for(Seconds::new(1.0)).unwrap();
+    assert!((sim.time().value() - 1.0).abs() < 0.011);
+}
+
+#[test]
+fn pipeline_has_the_expected_stages() {
+    let sim = game_sim();
+    assert_eq!(
+        sim.stage_names(),
+        vec![
+            "sysfs-control",
+            "demand",
+            "schedule",
+            "power",
+            "thermal",
+            "telemetry",
+            "govern",
+            "events"
+        ]
+    );
+}
+
+#[test]
+fn running_a_game_heats_the_phone() {
+    let mut sim = game_sim();
+    let start = sim.temperature_of("package").unwrap();
+    sim.run_for(Seconds::new(60.0)).unwrap();
+    let end = sim.temperature_of("package").unwrap();
+    assert!(
+        end.value() > start.value() + 3.0,
+        "package {start} -> {end} should warm by several degrees"
+    );
+}
+
+#[test]
+fn game_achieves_a_playable_framerate() {
+    let mut sim = game_sim();
+    sim.run_for(Seconds::new(30.0)).unwrap();
+    let pid = sim.pid_of("Paper.io").unwrap();
+    let fps = sim.median_fps(pid).unwrap();
+    assert!(fps > 20.0 && fps <= 60.5, "fps = {fps}");
+}
+
+#[test]
+fn gpu_clocks_up_under_game_load() {
+    let mut sim = game_sim();
+    sim.run_for(Seconds::new(10.0)).unwrap();
+    let f = sim.current_frequency(ComponentId::Gpu).unwrap();
+    assert!(f >= Hertz::from_mhz(450), "gpu at {f}");
+}
+
+fn nexus_stock_thermal(soc: &Platform) -> Box<dyn ThermalGovernor> {
+    // GPU may throttle down to 390 MHz (state 3), the big cluster no
+    // lower than 960 MHz (state 7 of 13) — cooling-device ranges like
+    // the vendor thermal engine's.
+    Box::new(StepWiseGovernor::with_state_limits(
+        vec![
+            TripPoint::new(Celsius::new(42.0), Celsius::new(1.5)),
+            TripPoint::new(Celsius::new(45.0), Celsius::new(1.5)),
+        ],
+        vec![
+            (soc.component(ComponentId::Gpu).unwrap().clone(), 3),
+            (soc.component(ComponentId::BigCluster).unwrap().clone(), 7),
+        ],
+    ))
+}
+
+#[test]
+fn thermal_governor_caps_via_sysfs() {
+    let soc = platforms::snapdragon_810();
+    let gov = nexus_stock_thermal(&soc);
+    let mut sim = SimBuilder::new(soc)
+        .attach(
+            Box::new(apps::paper_io(42)),
+            ProcessClass::Foreground,
+            ComponentId::BigCluster,
+        )
+        .thermal_governor(gov)
+        .thermal_period(Seconds::new(1.0))
+        .control_sensor("package")
+        .initial_temperature(Celsius::new(35.0))
+        .build()
+        .unwrap();
+    sim.run_for(Seconds::new(200.0)).unwrap();
+    // The governor must keep the package well below the unthrottled
+    // steady state (~50 C).
+    let t = sim.temperature_of("package").unwrap();
+    assert!(t.value() < 47.0, "throttled package at {t}");
+    // And the GPU must have spent real time below its top OPP.
+    let res = sim.telemetry().residency(ComponentId::Gpu).unwrap();
+    let pct = res.percentages();
+    let top = pct.get(&Hertz::from_mhz(600)).copied().unwrap_or(0.0);
+    assert!(top < 80.0, "gpu spent {top}% at 600 MHz despite throttling");
+}
+
+#[test]
+fn unthrottled_runs_hotter_but_faster() {
+    let soc = platforms::snapdragon_810();
+    let gov = nexus_stock_thermal(&soc);
+    let mut free = SimBuilder::new(platforms::snapdragon_810())
+        .attach(
+            Box::new(apps::paper_io(42)),
+            ProcessClass::Foreground,
+            ComponentId::BigCluster,
+        )
+        .initial_temperature(Celsius::new(35.0))
+        .build()
+        .unwrap();
+    let mut throttled = SimBuilder::new(soc)
+        .attach(
+            Box::new(apps::paper_io(42)),
+            ProcessClass::Foreground,
+            ComponentId::BigCluster,
+        )
+        .thermal_governor(gov)
+        .thermal_period(Seconds::new(1.0))
+        .control_sensor("package")
+        .initial_temperature(Celsius::new(35.0))
+        .build()
+        .unwrap();
+    free.run_for(Seconds::new(140.0)).unwrap();
+    throttled.run_for(Seconds::new(140.0)).unwrap();
+    let t_free = free.temperature_of("package").unwrap();
+    let t_thr = throttled.temperature_of("package").unwrap();
+    assert!(
+        t_free.value() > t_thr.value() + 2.0,
+        "throttling must lower temperature: {t_free} vs {t_thr}"
+    );
+    let fps_free = free.median_fps(free.pid_of("Paper.io").unwrap()).unwrap();
+    let fps_thr = throttled
+        .median_fps(throttled.pid_of("Paper.io").unwrap())
+        .unwrap();
+    assert!(
+        fps_free > fps_thr + 3.0,
+        "throttling must cost FPS: {fps_free} vs {fps_thr}"
+    );
+}
+
+#[test]
+fn writing_sysfs_cap_takes_effect() {
+    let mut sim = game_sim();
+    sim.run_for(Seconds::new(5.0)).unwrap();
+    assert!(sim.current_frequency(ComponentId::Gpu).unwrap() > Hertz::from_mhz(390));
+    sim.sysfs()
+        .write(&mpt_kernel::paths::max_freq(ComponentId::Gpu), "390000")
+        .unwrap();
+    sim.run_for(Seconds::new(1.0)).unwrap();
+    assert!(sim.current_frequency(ComponentId::Gpu).unwrap() <= Hertz::from_mhz(390));
+}
+
+#[test]
+fn bml_saturates_one_big_core() {
+    let mut sim = SimBuilder::new(platforms::exynos_5422())
+        .attach(
+            Box::new(BasicMathLarge::new()),
+            ProcessClass::Background,
+            ComponentId::BigCluster,
+        )
+        .build()
+        .unwrap();
+    sim.run_for(Seconds::new(10.0)).unwrap();
+    let pid = sim.pid_of("basicmath_large").unwrap();
+    let util = sim.scheduler().process(pid).unwrap().windowed_utilization();
+    assert!((util - 1.0).abs() < 0.05, "bml busy-cores = {util}");
+    let bml: &BasicMathLarge = sim.workload_as(pid).unwrap();
+    assert!(bml.iterations() > 100.0);
+}
+
+#[test]
+fn migration_moves_load_to_little_cluster() {
+    let mut sim = SimBuilder::new(platforms::exynos_5422())
+        .attach(
+            Box::new(BasicMathLarge::new()),
+            ProcessClass::Background,
+            ComponentId::BigCluster,
+        )
+        .build()
+        .unwrap();
+    sim.run_for(Seconds::new(5.0)).unwrap();
+    let big_power = sim.last_powers()[&ComponentId::BigCluster].total();
+    let pid = sim.pid_of("basicmath_large").unwrap();
+    // Simulate the governor's decision through the cpuset control plane,
+    // as a thermal daemon would.
+    sim.sysfs()
+        .write(&mpt_kernel::paths::cpuset_cluster(pid.value()), "little")
+        .unwrap();
+    sim.run_for(Seconds::new(5.0)).unwrap();
+    let big_after = sim.last_powers()[&ComponentId::BigCluster].total();
+    let little_after = sim.last_powers()[&ComponentId::LittleCluster].total();
+    assert!(
+        big_after < big_power * 0.5,
+        "big {big_power} -> {big_after}"
+    );
+    assert!(
+        little_after.value() > 0.1,
+        "little now busy: {little_after}"
+    );
+}
+
+#[test]
+fn telemetry_accumulates() {
+    let mut sim = game_sim();
+    sim.run_for(Seconds::new(10.0)).unwrap();
+    assert!(sim.telemetry().total_energy() > 0.0);
+    assert!(sim.telemetry().temperature("package").is_some());
+    let res = sim.telemetry().residency(ComponentId::Gpu).unwrap();
+    assert!((res.total().value() - 10.0).abs() < 0.1);
+}
+
+#[test]
+fn invalid_configs_are_rejected() {
+    let err = SimBuilder::new(platforms::snapdragon_810())
+        .control_sensor("nonexistent")
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { .. }));
+
+    let err = SimBuilder::new(platforms::snapdragon_810())
+        .tick(Seconds::ZERO)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { .. }));
+
+    let err = SimBuilder::new(platforms::snapdragon_810())
+        .attach(
+            Box::new(apps::paper_io(1)),
+            ProcessClass::Foreground,
+            ComponentId::Gpu,
+        )
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { .. }));
+}
+
+#[test]
+fn run_until_stops_on_predicate() {
+    let mut sim = game_sim();
+    let hit = sim
+        .run_until(|s| s.time() >= Seconds::new(1.0), Seconds::new(10.0))
+        .unwrap();
+    assert!(hit);
+    assert!(sim.time() < Seconds::new(1.1));
+    // An immediately true predicate never steps.
+    let t = sim.time();
+    let hit = sim.run_until(|_| true, Seconds::new(10.0)).unwrap();
+    assert!(hit);
+    assert_eq!(sim.time(), t);
+    // A never-true predicate runs out the clock and reports false.
+    let hit = sim.run_until(|_| false, Seconds::new(0.5)).unwrap();
+    assert!(!hit);
+}
+
+#[test]
+fn lookups_for_unknown_names_are_none() {
+    let sim = game_sim();
+    assert!(sim.pid_of("nonexistent").is_none());
+    let pid = sim.pid_of("Paper.io").unwrap();
+    // Wrong type downcast yields None, not a panic.
+    assert!(sim.workload_as::<BasicMathLarge>(pid).is_none());
+}
+
+#[test]
+fn non_rendering_workloads_report_no_fps() {
+    let mut sim = SimBuilder::new(platforms::exynos_5422())
+        .attach(
+            Box::new(BasicMathLarge::new()),
+            ProcessClass::Background,
+            ComponentId::BigCluster,
+        )
+        .build()
+        .unwrap();
+    sim.run_for(Seconds::new(2.0)).unwrap();
+    let pid = sim.pid_of("basicmath_large").unwrap();
+    assert!(sim.median_fps(pid).is_none());
+    assert!(!sim.all_finished(), "BML never finishes");
+}

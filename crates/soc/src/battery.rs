@@ -43,7 +43,10 @@ impl Battery {
             "battery capacity must be positive"
         );
         let j = capacity_wh * 3600.0;
-        Self { capacity_j: j, remaining_j: j }
+        Self {
+            capacity_j: j,
+            remaining_j: j,
+        }
     }
 
     /// Creates a full battery from a milliamp-hour rating at a nominal

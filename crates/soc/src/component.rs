@@ -11,9 +11,7 @@ use crate::{OppTable, PowerParams};
 /// All platforms in this workspace are big.LITTLE heterogeneous SoCs with a
 /// GPU and a memory subsystem — the four power rails the Odroid-XU3
 /// exposes current sensors for.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ComponentId {
     /// The low-power CPU cluster (Cortex-A53 / Cortex-A7).
     LittleCluster,
@@ -177,12 +175,7 @@ mod tests {
     }
 
     fn power() -> PowerParams {
-        PowerParams::new(
-            1e-10,
-            LeakageParams::new(1.0, 8000.0).unwrap(),
-            Watts::ZERO,
-        )
-        .unwrap()
+        PowerParams::new(1e-10, LeakageParams::new(1.0, 8000.0).unwrap(), Watts::ZERO).unwrap()
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl fmt::Display for SocError {
         match self {
             Self::EmptyOppTable => write!(f, "opp table must contain at least one point"),
             Self::UnorderedOpps { frequency } => {
-                write!(f, "opp frequencies must be strictly increasing at {frequency}")
+                write!(
+                    f,
+                    "opp frequencies must be strictly increasing at {frequency}"
+                )
             }
             Self::NonMonotoneVoltage { frequency } => {
                 write!(f, "opp voltage decreases with frequency at {frequency}")
@@ -82,7 +85,9 @@ mod tests {
 
     #[test]
     fn display_is_concise() {
-        let e = SocError::UnknownFrequency { frequency: Hertz::from_mhz(700) };
+        let e = SocError::UnknownFrequency {
+            frequency: Hertz::from_mhz(700),
+        };
         assert_eq!(e.to_string(), "frequency 700 MHz is not an operating point");
     }
 }

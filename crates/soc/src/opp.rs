@@ -94,10 +94,14 @@ impl OppTable {
         }
         for pair in points.windows(2) {
             if pair[1].frequency() <= pair[0].frequency() {
-                return Err(SocError::UnorderedOpps { frequency: pair[1].frequency() });
+                return Err(SocError::UnorderedOpps {
+                    frequency: pair[1].frequency(),
+                });
             }
             if pair[1].voltage() < pair[0].voltage() {
-                return Err(SocError::NonMonotoneVoltage { frequency: pair[1].frequency() });
+                return Err(SocError::NonMonotoneVoltage {
+                    frequency: pair[1].frequency(),
+                });
             }
         }
         Ok(Self { points })
@@ -169,10 +173,7 @@ impl OppTable {
     /// frequency cap can slow a component down but never power it off.
     #[must_use]
     pub fn at_or_below(&self, cap: Hertz) -> &OperatingPoint {
-        match self
-            .points
-            .binary_search_by_key(&cap, |p| p.frequency())
-        {
+        match self.points.binary_search_by_key(&cap, |p| p.frequency()) {
             Ok(i) => &self.points[i],
             Err(0) => self.lowest(),
             Err(i) => &self.points[i - 1],
@@ -183,10 +184,7 @@ impl OppTable {
     /// if `floor` exceeds every frequency.
     #[must_use]
     pub fn at_or_above(&self, floor: Hertz) -> &OperatingPoint {
-        match self
-            .points
-            .binary_search_by_key(&floor, |p| p.frequency())
-        {
+        match self.points.binary_search_by_key(&floor, |p| p.frequency()) {
             Ok(i) => &self.points[i],
             Err(i) if i >= self.points.len() => self.highest(),
             Err(i) => &self.points[i],
@@ -285,17 +283,35 @@ mod tests {
     #[test]
     fn at_or_below_snaps_down() {
         let t = adreno430();
-        assert_eq!(t.at_or_below(Hertz::from_mhz(500)).frequency().as_mhz(), 450);
-        assert_eq!(t.at_or_below(Hertz::from_mhz(510)).frequency().as_mhz(), 510);
-        assert_eq!(t.at_or_below(Hertz::from_mhz(100)).frequency().as_mhz(), 180);
-        assert_eq!(t.at_or_below(Hertz::from_mhz(10_000)).frequency().as_mhz(), 600);
+        assert_eq!(
+            t.at_or_below(Hertz::from_mhz(500)).frequency().as_mhz(),
+            450
+        );
+        assert_eq!(
+            t.at_or_below(Hertz::from_mhz(510)).frequency().as_mhz(),
+            510
+        );
+        assert_eq!(
+            t.at_or_below(Hertz::from_mhz(100)).frequency().as_mhz(),
+            180
+        );
+        assert_eq!(
+            t.at_or_below(Hertz::from_mhz(10_000)).frequency().as_mhz(),
+            600
+        );
     }
 
     #[test]
     fn at_or_above_snaps_up() {
         let t = adreno430();
-        assert_eq!(t.at_or_above(Hertz::from_mhz(500)).frequency().as_mhz(), 510);
-        assert_eq!(t.at_or_above(Hertz::from_mhz(700)).frequency().as_mhz(), 600);
+        assert_eq!(
+            t.at_or_above(Hertz::from_mhz(500)).frequency().as_mhz(),
+            510
+        );
+        assert_eq!(
+            t.at_or_above(Hertz::from_mhz(700)).frequency().as_mhz(),
+            600
+        );
         assert_eq!(t.at_or_above(Hertz::from_mhz(50)).frequency().as_mhz(), 180);
     }
 
@@ -318,7 +334,10 @@ mod tests {
             SocError::UnknownFrequency { .. }
         ));
         assert_eq!(
-            t.point_for(Hertz::from_mhz(390)).unwrap().frequency().as_mhz(),
+            t.point_for(Hertz::from_mhz(390))
+                .unwrap()
+                .frequency()
+                .as_mhz(),
             390
         );
     }

@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    Component, ComponentId, PowerRail, Result, SocError, TemperatureSensor, ThermalSpec,
-};
+use crate::{Component, ComponentId, PowerRail, Result, SocError, TemperatureSensor, ThermalSpec};
 
 /// A complete mobile platform: its components, thermal network and sensor
 /// inventory.
@@ -160,7 +158,10 @@ impl PlatformBuilder {
             if let Some(id) = node.component {
                 if !self.components.iter().any(|c| c.id() == id) {
                     return Err(SocError::InvalidThermalSpec {
-                        reason: format!("thermal node {:?} references missing component {id}", node.name),
+                        reason: format!(
+                            "thermal node {:?} references missing component {id}",
+                            node.name
+                        ),
                     });
                 }
             }
@@ -180,7 +181,9 @@ impl PlatformBuilder {
         // Rails must reference existing components.
         for rail in &self.power_rails {
             if !self.components.iter().any(|c| c.id() == rail.component()) {
-                return Err(SocError::UnknownComponent { id: rail.component() });
+                return Err(SocError::UnknownComponent {
+                    id: rail.component(),
+                });
             }
         }
         Ok(Platform {
@@ -205,8 +208,7 @@ mod tests {
             "test",
             1,
             OppTable::from_points([(Hertz::from_mhz(100), Volts::new(0.9))]).unwrap(),
-            PowerParams::new(1e-10, LeakageParams::new(1.0, 8000.0).unwrap(), Watts::ZERO)
-                .unwrap(),
+            PowerParams::new(1e-10, LeakageParams::new(1.0, 8000.0).unwrap(), Watts::ZERO).unwrap(),
             1.0,
         )
     }
@@ -227,7 +229,11 @@ mod tests {
                     ambient_conductance: 0.1,
                 },
             ],
-            couplings: vec![ThermalCoupling { a: 0, b: 1, conductance: 0.3 }],
+            couplings: vec![ThermalCoupling {
+                a: 0,
+                b: 1,
+                conductance: 0.3,
+            }],
             ambient: Celsius::new(25.0),
         }
     }

@@ -89,7 +89,9 @@ pub fn snapdragon_810() -> Platform {
         "Cortex-A57",
         4,
         ramped_opps(
-            &[384, 480, 633, 768, 864, 960, 1248, 1344, 1440, 1536, 1632, 1728, 1824, 1958],
+            &[
+                384, 480, 633, 768, 864, 960, 1248, 1344, 1440, 1536, 1632, 1728, 1824, 1958,
+            ],
             0.80,
             1.225,
         ),
@@ -168,14 +170,38 @@ pub fn snapdragon_810() -> Platform {
             },
         ],
         couplings: vec![
-            ThermalCoupling { a: 0, b: 4, conductance: 0.50 },
-            ThermalCoupling { a: 1, b: 4, conductance: 0.40 },
-            ThermalCoupling { a: 2, b: 4, conductance: 0.35 },
-            ThermalCoupling { a: 3, b: 4, conductance: 0.60 },
+            ThermalCoupling {
+                a: 0,
+                b: 4,
+                conductance: 0.50,
+            },
+            ThermalCoupling {
+                a: 1,
+                b: 4,
+                conductance: 0.40,
+            },
+            ThermalCoupling {
+                a: 2,
+                b: 4,
+                conductance: 0.35,
+            },
+            ThermalCoupling {
+                a: 3,
+                b: 4,
+                conductance: 0.60,
+            },
             // Weak lateral silicon-to-silicon coupling.
-            ThermalCoupling { a: 1, b: 2, conductance: 0.10 },
+            ThermalCoupling {
+                a: 1,
+                b: 2,
+                conductance: 0.10,
+            },
             // Package to skin.
-            ThermalCoupling { a: 4, b: 5, conductance: 0.35 },
+            ThermalCoupling {
+                a: 4,
+                b: 5,
+                conductance: 0.35,
+            },
         ],
         ambient: Celsius::new(25.0),
     };
@@ -219,7 +245,9 @@ pub fn exynos_5422() -> Platform {
         "Cortex-A7",
         4,
         ramped_opps(
-            &[200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400],
+            &[
+                200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400,
+            ],
             0.9,
             1.1,
         ),
@@ -232,8 +260,8 @@ pub fn exynos_5422() -> Platform {
         4,
         ramped_opps(
             &[
-                200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400, 1500,
-                1600, 1700, 1800, 1900, 2000,
+                200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400, 1500, 1600,
+                1700, 1800, 1900, 2000,
             ],
             0.9125,
             1.3625,
@@ -298,11 +326,31 @@ pub fn exynos_5422() -> Platform {
             },
         ],
         couplings: vec![
-            ThermalCoupling { a: 0, b: 4, conductance: 0.50 },
-            ThermalCoupling { a: 1, b: 4, conductance: 0.45 },
-            ThermalCoupling { a: 2, b: 4, conductance: 0.40 },
-            ThermalCoupling { a: 3, b: 4, conductance: 0.60 },
-            ThermalCoupling { a: 1, b: 2, conductance: 0.10 },
+            ThermalCoupling {
+                a: 0,
+                b: 4,
+                conductance: 0.50,
+            },
+            ThermalCoupling {
+                a: 1,
+                b: 4,
+                conductance: 0.45,
+            },
+            ThermalCoupling {
+                a: 2,
+                b: 4,
+                conductance: 0.40,
+            },
+            ThermalCoupling {
+                a: 3,
+                b: 4,
+                conductance: 0.60,
+            },
+            ThermalCoupling {
+                a: 1,
+                b: 2,
+                conductance: 0.10,
+            },
         ],
         ambient: Celsius::new(25.0),
     };
@@ -409,10 +457,10 @@ mod tests {
         // runaway region of the stability analysis is far hotter.
         let soc = exynos_5422();
         let big = soc.component(ComponentId::BigCluster).unwrap();
-        let leak = big.power_params().leakage().power(
-            Volts::new(1.2),
-            Kelvin::new(273.15 + 85.0),
-        );
+        let leak = big
+            .power_params()
+            .leakage()
+            .power(Volts::new(1.2), Kelvin::new(273.15 + 85.0));
         assert!(leak.value() < 0.5, "leakage at 85C is {leak}");
     }
 
@@ -457,7 +505,10 @@ mod tests {
         let g_sa = spec.nodes[skin].ambient_conductance;
         let series = 1.0 / (1.0 / g_ps + 1.0 / g_sa);
         let total = direct + series;
-        assert!((total - 0.125).abs() < 0.002, "total ambient conductance {total}");
+        assert!(
+            (total - 0.125).abs() < 0.002,
+            "total ambient conductance {total}"
+        );
     }
 
     #[test]

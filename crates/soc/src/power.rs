@@ -51,10 +51,16 @@ impl LeakageParams {
     /// or non-finite.
     pub fn new(alpha: f64, beta: f64) -> Result<Self> {
         if !alpha.is_finite() || alpha < 0.0 {
-            return Err(SocError::InvalidPowerParameter { name: "alpha", value: alpha });
+            return Err(SocError::InvalidPowerParameter {
+                name: "alpha",
+                value: alpha,
+            });
         }
         if !beta.is_finite() || beta <= 0.0 {
-            return Err(SocError::InvalidPowerParameter { name: "beta", value: beta });
+            return Err(SocError::InvalidPowerParameter {
+                name: "beta",
+                value: beta,
+            });
         }
         Ok(Self { alpha, beta })
     }
@@ -116,7 +122,10 @@ impl PowerParams {
     /// negative or non-finite.
     pub fn new(ceff: f64, leakage: LeakageParams, static_floor: Watts) -> Result<Self> {
         if !ceff.is_finite() || ceff < 0.0 {
-            return Err(SocError::InvalidPowerParameter { name: "ceff", value: ceff });
+            return Err(SocError::InvalidPowerParameter {
+                name: "ceff",
+                value: ceff,
+            });
         }
         if !static_floor.value().is_finite() || static_floor.value() < 0.0 {
             return Err(SocError::InvalidPowerParameter {
@@ -124,7 +133,11 @@ impl PowerParams {
                 value: static_floor.value(),
             });
         }
-        Ok(Self { ceff, leakage, static_floor })
+        Ok(Self {
+            ceff,
+            leakage,
+            static_floor,
+        })
     }
 
     /// Effective switched capacitance in farads.
@@ -154,13 +167,7 @@ impl PowerParams {
 
     /// Full power breakdown at an operating condition.
     #[must_use]
-    pub fn power(
-        &self,
-        v: Volts,
-        f: mpt_units::Hertz,
-        util: f64,
-        temp: Kelvin,
-    ) -> PowerBreakdown {
+    pub fn power(&self, v: Volts, f: mpt_units::Hertz, util: f64, temp: Kelvin) -> PowerBreakdown {
         PowerBreakdown {
             dynamic: self.dynamic_power(v, f, util),
             leakage: self.leakage.power(v, temp),
@@ -194,7 +201,11 @@ impl PowerBreakdown {
     /// Creates a breakdown from its parts.
     #[must_use]
     pub const fn new(dynamic: Watts, leakage: Watts, static_floor: Watts) -> Self {
-        Self { dynamic, leakage, static_floor }
+        Self {
+            dynamic,
+            leakage,
+            static_floor,
+        }
     }
 
     /// Total power.
@@ -300,7 +311,12 @@ mod tests {
 
     #[test]
     fn breakdown_total_sums_parts() {
-        let p = params().power(Volts::new(1.1), Hertz::from_mhz(1800), 2.0, Kelvin::new(330.0));
+        let p = params().power(
+            Volts::new(1.1),
+            Hertz::from_mhz(1800),
+            2.0,
+            Kelvin::new(330.0),
+        );
         assert!(
             (p.total().value() - (p.dynamic + p.leakage + p.static_floor).value()).abs() < 1e-12
         );

@@ -32,7 +32,10 @@ impl TemperatureSensor {
     /// Creates a sensor that reads the named thermal-network node.
     #[must_use]
     pub fn new(name: impl Into<String>, thermal_node: impl Into<String>) -> Self {
-        Self { name: name.into(), thermal_node: thermal_node.into() }
+        Self {
+            name: name.into(),
+            thermal_node: thermal_node.into(),
+        }
     }
 
     /// Sensor name (e.g. `"package"`, `"big0"`).
@@ -59,7 +62,10 @@ impl PowerRail {
     /// Creates a rail measuring one component's power.
     #[must_use]
     pub fn new(name: impl Into<String>, component: ComponentId) -> Self {
-        Self { name: name.into(), component }
+        Self {
+            name: name.into(),
+            component,
+        }
     }
 
     /// Rail name (e.g. `"vdd_arm"`).

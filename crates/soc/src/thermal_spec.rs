@@ -84,7 +84,9 @@ impl ThermalSpec {
     /// [`SocError::InvalidThermalSpec`] describing the first problem found.
     pub fn validate(&self) -> Result<()> {
         if self.nodes.is_empty() {
-            return Err(SocError::InvalidThermalSpec { reason: "no nodes".into() });
+            return Err(SocError::InvalidThermalSpec {
+                reason: "no nodes".into(),
+            });
         }
         for (i, n) in self.nodes.iter().enumerate() {
             if !(n.heat_capacity.is_finite() && n.heat_capacity > 0.0) {
@@ -144,7 +146,11 @@ mod tests {
                     ambient_conductance: 0.07,
                 },
             ],
-            couplings: vec![ThermalCoupling { a: 0, b: 1, conductance: 0.4 }],
+            couplings: vec![ThermalCoupling {
+                a: 0,
+                b: 1,
+                conductance: 0.4,
+            }],
             ambient: Celsius::new(25.0),
         }
     }
@@ -201,7 +207,11 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        let s = ThermalSpec { nodes: vec![], couplings: vec![], ambient: Celsius::new(25.0) };
+        let s = ThermalSpec {
+            nodes: vec![],
+            couplings: vec![],
+            ambient: Celsius::new(25.0),
+        };
         assert!(s.validate().is_err());
     }
 }

@@ -73,7 +73,11 @@ impl fmt::Display for SysFsError {
             Self::NotFound { path } => write!(f, "no such attribute: {path}"),
             Self::ReadOnly { path } => write!(f, "attribute is read-only: {path}"),
             Self::WriteOnly { path } => write!(f, "attribute is write-only: {path}"),
-            Self::InvalidValue { path, value, reason } => {
+            Self::InvalidValue {
+                path,
+                value,
+                reason,
+            } => {
                 write!(f, "invalid value {value:?} for {path}: {reason}")
             }
             Self::AlreadyExists { path } => write!(f, "attribute already exists: {path}"),
@@ -92,16 +96,26 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_without_trailing_punctuation() {
         let errs = [
-            SysFsError::NotFound { path: "/sys/x".into() },
-            SysFsError::ReadOnly { path: "/sys/x".into() },
-            SysFsError::WriteOnly { path: "/sys/x".into() },
+            SysFsError::NotFound {
+                path: "/sys/x".into(),
+            },
+            SysFsError::ReadOnly {
+                path: "/sys/x".into(),
+            },
+            SysFsError::WriteOnly {
+                path: "/sys/x".into(),
+            },
             SysFsError::InvalidValue {
                 path: "/sys/x".into(),
                 value: "abc".into(),
                 reason: "not a number".into(),
             },
-            SysFsError::AlreadyExists { path: "/sys/x".into() },
-            SysFsError::NotADirectory { path: "/sys/x".into() },
+            SysFsError::AlreadyExists {
+                path: "/sys/x".into(),
+            },
+            SysFsError::NotADirectory {
+                path: "/sys/x".into(),
+            },
             SysFsError::InvalidPath { path: "".into() },
         ];
         for e in errs {
@@ -120,7 +134,9 @@ mod tests {
 
     #[test]
     fn path_accessor() {
-        let e = SysFsError::NotFound { path: "/sys/a/b".into() };
+        let e = SysFsError::NotFound {
+            path: "/sys/a/b".into(),
+        };
         assert_eq!(e.path(), "/sys/a/b");
     }
 }

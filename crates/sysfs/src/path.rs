@@ -33,20 +33,26 @@ impl SysPath {
     /// or contains `.`/`..` components.
     pub fn parse(path: &str) -> crate::Result<Self> {
         if path.is_empty() || !path.starts_with('/') {
-            return Err(SysFsError::InvalidPath { path: path.to_owned() });
+            return Err(SysFsError::InvalidPath {
+                path: path.to_owned(),
+            });
         }
         let mut components = Vec::new();
         for comp in path.split('/') {
             match comp {
                 "" => {}
                 "." | ".." => {
-                    return Err(SysFsError::InvalidPath { path: path.to_owned() });
+                    return Err(SysFsError::InvalidPath {
+                        path: path.to_owned(),
+                    });
                 }
                 other => components.push(other),
             }
         }
         if components.is_empty() {
-            return Err(SysFsError::InvalidPath { path: path.to_owned() });
+            return Err(SysFsError::InvalidPath {
+                path: path.to_owned(),
+            });
         }
         Ok(Self(format!("/{}", components.join("/"))))
     }
@@ -140,7 +146,10 @@ mod tests {
     fn parent_and_file_name() {
         let p = SysPath::parse("/sys/class/thermal/thermal_zone0/temp").unwrap();
         assert_eq!(p.file_name(), "temp");
-        assert_eq!(p.parent().unwrap().as_str(), "/sys/class/thermal/thermal_zone0");
+        assert_eq!(
+            p.parent().unwrap().as_str(),
+            "/sys/class/thermal/thermal_zone0"
+        );
         let root = SysPath::parse("/sys").unwrap();
         assert_eq!(root.parent(), None);
     }

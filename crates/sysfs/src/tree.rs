@@ -63,21 +63,23 @@ impl SysFs {
         let mut guard = self.root.write();
         let mut map = &mut *guard;
         for comp in &comps[..comps.len() - 1] {
-            let node = map
-                .entry(comp.clone())
-                .or_insert_with(Node::new_dir);
+            let node = map.entry(comp.clone()).or_insert_with(Node::new_dir);
             match node {
                 Node::Dir(children) => map = children,
                 Node::Attr(_) => {
-                    return Err(SysFsError::NotADirectory { path: path.as_str().to_owned() })
+                    return Err(SysFsError::NotADirectory {
+                        path: path.as_str().to_owned(),
+                    })
                 }
             }
         }
-        let leaf = comps.last().expect("parsed path has at least one component");
+        let leaf = comps
+            .last()
+            .expect("parsed path has at least one component");
         match map.get(leaf) {
-            Some(Node::Attr(_) | Node::Dir(_)) => {
-                Err(SysFsError::AlreadyExists { path: path.as_str().to_owned() })
-            }
+            Some(Node::Attr(_) | Node::Dir(_)) => Err(SysFsError::AlreadyExists {
+                path: path.as_str().to_owned(),
+            }),
             None => {
                 map.insert(leaf.clone(), Node::Attr(attr));
                 Ok(())
@@ -115,7 +117,9 @@ impl SysFs {
             }
             let leaf = comps.last().expect("nonempty");
             if let Some(Node::Dir(_)) = map.get(leaf) {
-                return Err(SysFsError::NotADirectory { path: parsed.as_str().to_owned() });
+                return Err(SysFsError::NotADirectory {
+                    path: parsed.as_str().to_owned(),
+                });
             }
             map.insert(leaf.clone(), Node::Attr(attr));
         }
@@ -131,17 +135,25 @@ impl SysFs {
             match map.get(*comp) {
                 Some(Node::Dir(children)) => map = children,
                 Some(Node::Attr(_)) => {
-                    return Err(SysFsError::NotADirectory { path: parsed.as_str().to_owned() })
+                    return Err(SysFsError::NotADirectory {
+                        path: parsed.as_str().to_owned(),
+                    })
                 }
-                None => return Err(SysFsError::NotFound { path: parsed.as_str().to_owned() }),
+                None => {
+                    return Err(SysFsError::NotFound {
+                        path: parsed.as_str().to_owned(),
+                    })
+                }
             }
         }
         match map.get(*comps.last().expect("nonempty")) {
             Some(Node::Attr(attr)) => f(attr),
-            Some(Node::Dir(_)) => {
-                Err(SysFsError::NotADirectory { path: parsed.as_str().to_owned() })
-            }
-            None => Err(SysFsError::NotFound { path: parsed.as_str().to_owned() }),
+            Some(Node::Dir(_)) => Err(SysFsError::NotADirectory {
+                path: parsed.as_str().to_owned(),
+            }),
+            None => Err(SysFsError::NotFound {
+                path: parsed.as_str().to_owned(),
+            }),
         }
     }
 
@@ -154,8 +166,9 @@ impl SysFs {
     /// error.
     pub fn read(&self, path: &str) -> Result<String> {
         self.with_attr(path, |attr| {
-            attr.read()
-                .ok_or_else(|| SysFsError::WriteOnly { path: path.to_owned() })
+            attr.read().ok_or_else(|| SysFsError::WriteOnly {
+                path: path.to_owned(),
+            })
         })
     }
 
@@ -182,7 +195,9 @@ impl SysFs {
     /// [`SysFsError::InvalidValue`] when the handler rejects the value.
     pub fn write(&self, path: &str, value: &str) -> Result<()> {
         self.with_attr(path, |attr| match attr.write(value) {
-            None => Err(SysFsError::ReadOnly { path: path.to_owned() }),
+            None => Err(SysFsError::ReadOnly {
+                path: path.to_owned(),
+            }),
             Some(Err(reason)) => Err(SysFsError::InvalidValue {
                 path: path.to_owned(),
                 value: value.to_owned(),
@@ -228,9 +243,15 @@ impl SysFs {
             match map.get(comp) {
                 Some(Node::Dir(children)) => map = children,
                 Some(Node::Attr(_)) => {
-                    return Err(SysFsError::NotADirectory { path: parsed.as_str().to_owned() })
+                    return Err(SysFsError::NotADirectory {
+                        path: parsed.as_str().to_owned(),
+                    })
                 }
-                None => return Err(SysFsError::NotFound { path: parsed.as_str().to_owned() }),
+                None => {
+                    return Err(SysFsError::NotFound {
+                        path: parsed.as_str().to_owned(),
+                    })
+                }
             }
         }
         Ok(map.keys().cloned().collect())
@@ -249,12 +270,18 @@ impl SysFs {
         for comp in &comps[..comps.len() - 1] {
             match map.get_mut(comp) {
                 Some(Node::Dir(children)) => map = children,
-                _ => return Err(SysFsError::NotFound { path: parsed.as_str().to_owned() }),
+                _ => {
+                    return Err(SysFsError::NotFound {
+                        path: parsed.as_str().to_owned(),
+                    })
+                }
             }
         }
         map.remove(comps.last().expect("nonempty"))
             .map(|_| ())
-            .ok_or(SysFsError::NotFound { path: parsed.as_str().to_owned() })
+            .ok_or(SysFsError::NotFound {
+                path: parsed.as_str().to_owned(),
+            })
     }
 
     /// Walks the whole tree, invoking `visit` with each attribute path.
@@ -291,8 +318,11 @@ mod tests {
 
     fn sample() -> SysFs {
         let fs = SysFs::new();
-        fs.register("/sys/class/thermal/thermal_zone0/temp", Attribute::constant("40000"))
-            .unwrap();
+        fs.register(
+            "/sys/class/thermal/thermal_zone0/temp",
+            Attribute::constant("40000"),
+        )
+        .unwrap();
         fs.register(
             "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor",
             Attribute::value("interactive"),
@@ -304,10 +334,14 @@ mod tests {
     #[test]
     fn read_write_round_trip() {
         let fs = sample();
-        fs.write("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "performance")
-            .unwrap();
+        fs.write(
+            "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor",
+            "performance",
+        )
+        .unwrap();
         assert_eq!(
-            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor").unwrap(),
+            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+                .unwrap(),
             "performance"
         );
     }
@@ -332,7 +366,10 @@ mod tests {
     fn duplicate_registration_fails() {
         let fs = sample();
         let err = fs
-            .register("/sys/class/thermal/thermal_zone0/temp", Attribute::value("x"))
+            .register(
+                "/sys/class/thermal/thermal_zone0/temp",
+                Attribute::value("x"),
+            )
             .unwrap_err();
         assert!(matches!(err, SysFsError::AlreadyExists { .. }));
     }
@@ -340,16 +377,25 @@ mod tests {
     #[test]
     fn bind_replaces_existing() {
         let fs = sample();
-        fs.bind("/sys/class/thermal/thermal_zone0/temp", Attribute::constant("55000"))
-            .unwrap();
-        assert_eq!(fs.read("/sys/class/thermal/thermal_zone0/temp").unwrap(), "55000");
+        fs.bind(
+            "/sys/class/thermal/thermal_zone0/temp",
+            Attribute::constant("55000"),
+        )
+        .unwrap();
+        assert_eq!(
+            fs.read("/sys/class/thermal/thermal_zone0/temp").unwrap(),
+            "55000"
+        );
     }
 
     #[test]
     fn attribute_cannot_be_a_directory() {
         let fs = sample();
         let err = fs
-            .register("/sys/class/thermal/thermal_zone0/temp/sub", Attribute::value("x"))
+            .register(
+                "/sys/class/thermal/thermal_zone0/temp/sub",
+                Attribute::value("x"),
+            )
             .unwrap_err();
         assert!(matches!(err, SysFsError::NotADirectory { .. }));
     }
@@ -367,7 +413,8 @@ mod tests {
     fn list_attribute_is_error() {
         let fs = sample();
         assert!(matches!(
-            fs.list("/sys/class/thermal/thermal_zone0/temp").unwrap_err(),
+            fs.list("/sys/class/thermal/thermal_zone0/temp")
+                .unwrap_err(),
             SysFsError::NotADirectory { .. }
         ));
     }
@@ -380,7 +427,8 @@ mod tests {
         fs.remove("/sys/class/thermal/thermal_zone0/temp").unwrap();
         assert!(!fs.exists("/sys/class/thermal/thermal_zone0/temp"));
         assert!(matches!(
-            fs.remove("/sys/class/thermal/thermal_zone0/temp").unwrap_err(),
+            fs.remove("/sys/class/thermal/thermal_zone0/temp")
+                .unwrap_err(),
             SysFsError::NotFound { .. }
         ));
     }
@@ -388,7 +436,9 @@ mod tests {
     #[test]
     fn read_parsed_values() {
         let fs = sample();
-        let t: i64 = fs.read_parsed("/sys/class/thermal/thermal_zone0/temp").unwrap();
+        let t: i64 = fs
+            .read_parsed("/sys/class/thermal/thermal_zone0/temp")
+            .unwrap();
         assert_eq!(t, 40_000);
         let err = fs
             .read_parsed::<i64>("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
@@ -410,10 +460,14 @@ mod tests {
         let fs = sample();
         let clone = fs.clone();
         clone
-            .write("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "powersave")
+            .write(
+                "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor",
+                "powersave",
+            )
             .unwrap();
         assert_eq!(
-            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor").unwrap(),
+            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+                .unwrap(),
             "powersave"
         );
     }

@@ -39,7 +39,10 @@ impl fmt::Display for ThermalError {
         match self {
             Self::InvalidSpec { reason } => write!(f, "invalid thermal spec: {reason}"),
             Self::PowerLengthMismatch { expected, actual } => {
-                write!(f, "power vector has {actual} entries, network has {expected} nodes")
+                write!(
+                    f,
+                    "power vector has {actual} entries, network has {expected} nodes"
+                )
             }
             Self::SingularNetwork => write!(f, "thermal network is singular"),
             Self::InvalidParameter { name, value } => {
@@ -54,7 +57,9 @@ impl std::error::Error for ThermalError {}
 
 impl From<mpt_soc::SocError> for ThermalError {
     fn from(err: mpt_soc::SocError) -> Self {
-        ThermalError::InvalidSpec { reason: err.to_string() }
+        ThermalError::InvalidSpec {
+            reason: err.to_string(),
+        }
     }
 }
 
@@ -70,7 +75,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = ThermalError::PowerLengthMismatch { expected: 5, actual: 3 };
+        let e = ThermalError::PowerLengthMismatch {
+            expected: 5,
+            actual: 3,
+        };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('3'));
     }

@@ -124,7 +124,13 @@ impl LumpedModel {
         check("beta", beta, false)?;
         check("leak_gain", leak_gain, true)?;
         check("tau", tau.value(), false)?;
-        Ok(Self { t_ambient, r_th, beta, leak_gain, tau })
+        Ok(Self {
+            t_ambient,
+            r_th,
+            beta,
+            leak_gain,
+            tau,
+        })
     }
 
     /// The lumped Odroid-XU3 parameters used for the paper's Figure 7:
@@ -159,11 +165,17 @@ impl LumpedModel {
         p_crit: Watts,
     ) -> Result<f64> {
         if !(r_th > 0.0 && beta > 0.0 && p_crit.value() > 0.0) {
-            return Err(ThermalError::InvalidParameter { name: "calibration", value: r_th });
+            return Err(ThermalError::InvalidParameter {
+                name: "calibration",
+                value: r_th,
+            });
         }
         let c = (t_ambient.value() + r_th * p_crit.value()) / beta;
         if c <= 0.0 || c >= 0.5 {
-            return Err(ThermalError::InvalidParameter { name: "c", value: c });
+            return Err(ThermalError::InvalidParameter {
+                name: "c",
+                value: c,
+            });
         }
         let one_minus = 1.0 - 2.0 * c;
         let theta = (one_minus + (one_minus * one_minus + 4.0 * c).sqrt()) / (2.0 * c);
@@ -417,7 +429,9 @@ impl LumpedModel {
         if from >= target {
             return Some(Seconds::ZERO);
         }
-        let dt = (self.tau.value() / 400.0).min(horizon.value() / 16.0).max(1e-3);
+        let dt = (self.tau.value() / 400.0)
+            .min(horizon.value() / 16.0)
+            .max(1e-3);
         let mut t = from.value();
         let mut elapsed = 0.0;
         let deriv = |temp: f64| self.heating_rate(Kelvin::new(temp), p_dyn);
@@ -470,15 +484,24 @@ mod tests {
     fn figure7b_critical_at_5_5w() {
         let m = odroid();
         let p_crit = m.critical_power();
-        assert!((p_crit.value() - 5.5).abs() < 1e-6, "critical power {p_crit}");
+        assert!(
+            (p_crit.value() - 5.5).abs() < 1e-6,
+            "critical power {p_crit}"
+        );
         // Just below: stable. Just above: runaway.
-        assert!(matches!(m.stability(Watts::new(5.45)), Stability::Stable(_)));
+        assert!(matches!(
+            m.stability(Watts::new(5.45)),
+            Stability::Stable(_)
+        ));
         assert!(matches!(m.stability(Watts::new(5.55)), Stability::Runaway));
     }
 
     #[test]
     fn figure7c_runaway_at_8w() {
-        assert!(matches!(odroid().stability(Watts::new(8.0)), Stability::Runaway));
+        assert!(matches!(
+            odroid().stability(Watts::new(8.0)),
+            Stability::Runaway
+        ));
     }
 
     #[test]
@@ -512,7 +535,11 @@ mod tests {
         let m = odroid();
         if let Stability::Stable(fp) = m.stability(Watts::new(3.0)) {
             assert!(m.fixed_point_function(fp.stable_aux, Watts::new(3.0)).abs() < 1e-6);
-            assert!(m.fixed_point_function(fp.unstable_aux, Watts::new(3.0)).abs() < 1e-6);
+            assert!(
+                m.fixed_point_function(fp.unstable_aux, Watts::new(3.0))
+                    .abs()
+                    < 1e-6
+            );
         } else {
             panic!("expected stable at 3 W");
         }
@@ -550,14 +577,8 @@ mod tests {
 
     #[test]
     fn zero_leakage_model_never_runs_away() {
-        let m = LumpedModel::new(
-            Kelvin::new(298.15),
-            10.0,
-            8000.0,
-            0.0,
-            Seconds::new(100.0),
-        )
-        .unwrap();
+        let m =
+            LumpedModel::new(Kelvin::new(298.15), 10.0, 8000.0, 0.0, Seconds::new(100.0)).unwrap();
         assert_eq!(m.critical_power(), Watts::new(f64::INFINITY));
         let t = m.steady_state_temperature(Watts::new(4.0)).unwrap();
         // Pure linear model: T = T_a + R P.
@@ -574,14 +595,8 @@ mod tests {
                 Watts::new(target),
             )
             .unwrap();
-            let m = LumpedModel::new(
-                Kelvin::new(298.15),
-                17.0,
-                8000.0,
-                gain,
-                Seconds::new(300.0),
-            )
-            .unwrap();
+            let m = LumpedModel::new(Kelvin::new(298.15), 17.0, 8000.0, gain, Seconds::new(300.0))
+                .unwrap();
             assert!(
                 (m.critical_power().value() - target).abs() < 1e-6,
                 "target {target}"
@@ -708,7 +723,9 @@ mod tests {
             let limit = Kelvin::new(273.15 + limit_c);
             let budget = m.power_budget_for_limit(limit);
             // Running exactly at the budget lands exactly on the limit.
-            let t = m.steady_state_temperature(budget).expect("stable at budget");
+            let t = m
+                .steady_state_temperature(budget)
+                .expect("stable at budget");
             assert!(
                 (t.value() - limit.value()).abs() < 1e-6,
                 "limit {limit_c}: budget {budget} gives {t}"

@@ -75,8 +75,7 @@ impl RcNetwork {
         // Stability bound for forward Euler: dt < C_i / (Σ_j G_ij + G_a,i).
         let mut max_step = f64::INFINITY;
         for i in 0..n {
-            let g_total: f64 =
-                conductance[i].iter().sum::<f64>() + ambient_conductance[i];
+            let g_total: f64 = conductance[i].iter().sum::<f64>() + ambient_conductance[i];
             if g_total > 0.0 {
                 max_step = max_step.min(0.5 * heat_capacity[i] / g_total);
             }
@@ -356,7 +355,9 @@ impl RcNetwork {
     pub fn temperature_of(&self, name: &str) -> Result<Kelvin> {
         self.node_index(name)
             .map(|i| self.temperatures[i])
-            .ok_or_else(|| ThermalError::UnknownNode { name: name.to_owned() })
+            .ok_or_else(|| ThermalError::UnknownNode {
+                name: name.to_owned(),
+            })
     }
 
     /// Current temperature of a named node in Celsius.
@@ -508,8 +509,7 @@ mod tests {
 
     #[test]
     fn skin_lags_behind_the_package_and_runs_cooler() {
-        let mut net =
-            RcNetwork::from_spec(platforms::snapdragon_810().thermal_spec()).unwrap();
+        let mut net = RcNetwork::from_spec(platforms::snapdragon_810().thermal_spec()).unwrap();
         let gpu = net.node_index("gpu").unwrap();
         let pkg = net.node_index("package").unwrap();
         let skin = net.node_index("skin").unwrap();

@@ -223,11 +223,19 @@ mod tests {
 
     #[test]
     fn frequencies_order() {
-        let mut opps = vec![Hertz::from_mhz(510), Hertz::from_mhz(180), Hertz::from_mhz(390)];
+        let mut opps = vec![
+            Hertz::from_mhz(510),
+            Hertz::from_mhz(180),
+            Hertz::from_mhz(390),
+        ];
         opps.sort();
         assert_eq!(
             opps,
-            vec![Hertz::from_mhz(180), Hertz::from_mhz(390), Hertz::from_mhz(510)]
+            vec![
+                Hertz::from_mhz(180),
+                Hertz::from_mhz(390),
+                Hertz::from_mhz(510)
+            ]
         );
     }
 

@@ -94,7 +94,12 @@ mod tests {
 
     #[test]
     fn summing_rail_powers() {
-        let rails = [Watts::new(0.9), Watts::new(1.4), Watts::new(1.1), Watts::new(0.25)];
+        let rails = [
+            Watts::new(0.9),
+            Watts::new(1.4),
+            Watts::new(1.1),
+            Watts::new(0.25),
+        ];
         let total: Watts = rails.iter().sum();
         assert!((total.value() - 3.65).abs() < 1e-12);
     }

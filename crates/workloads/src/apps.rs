@@ -96,8 +96,9 @@ impl AppModel {
     }
 
     fn complexity(&mut self, now: Seconds) -> f64 {
-        let phase =
-            1.0 + self.phase_amplitude * (std::f64::consts::TAU * now.value() / self.phase_period).sin();
+        let phase = 1.0
+            + self.phase_amplitude
+                * (std::f64::consts::TAU * now.value() / self.phase_period).sin();
         let noise = if self.jitter > 0.0 {
             1.0 + self.rng.gen_range(-self.jitter..self.jitter)
         } else {
@@ -127,14 +128,18 @@ impl Workload for AppModel {
             self.base_gpu_per_frame * factor,
         );
         let (cpu, gpu) = self.pipeline.demand(now, dt);
-        let interaction = if self.interaction_period > 0.0 && now.value() >= self.next_interaction
-        {
+        let interaction = if self.interaction_period > 0.0 && now.value() >= self.next_interaction {
             self.next_interaction = now.value() + self.interaction_period;
             true
         } else {
             false
         };
-        Demand { cpu_cycles: cpu, cpu_threads: self.cpu_threads, gpu_cycles: gpu, interaction }
+        Demand {
+            cpu_cycles: cpu,
+            cpu_threads: self.cpu_threads,
+            gpu_cycles: gpu,
+            interaction,
+        }
     }
 
     fn deliver(&mut self, cpu_cycles: f64, gpu_cycles: f64, now: Seconds, dt: Seconds) {
@@ -295,7 +300,10 @@ mod tests {
         // shopping app does.
         let game_ratio = dg.gpu_cycles / dg.cpu_cycles;
         let shop_ratio = ds.gpu_cycles / ds.cpu_cycles;
-        assert!(game_ratio > 5.0 * shop_ratio, "game {game_ratio} vs shop {shop_ratio}");
+        assert!(
+            game_ratio > 5.0 * shop_ratio,
+            "game {game_ratio} vs shop {shop_ratio}"
+        );
         assert!(ds.cpu_cycles > ds.gpu_cycles);
     }
 
@@ -304,7 +312,10 @@ mod tests {
         // Unthrottled Adreno mix ~550 MHz; throttled ~370 MHz.
         let unthrottled = run(&mut paper_io(7), 30.0, 4e9, 560.0e6);
         let throttled = run(&mut paper_io(7), 30.0, 4e9, 370.0e6);
-        assert!((30.0..41.0).contains(&unthrottled), "unthrottled {unthrottled}");
+        assert!(
+            (30.0..41.0).contains(&unthrottled),
+            "unthrottled {unthrottled}"
+        );
         assert!((19.0..27.0).contains(&throttled), "throttled {throttled}");
         assert!(throttled < unthrottled);
     }
@@ -382,7 +393,13 @@ mod tests {
         let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["Paper.io", "Stickman Hook", "Amazon", "Google Hangouts", "Facebook"]
+            vec![
+                "Paper.io",
+                "Stickman Hook",
+                "Amazon",
+                "Google Hangouts",
+                "Facebook"
+            ]
         );
     }
 }

@@ -56,7 +56,10 @@ impl ThreeDMark {
     /// Panics if either duration is not positive.
     #[must_use]
     pub fn with_durations(gt1: Seconds, gt2: Seconds) -> Self {
-        assert!(gt1.value() > 0.0 && gt2.value() > 0.0, "durations must be positive");
+        assert!(
+            gt1.value() > 0.0 && gt2.value() > 0.0,
+            "durations must be positive"
+        );
         // Benchmarks render as fast as possible; an effectively unbounded
         // vsync target keeps the pipeline saturated.
         Self {
@@ -114,7 +117,12 @@ impl Workload for ThreeDMark {
             let local = Seconds::new(now.value() - self.gt1_duration);
             self.gt2.demand(local, dt)
         };
-        Demand { cpu_cycles: cpu, cpu_threads: 2.0, gpu_cycles: gpu, interaction: false }
+        Demand {
+            cpu_cycles: cpu,
+            cpu_threads: 2.0,
+            gpu_cycles: gpu,
+            interaction: false,
+        }
     }
 
     fn deliver(&mut self, cpu_cycles: f64, gpu_cycles: f64, now: Seconds, dt: Seconds) {
@@ -143,9 +151,7 @@ impl Workload for ThreeDMark {
 
 impl ThreeDMark {
     fn gt2_elapsed(&self) -> f64 {
-        self.gt2
-            .fps_buckets()
-            .len() as f64
+        self.gt2.fps_buckets().len() as f64
     }
 }
 
@@ -257,7 +263,12 @@ impl Workload for Nenamark {
             return Demand::IDLE;
         }
         let (cpu, gpu) = self.pipeline.demand(now, dt);
-        Demand { cpu_cycles: cpu, cpu_threads: 1.5, gpu_cycles: gpu, interaction: false }
+        Demand {
+            cpu_cycles: cpu,
+            cpu_threads: 1.5,
+            gpu_cycles: gpu,
+            interaction: false,
+        }
     }
 
     fn deliver(&mut self, cpu_cycles: f64, gpu_cycles: f64, now: Seconds, dt: Seconds) {
@@ -317,7 +328,10 @@ impl BasicMathLarge {
     /// Creates the background task.
     #[must_use]
     pub fn new() -> Self {
-        Self { delivered_cycles: 0.0, cycles_per_iteration: Self::CYCLES_PER_ITERATION }
+        Self {
+            delivered_cycles: 0.0,
+            cycles_per_iteration: Self::CYCLES_PER_ITERATION,
+        }
     }
 
     /// Iterations completed so far.
@@ -402,8 +416,16 @@ impl SteadyCompute {
     /// Panics if `rate` or `threads` is not positive.
     #[must_use]
     pub fn new(name: impl Into<String>, rate: f64, threads: f64) -> Self {
-        assert!(rate > 0.0 && threads > 0.0, "rate and threads must be positive");
-        Self { name: name.into(), rate, threads, delivered: 0.0 }
+        assert!(
+            rate > 0.0 && threads > 0.0,
+            "rate and threads must be positive"
+        );
+        Self {
+            name: name.into(),
+            rate,
+            threads,
+            delivered: 0.0,
+        }
     }
 
     /// Total cycles delivered so far.
@@ -476,7 +498,10 @@ impl BurstyCompute {
     /// Panics if either duration is not positive.
     #[must_use]
     pub fn new(name: impl Into<String>, burst: Seconds, idle: Seconds) -> Self {
-        assert!(burst.value() > 0.0 && idle.value() > 0.0, "durations must be positive");
+        assert!(
+            burst.value() > 0.0 && idle.value() > 0.0,
+            "durations must be positive"
+        );
         Self {
             name: name.into(),
             burst: burst.value(),
@@ -550,7 +575,8 @@ mod tests {
             }
             let d = w.demand(now, DT);
             w.deliver(
-                d.cpu_cycles.min(cpu_rate * DT.value() * d.cpu_threads.max(1.0)),
+                d.cpu_cycles
+                    .min(cpu_rate * DT.value() * d.cpu_threads.max(1.0)),
                 d.gpu_cycles.min(gpu_rate * DT.value()),
                 now,
                 DT,
@@ -593,7 +619,12 @@ mod tests {
         let mut slow = Nenamark::new();
         drive(&mut free, 300.0, 4e9, 600.0e6);
         drive(&mut slow, 300.0, 4e9, 520.0e6);
-        assert!(slow.score() < free.score(), "{} !< {}", slow.score(), free.score());
+        assert!(
+            slow.score() < free.score(),
+            "{} !< {}",
+            slow.score(),
+            free.score()
+        );
     }
 
     #[test]

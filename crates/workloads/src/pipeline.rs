@@ -57,8 +57,14 @@ impl FramePipeline {
     /// `target_fps` is not positive.
     #[must_use]
     pub fn new(cpu_per_frame: f64, gpu_per_frame: f64, target_fps: f64) -> Self {
-        assert!(cpu_per_frame >= 0.0 && gpu_per_frame >= 0.0, "frame costs must be >= 0");
-        assert!(cpu_per_frame + gpu_per_frame > 0.0, "a frame must cost something");
+        assert!(
+            cpu_per_frame >= 0.0 && gpu_per_frame >= 0.0,
+            "frame costs must be >= 0"
+        );
+        assert!(
+            cpu_per_frame + gpu_per_frame > 0.0,
+            "a frame must cost something"
+        );
         assert!(target_fps > 0.0, "target fps must be positive");
         Self {
             cpu_per_frame,
@@ -90,8 +96,14 @@ impl FramePipeline {
     ///
     /// Panics under the same conditions as [`new`](Self::new).
     pub fn set_costs(&mut self, cpu_per_frame: f64, gpu_per_frame: f64) {
-        assert!(cpu_per_frame >= 0.0 && gpu_per_frame >= 0.0, "frame costs must be >= 0");
-        assert!(cpu_per_frame + gpu_per_frame > 0.0, "a frame must cost something");
+        assert!(
+            cpu_per_frame >= 0.0 && gpu_per_frame >= 0.0,
+            "frame costs must be >= 0"
+        );
+        assert!(
+            cpu_per_frame + gpu_per_frame > 0.0,
+            "a frame must cost something"
+        );
         self.cpu_per_frame = cpu_per_frame;
         self.gpu_per_frame = gpu_per_frame;
     }
@@ -158,11 +170,9 @@ impl FramePipeline {
         } else {
             self.gpu_progress = allowed;
         }
-        self.completed = self
-            .cpu_progress
-            .min(self.gpu_progress)
-            .max(self.completed);
-        self.history.push((now.value() + dt.value(), self.completed));
+        self.completed = self.cpu_progress.min(self.gpu_progress).max(self.completed);
+        self.history
+            .push((now.value() + dt.value(), self.completed));
     }
 
     /// Total frames completed so far.
@@ -202,7 +212,11 @@ impl FramePipeline {
             while idx < self.history.len() && self.history[idx].0 <= boundary {
                 idx += 1;
             }
-            let frames_at = if idx == 0 { 0.0 } else { self.history[idx - 1].1 };
+            let frames_at = if idx == 0 {
+                0.0
+            } else {
+                self.history[idx - 1].1
+            };
             buckets.push(frames_at - prev_frames);
             prev_frames = frames_at;
         }

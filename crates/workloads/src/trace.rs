@@ -25,13 +25,23 @@ impl TraceSegment {
     /// A fully idle segment.
     #[must_use]
     pub fn idle(duration: Seconds) -> Self {
-        Self { duration, cpu_rate: 0.0, cpu_threads: 0.0, gpu_rate: 0.0 }
+        Self {
+            duration,
+            cpu_rate: 0.0,
+            cpu_threads: 0.0,
+            gpu_rate: 0.0,
+        }
     }
 
     /// A CPU-only segment.
     #[must_use]
     pub fn cpu(duration: Seconds, rate: f64, threads: f64) -> Self {
-        Self { duration, cpu_rate: rate, cpu_threads: threads, gpu_rate: 0.0 }
+        Self {
+            duration,
+            cpu_rate: rate,
+            cpu_threads: threads,
+            gpu_rate: 0.0,
+        }
     }
 }
 
@@ -176,16 +186,25 @@ mod tests {
     fn plays_segments_in_order() {
         let mut w = two_phase(false);
         assert!(w.demand(Seconds::new(0.2), Seconds::new(0.01)).cpu_cycles > 0.0);
-        assert_eq!(w.demand(Seconds::new(1.5), Seconds::new(0.01)), Demand::IDLE);
+        assert_eq!(
+            w.demand(Seconds::new(1.5), Seconds::new(0.01)),
+            Demand::IDLE
+        );
         // Past the end of a non-looping trace: idle.
-        assert_eq!(w.demand(Seconds::new(5.0), Seconds::new(0.01)), Demand::IDLE);
+        assert_eq!(
+            w.demand(Seconds::new(5.0), Seconds::new(0.01)),
+            Demand::IDLE
+        );
     }
 
     #[test]
     fn looping_wraps_around() {
         let mut w = two_phase(true);
         assert!(w.demand(Seconds::new(2.3), Seconds::new(0.01)).cpu_cycles > 0.0);
-        assert_eq!(w.demand(Seconds::new(3.5), Seconds::new(0.01)), Demand::IDLE);
+        assert_eq!(
+            w.demand(Seconds::new(3.5), Seconds::new(0.01)),
+            Demand::IDLE
+        );
     }
 
     #[test]

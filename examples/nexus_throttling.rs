@@ -15,7 +15,9 @@ use mobile_thermal::daq::chart;
 use mobile_thermal::units::Seconds;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "paper_io".to_owned());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "paper_io".to_owned());
     let app = match which.as_str() {
         "paper_io" => NexusApp::PaperIo,
         "stickman" => NexusApp::StickmanHook,
@@ -28,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
-    println!("running {} for 140 s, twice (throttling off / on)...", app.name());
+    println!(
+        "running {} for 140 s, twice (throttling off / on)...",
+        app.name()
+    );
     let without = nexus_run(app, false, 42, Seconds::new(140.0))?;
     let with = nexus_run(app, true, 42, Seconds::new(140.0))?;
 

@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
 
     println!("\nMaximum temperature (paper Figure 8):");
-    let series: Vec<&mobile_thermal::daq::TimeSeries> =
-        runs.iter().map(|r| &r.max_temp).collect();
+    let series: Vec<&mobile_thermal::daq::TimeSeries> = runs.iter().map(|r| &r.max_temp).collect();
     print!("{}", chart::line_chart(&series, 72, 16));
     println!("          (* = 3DMark, + = 3DMark+BML, o = proposed control)");
 

@@ -15,7 +15,10 @@ fn victim_is_the_most_power_hungry_background_process() {
     let gov = AppAwareGovernor::new(AppAwareConfig::default());
     let mut sim = SimBuilder::new(platforms::exynos_5422())
         .attach_realtime(
-            Box::new(ThreeDMark::with_durations(Seconds::new(40.0), Seconds::new(40.0))),
+            Box::new(ThreeDMark::with_durations(
+                Seconds::new(40.0),
+                Seconds::new(40.0),
+            )),
             ProcessClass::Foreground,
             ComponentId::BigCluster,
         )
@@ -57,7 +60,10 @@ fn realtime_registration_protects_a_process() {
     let stats = gov.stats();
     let mut sim = SimBuilder::new(platforms::exynos_5422())
         .attach_realtime(
-            Box::new(ThreeDMark::with_durations(Seconds::new(40.0), Seconds::new(40.0))),
+            Box::new(ThreeDMark::with_durations(
+                Seconds::new(40.0),
+                Seconds::new(40.0),
+            )),
             ProcessClass::Foreground,
             ComponentId::BigCluster,
         )
@@ -115,7 +121,10 @@ fn governor_counts_match_the_scheduler_state() {
     let stats = gov.stats();
     let mut sim = SimBuilder::new(platforms::exynos_5422())
         .attach_realtime(
-            Box::new(ThreeDMark::with_durations(Seconds::new(40.0), Seconds::new(40.0))),
+            Box::new(ThreeDMark::with_durations(
+                Seconds::new(40.0),
+                Seconds::new(40.0),
+            )),
             ProcessClass::Foreground,
             ComponentId::BigCluster,
         )
@@ -130,12 +139,8 @@ fn governor_counts_match_the_scheduler_state() {
         .expect("valid sim");
     sim.run_for(Seconds::new(30.0)).expect("run");
     let bml = sim.pid_of("basicmath_large").expect("bml");
-    let scheduler_migrations = u64::from(
-        sim.scheduler()
-            .process(bml)
-            .expect("bml")
-            .migration_count(),
-    );
+    let scheduler_migrations =
+        u64::from(sim.scheduler().process(bml).expect("bml").migration_count());
     assert_eq!(
         stats.migrations(),
         scheduler_migrations,
@@ -171,7 +176,10 @@ fn governor_generalizes_to_the_phone_platform() {
         .build()
         .expect("valid sim");
     sim.run_for(Seconds::new(60.0)).expect("run");
-    assert!(stats.migrations() >= 1, "the phone's BML must be migrated too");
+    assert!(
+        stats.migrations() >= 1,
+        "the phone's BML must be migrated too"
+    );
     let bml = sim.pid_of("basicmath_large").expect("bml");
     assert_eq!(
         sim.scheduler().process(bml).expect("bml").cluster(),

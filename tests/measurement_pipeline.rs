@@ -52,7 +52,10 @@ fn residency_covers_the_full_run_for_every_component() {
             r.total()
         );
         let pct_sum: f64 = r.percentages().values().sum();
-        assert!((pct_sum - 100.0).abs() < 1e-6, "{id}: percentages sum to {pct_sum}");
+        assert!(
+            (pct_sum - 100.0).abs() < 1e-6,
+            "{id}: percentages sum to {pct_sum}"
+        );
     }
 }
 

@@ -23,10 +23,7 @@ fn throttling_trades_fps_for_temperature() {
     );
     // ...at a double-digit FPS cost for a popular game.
     let drop = (free.median_fps - throttled.median_fps) / free.median_fps * 100.0;
-    assert!(
-        drop > 15.0,
-        "Paper.io dropped only {drop:.1}% (paper: 34%)"
-    );
+    assert!(drop > 15.0, "Paper.io dropped only {drop:.1}% (paper: 34%)");
 }
 
 /// Section III: the gaming apps are GPU-bound; the shopping app is
@@ -44,7 +41,10 @@ fn throttling_shows_up_in_the_right_residency_histogram() {
         .filter(|(f, _)| f.as_mhz() <= 450)
         .map(|(_, p)| p)
         .sum();
-    assert!(game_low > 50.0, "throttled game low-GPU share {game_low:.0}%");
+    assert!(
+        game_low > 50.0,
+        "throttled game low-GPU share {game_low:.0}%"
+    );
     // The shopping app keeps its GPU cold regardless; its big cluster
     // carries the load.
     let shop_low_gpu: f64 = shop
@@ -54,7 +54,10 @@ fn throttling_shows_up_in_the_right_residency_histogram() {
         .filter(|(f, _)| f.as_mhz() <= 305)
         .map(|(_, p)| p)
         .sum();
-    assert!(shop_low_gpu > 70.0, "shopping app GPU share {shop_low_gpu:.0}%");
+    assert!(
+        shop_low_gpu > 70.0,
+        "shopping app GPU share {shop_low_gpu:.0}%"
+    );
 }
 
 /// Section IV-A / Figure 7: the number of fixed points classifies
@@ -64,17 +67,26 @@ fn throttling_shows_up_in_the_right_residency_histogram() {
 fn fixed_point_panels_match_the_paper() {
     let curves = fig7_curves();
     assert_eq!(curves.len(), 3);
-    assert!(matches!(curves[0].stability, Stability::Stable(_)), "panel (a)");
+    assert!(
+        matches!(curves[0].stability, Stability::Stable(_)),
+        "panel (a)"
+    );
     assert!(
         (curves[1].power.value() - 5.5).abs() < 0.01,
         "panel (b) is at the 5.5 W critical power"
     );
-    assert!(matches!(curves[2].stability, Stability::Runaway), "panel (c)");
+    assert!(
+        matches!(curves[2].stability, Stability::Runaway),
+        "panel (c)"
+    );
     // The stable fixed point is the larger root in auxiliary temperature
     // (the paper: "the larger root attracts the temperature trajectories").
     if let Stability::Stable(fp) = curves[0].stability {
         assert!(fp.stable_aux > fp.unstable_aux);
-        assert!(fp.stable < fp.unstable, "larger aux root = lower temperature");
+        assert!(
+            fp.stable < fp.unstable,
+            "larger aux root = lower temperature"
+        );
     }
 }
 
@@ -106,7 +118,10 @@ fn proposed_governor_protects_the_foreground_app() {
         gt1_proposed > gt1_default + 3.0,
         "proposed: GT1 {gt1_proposed:.0} should beat default {gt1_default:.0} (paper: 93 vs 86)"
     );
-    assert!(proposed.migrations >= 1, "the background app must be migrated");
+    assert!(
+        proposed.migrations >= 1,
+        "the background app must be migrated"
+    );
 
     // And it still controls the temperature relative to the unmanaged
     // heating trend (peak at or below the default policy's peak + small

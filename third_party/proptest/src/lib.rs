@@ -1,0 +1,436 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The workspace builds without registry access, so this stub reproduces
+//! the `proptest!` surface the tests use — deterministic random case
+//! generation over range/tuple/collection/char-class strategies, with
+//! `prop_assert!`/`prop_assert_eq!` failure reporting — but performs no
+//! shrinking: a failing case reports its generated inputs via the
+//! assertion message only.
+//!
+//! Determinism: every test function derives its RNG seed from its own
+//! name, so runs are reproducible across processes and platforms.
+
+use std::ops::Range;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator used by the `proptest!` runner.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name, so each test gets a stable stream.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: hash }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)`; `hi` must exceed `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+pub mod strategy {
+    use super::{Range, TestRng};
+
+    /// A recipe for generating one random value per test case.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// String-literal strategies: the `[class]{m,n}` regex subset.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (ranges, min_len, max_len) = parse_char_class(self);
+            let len = if min_len == max_len {
+                min_len
+            } else {
+                rng.usize_in(min_len, max_len + 1)
+            };
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            (0..len)
+                .map(|_| {
+                    let mut pick = (rng.next_u64() % u64::from(total)) as u32;
+                    for (lo, hi) in &ranges {
+                        let span = *hi as u32 - *lo as u32 + 1;
+                        if pick < span {
+                            return char::from_u32(*lo as u32 + pick).unwrap();
+                        }
+                        pick -= span;
+                    }
+                    unreachable!("pick within total")
+                })
+                .collect()
+        }
+    }
+
+    /// Parses `[chars]{m,n}` (or `{m}`) into inclusive char ranges plus
+    /// the length bounds. Panics on anything outside that subset so
+    /// unsupported patterns fail loudly.
+    fn parse_char_class(pattern: &str) -> (Vec<(char, char)>, usize, usize) {
+        let chars: Vec<char> = pattern.chars().collect();
+        assert_eq!(
+            chars.first(),
+            Some(&'['),
+            "unsupported string strategy {pattern:?}"
+        );
+        let close = chars
+            .iter()
+            .position(|&c| c == ']')
+            .unwrap_or_else(|| panic!("unterminated char class in {pattern:?}"));
+        let mut ranges = Vec::new();
+        let mut i = 1;
+        while i < close {
+            if i + 2 < close && chars[i + 1] == '-' {
+                ranges.push((chars[i], chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((chars[i], chars[i]));
+                i += 1;
+            }
+        }
+        let quant: String = chars[close + 1..].iter().collect();
+        let inner = quant
+            .strip_prefix('{')
+            .and_then(|q| q.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported quantifier in {pattern:?}"));
+        let (min_len, max_len) = match inner.split_once(',') {
+            Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+            None => {
+                let n = inner.parse().unwrap();
+                (n, n)
+            }
+        };
+        (ranges, min_len, max_len)
+    }
+
+    /// `any::<T>()` support; only the types the workspace asks for.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`](super::prelude::any).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Collection sizes: an exact `usize` or a half-open `Range<usize>`.
+    pub trait SizeBound {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeBound for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeBound for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.start, self.end)
+        }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeBound> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `size` generated elements.
+    pub fn vec<S: Strategy, Z: SizeBound>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeBound> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set, so retry a bounded number of
+            // times before accepting a smaller one (like real proptest).
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// `proptest::collection::btree_set`: up to `size` distinct elements.
+    pub fn btree_set<S: Strategy, Z: SizeBound>(element: S, size: Z) -> BTreeSetStrategy<S, Z> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Any, Arbitrary, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// `any::<T>()` — generate an arbitrary value of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+/// The test-harness macro. Each contained `fn` becomes a `#[test]`
+/// running `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $crate::__proptest_bindings! { __rng, $($args)* }
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    panic!("proptest case {}/{} failed: {}", __case + 1, __config.cases, __msg);
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings! { $rng, $($rest)* }
+    };
+    ($rng:ident, mut $name:ident in $strat:expr) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings! { $rng, $($rest)* }
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+}
+
+/// Fails the current case with the condition (or a formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __left, __right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn f64_ranges_respected(x in 1.0_f64..2.0, pair in (0u64..4, 0.5_f64..1.0)) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((0.5..1.0).contains(&pair.1), "pair.1 = {}", pair.1);
+        }
+
+        #[test]
+        fn collections_and_strings(
+            values in collection::vec(-1.0_f64..1.0, 1..5),
+            names in collection::btree_set("[a-z]{1,6}", 1..6),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!values.is_empty() && values.len() < 5);
+            prop_assert!(!names.is_empty());
+            for name in &names {
+                prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+                prop_assert!((1..=6).contains(&name.len()));
+            }
+            prop_assert!(u8::from(flag) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = super::TestRng::deterministic("same");
+        let mut b = super::TestRng::deterministic("same");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

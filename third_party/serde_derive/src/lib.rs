@@ -1,0 +1,642 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the stub `serde` crate's
+//! `Value` data model. Written without `syn`/`quote` (neither is
+//! available offline): the input item is parsed by walking raw token
+//! trees, and the impls are emitted as strings re-parsed into a
+//! `TokenStream`.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields (`default`, `default = "path"`, `flatten`
+//!   field attributes)
+//! - tuple structs (newtypes serialize transparently, like real serde)
+//! - `#[serde(transparent)]`
+//! - unit-only enums, externally tagged (optionally
+//!   `rename_all = "snake_case"`)
+//! - internally tagged enums (`tag = "…"`) with unit and struct variants
+//!
+//! Anything outside this subset panics at macro-expansion time with a
+//! clear message, so unsupported additions fail the build loudly instead
+//! of misbehaving at runtime.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    rename_all_snake: bool,
+    tag: Option<String>,
+}
+
+enum DefaultAttr {
+    None,
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: DefaultAttr,
+    flatten: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for a struct variant.
+    fields: Option<Vec<Field>>,
+}
+
+enum Data {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde stub derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde stub derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+
+    // Leading attributes and visibility, then the `struct`/`enum` keyword.
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_container_attr(g.stream(), &mut attrs);
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            other => panic!("serde stub derive: unexpected token before item keyword: {other:?}"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are unsupported ({name})");
+        }
+    }
+
+    let data = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Data::Enum(parse_variants(g.stream(), &name))
+            } else {
+                Data::Named(parse_named_fields(g.stream(), &name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Data::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => panic!("serde stub derive: unsupported item body for {name}: {other:?}"),
+    };
+
+    Input { name, attrs, data }
+}
+
+/// Parses one outer attribute's bracketed contents; records serde
+/// container attributes, ignores everything else (`doc`, `must_use`, …).
+fn parse_container_attr(ts: TokenStream, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    if !matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        panic!("serde stub derive: malformed #[serde(...)] attribute");
+    };
+    for (key, value) in parse_attr_items(g.stream()) {
+        match (key.as_str(), value) {
+            ("transparent", None) => attrs.transparent = true,
+            ("rename_all", Some(v)) if v == "snake_case" => attrs.rename_all_snake = true,
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            (other, _) => {
+                panic!("serde stub derive: unsupported container attribute `{other}`")
+            }
+        }
+    }
+}
+
+/// Parses `key`, `key = "value"` pairs separated by commas.
+fn parse_attr_items(ts: TokenStream) -> Vec<(String, Option<String>)> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected attribute key, found {other:?}"),
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            value = Some(match &tokens[i] {
+                TokenTree::Literal(lit) => unquote(&lit.to_string()),
+                other => panic!("serde stub derive: expected string literal, found {other:?}"),
+            });
+            i += 1;
+        }
+        items.push((key, value));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    items
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(ts: TokenStream, container: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = DefaultAttr::None;
+        let mut flatten = false;
+
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                parse_field_attr(g.stream(), &mut default, &mut flatten);
+            }
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                panic!("serde stub derive: expected field name in {container}, found {other:?}")
+            }
+        };
+        i += 1; // field name
+        i += 1; // ':'
+
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // generic arguments don't end the field.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        fields.push(Field {
+            name,
+            default,
+            flatten,
+        });
+    }
+    fields
+}
+
+/// Parses one field attribute's bracketed contents; records serde field
+/// attributes, ignores everything else.
+fn parse_field_attr(ts: TokenStream, default: &mut DefaultAttr, flatten: &mut bool) {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    if !matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        panic!("serde stub derive: malformed #[serde(...)] field attribute");
+    };
+    for (key, value) in parse_attr_items(g.stream()) {
+        match (key.as_str(), value) {
+            ("default", None) => *default = DefaultAttr::Std,
+            ("default", Some(path)) => *default = DefaultAttr::Path(path),
+            ("flatten", None) => *flatten = true,
+            (other, _) => panic!("serde stub derive: unsupported field attribute `{other}`"),
+        }
+    }
+}
+
+fn parse_variants(ts: TokenStream, container: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip variant attributes (`#[default]`, doc comments); serde
+        // variant attributes are unsupported.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                {
+                    panic!(
+                        "serde stub derive: serde variant attributes are unsupported \
+                         ({container})"
+                    );
+                }
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                panic!("serde stub derive: expected variant name in {container}, found {other:?}")
+            }
+        };
+        i += 1;
+
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream(), container))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde stub derive: tuple enum variants are unsupported ({container})")
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for token in ts {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+/// serde's `rename_all = "snake_case"` word-splitting for variant names.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_wire_name(input: &Input, variant: &str) -> String {
+    if input.attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Tuple(1) => "self.0.serialize_value()".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Data::Named(fields) if input.attrs.transparent => {
+            assert_eq!(
+                fields.len(),
+                1,
+                "serde stub derive: transparent needs one field"
+            );
+            format!(
+                "::serde::Serialize::serialize_value(&self.{})",
+                fields[0].name
+            )
+        }
+        Data::Named(fields) => {
+            let mut code = String::from(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for field in fields {
+                code.push_str(&serialize_field_stmt(&field.name, field.flatten, "self."));
+            }
+            code.push_str("::serde::Value::Object(__obj)");
+            code
+        }
+        Data::Enum(variants) => gen_serialize_enum(input, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// One `__obj.push(...)`/`__obj.extend(...)` statement for a struct or
+/// struct-variant field. `access` is `"self."` or `""` (bound pattern).
+fn serialize_field_stmt(field: &str, flatten: bool, access: &str) -> String {
+    let reference = if access.is_empty() {
+        field.to_string()
+    } else {
+        format!("&{access}{field}")
+    };
+    if flatten {
+        format!(
+            "match ::serde::Serialize::serialize_value({reference}) {{\n\
+                 ::serde::Value::Object(__pairs) => __obj.extend(__pairs),\n\
+                 ::serde::Value::Null => {{}}\n\
+                 __other => __obj.push((\"{field}\".to_string(), __other)),\n\
+             }}\n"
+        )
+    } else {
+        format!(
+            "__obj.push((\"{field}\".to_string(), \
+             ::serde::Serialize::serialize_value({reference})));\n"
+        )
+    }
+}
+
+fn gen_serialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    match &input.attrs.tag {
+        None => {
+            // Externally tagged; only unit variants are supported, which
+            // serialize as a bare string.
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    assert!(
+                        v.fields.is_none(),
+                        "serde stub derive: untagged data-carrying enums are unsupported ({name})"
+                    );
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(\"{wire}\".to_string()),",
+                        v = v.name,
+                        wire = variant_wire_name(input, &v.name)
+                    )
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+        Some(tag) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let wire = variant_wire_name(input, &v.name);
+                    let tag_pair = format!(
+                        "(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string()))"
+                    );
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{v} => ::serde::Value::Object(::std::vec![{tag_pair}]),",
+                            v = v.name
+                        ),
+                        Some(fields) => {
+                            let bindings: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let mut body = format!(
+                                "let mut __obj: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec![{tag_pair}];\n"
+                            );
+                            for field in fields {
+                                body.push_str(&serialize_field_stmt(
+                                    &field.name,
+                                    field.flatten,
+                                    "",
+                                ));
+                            }
+                            body.push_str("::serde::Value::Object(__obj)");
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{\n{body}\n}}",
+                                v = v.name,
+                                binds = bindings.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__value)?))")
+        }
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"{name}: expected array\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"{name}: expected {n} elements\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Data::Named(fields) if input.attrs.transparent => {
+            assert_eq!(
+                fields.len(),
+                1,
+                "serde stub derive: transparent needs one field"
+            );
+            format!(
+                "::std::result::Result::Ok({name} {{ {field}: \
+                 ::serde::Deserialize::deserialize_value(__value)? }})",
+                field = fields[0].name
+            )
+        }
+        Data::Named(fields) => {
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+                fields = deserialize_fields(fields)
+            )
+        }
+        Data::Enum(variants) => gen_deserialize_enum(input, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__value: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// `field: <lookup-expr>,` initializers for a named struct or struct
+/// variant, reading from `__obj` (with `__value` as the whole input for
+/// flattened fields).
+fn deserialize_fields(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|field| {
+            let fname = &field.name;
+            if field.flatten {
+                return format!("{fname}: ::serde::Deserialize::deserialize_value(__value)?,");
+            }
+            let missing = match &field.default {
+                DefaultAttr::None => {
+                    format!("::serde::Deserialize::missing_field(\"{fname}\")?")
+                }
+                DefaultAttr::Std => "::std::default::Default::default()".to_string(),
+                DefaultAttr::Path(path) => format!("{path}()"),
+            };
+            format!(
+                "{fname}: match ::serde::__find(__obj, \"{fname}\") {{\n\
+                     ::std::option::Option::Some(__v) => \
+                     ::serde::Deserialize::deserialize_value(__v)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }},"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    match &input.attrs.tag {
+        None => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    assert!(
+                        v.fields.is_none(),
+                        "serde stub derive: untagged data-carrying enums are unsupported ({name})"
+                    );
+                    format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name,
+                        wire = variant_wire_name(input, &v.name)
+                    )
+                })
+                .collect();
+            format!(
+                "let __s = __value.as_str().ok_or_else(|| ::serde::Error::custom(\
+                 \"{name}: expected string\"))?;\n\
+                 match __s {{\n{arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}",
+                arms = arms.join("\n")
+            )
+        }
+        Some(tag) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let wire = variant_wire_name(input, &v.name);
+                    match &v.fields {
+                        None => format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),",
+                            v = v.name
+                        ),
+                        Some(fields) => format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v} {{\n\
+                             {fields}\n}}),",
+                            v = v.name,
+                            fields = deserialize_fields(fields)
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"{name}: expected object\"))?;\n\
+                 let __tag = ::serde::__find(__obj, \"{tag}\")\
+                     .and_then(::serde::Value::as_str)\
+                     .ok_or_else(|| ::serde::Error::custom(\
+                     \"{name}: missing `{tag}` tag\"))?;\n\
+                 match __tag {{\n{arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
