@@ -116,6 +116,52 @@ fn bench_simulator_tick(c: &mut Criterion) {
     group.finish();
 }
 
+/// Measures what the always-on recorder costs the hot loop against the
+/// `Recorder::null()` path (the acceptance bound is ~2% on these).
+fn bench_recorder_overhead(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use mpt_obs::Recorder;
+
+    let mut group = c.benchmark_group("recorder");
+    let build = |recorder: Arc<Recorder>| {
+        SimBuilder::new(platforms::exynos_5422())
+            .recorder(recorder)
+            .attach(
+                Box::new(BasicMathLarge::new()),
+                ProcessClass::Background,
+                ComponentId::BigCluster,
+            )
+            .build()
+            .expect("valid sim")
+    };
+    group.bench_function("tick_100_recording", |b| {
+        b.iter_batched(
+            || build(Arc::new(Recorder::new())),
+            |mut sim| {
+                for _ in 0..100 {
+                    sim.step().expect("step");
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("tick_100_null", |b| {
+        b.iter_batched(
+            || build(Arc::new(Recorder::null())),
+            |mut sim| {
+                for _ in 0..100 {
+                    sim.step().expect("step");
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 fn bench_mibench(c: &mut Criterion) {
     let mut group = c.benchmark_group("mibench");
     group.bench_function("basicmath_iteration", |b| {
@@ -136,6 +182,7 @@ criterion_group!(
     bench_thermal_network,
     bench_scheduler,
     bench_simulator_tick,
+    bench_recorder_overhead,
     bench_mibench
 );
 criterion_main!(benches);

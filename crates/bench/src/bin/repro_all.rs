@@ -1,6 +1,9 @@
-//! Runs every experiment regenerator in sequence (the full paper).
+//! Runs every experiment regenerator in sequence (the full paper) and
+//! closes with a per-binary wall-time summary so slow regenerators are
+//! easy to spot.
 
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     let bins = [
@@ -20,11 +23,21 @@ fn main() {
     ];
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("exe dir");
+    let mut timings = Vec::with_capacity(bins.len());
+    let total = Instant::now();
     for bin in bins {
         println!("\n=============== {bin} ===============");
+        let start = Instant::now();
         let status = Command::new(dir.join(bin))
             .status()
             .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
+        timings.push((bin, start.elapsed().as_secs_f64()));
     }
+    let total = total.elapsed().as_secs_f64();
+    println!("\n=============== wall time ===============");
+    for (bin, secs) in &timings {
+        println!("{bin:<16} {secs:>8.2} s  ({:>4.1}%)", secs / total * 100.0);
+    }
+    println!("{:<16} {total:>8.2} s", "total");
 }

@@ -5,19 +5,24 @@
 //! # One scenario:
 //! cargo run --release -p mpt-bench --bin run_scenario -- scenarios/odroid_proposed.json
 //!
-//! # A campaign (sweep grid) on 4 worker threads:
+//! # A campaign (sweep grid) on 4 worker threads, with live progress,
+//! # a Perfetto-loadable trace and a Prometheus-style metrics dump:
 //! cargo run --release -p mpt-bench --bin run_scenario -- \
-//!     --campaign scenarios/odroid_policy_sweep.campaign.json --jobs 4
+//!     --campaign scenarios/odroid_policy_sweep.campaign.json --jobs 4 \
+//!     --progress --trace-out trace.json --metrics-out metrics.txt
 //! ```
 
-use std::io::Read;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Instant;
 
-use mpt_core::campaign::run_campaign_json;
-use mpt_core::scenario::run_scenario_json;
+use mpt_core::campaign::run_campaign_json_observed;
+use mpt_core::scenario::run_scenario_json_with;
+use mpt_obs::{trace::chrome_trace_json, Recorder};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\nWith no file, a scenario is read from stdin. --jobs 0 (the default)\nuses one worker thread per CPU."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -26,6 +31,9 @@ struct Args {
     path: Option<String>,
     campaign: bool,
     jobs: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    progress: bool,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +41,9 @@ fn parse_args() -> Args {
         path: None,
         campaign: false,
         jobs: 0,
+        trace_out: None,
+        metrics_out: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -44,6 +55,15 @@ fn parse_args() -> Args {
                 };
                 args.jobs = n;
             }
+            "--trace-out" => {
+                let Some(path) = it.next() else { usage() };
+                args.trace_out = Some(path);
+            }
+            "--metrics-out" => {
+                let Some(path) = it.next() else { usage() };
+                args.metrics_out = Some(path);
+            }
+            "--progress" => args.progress = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => {
@@ -67,18 +87,43 @@ fn read_input(path: Option<&str>) -> std::io::Result<String> {
     }
 }
 
+/// Writes the trace and/or metrics files requested on the command line.
+fn export_observability(recorder: &Recorder, args: &Args) -> std::io::Result<()> {
+    let input = args.path.as_deref().unwrap_or("stdin");
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, chrome_trace_json(&recorder.spans(), input))?;
+        eprintln!("trace written to {path} ({} spans)", recorder.spans().len());
+    }
+    if let Some(path) = &args.metrics_out {
+        let snapshot = recorder.snapshot();
+        let body = if path.ends_with(".json") {
+            snapshot.to_json()
+        } else {
+            snapshot.to_prometheus()
+        };
+        std::fs::write(path, body)?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     let json = read_input(args.path.as_deref())?;
     if args.campaign {
-        run_campaign_cli(&json, args.jobs)
+        run_campaign_cli(&json, &args)
     } else {
-        run_scenario_cli(&json)
+        run_scenario_cli(&json, &args)
     }
 }
 
-fn run_scenario_cli(json: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let outcome = run_scenario_json(json)?;
+fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let recorder = Arc::new(Recorder::new());
+    let start = Instant::now();
+    let outcome = run_scenario_json_with(json, Some(Arc::clone(&recorder)))?;
+    if args.progress {
+        eprintln!("scenario done in {:.2} s", start.elapsed().as_secs_f64());
+    }
     println!("peak temperature : {:.1} C", outcome.peak_temperature_c);
     println!("average power    : {:.2} W", outcome.average_power_w);
     println!("energy           : {:.1} J", outcome.energy_j);
@@ -96,11 +141,32 @@ fn run_scenario_cli(json: &str) -> Result<(), Box<dyn std::error::Error>> {
     if !outcome.events.is_empty() {
         println!("\nevents:\n{}", outcome.events.trim_end());
     }
+    export_observability(&recorder, args)?;
     Ok(())
 }
 
-fn run_campaign_cli(json: &str, jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
-    let report = run_campaign_json(json, jobs)?;
+fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let recorder = Arc::new(Recorder::new());
+    let start = Instant::now();
+    let progress = |done: usize, total: usize| {
+        let elapsed = start.elapsed().as_secs_f64();
+        let eta = if done > 0 {
+            elapsed / done as f64 * (total - done) as f64
+        } else {
+            f64::NAN
+        };
+        eprint!(
+            "\rcells {done}/{total} ({:.0}%)  elapsed {elapsed:.1} s  eta {eta:.1} s ",
+            done as f64 / total as f64 * 100.0
+        );
+        let _ = std::io::stderr().flush();
+        if done == total {
+            eprintln!();
+        }
+    };
+    let progress_cb: Option<&(dyn Fn(usize, usize) + Sync)> =
+        if args.progress { Some(&progress) } else { None };
+    let report = run_campaign_json_observed(json, args.jobs, &recorder, progress_cb)?;
     println!(
         "{:<52} {:>9} {:>9} {:>9} {:>6}",
         "cell", "peak C", "avg W", "J", "migr"
@@ -127,14 +193,22 @@ fn run_campaign_cli(json: &str, jobs: usize) -> Result<(), Box<dyn std::error::E
     row("avg power [W]", &report.average_power_w);
     row("energy [J]", &report.energy_j);
     println!(
-        "\n{} cells in {:.2} s wall clock ({})",
+        "\n{} cells in {:.2} s wall clock on {} worker{}",
         report.cells.len(),
         report.wall_clock_s,
-        if jobs == 0 {
-            "one worker per CPU".to_owned()
-        } else {
-            format!("{jobs} worker{}", if jobs == 1 { "" } else { "s" })
-        }
+        report.workers,
+        if report.workers == 1 { "" } else { "s" }
     );
+    let busy: f64 = report.worker_busy_s.iter().sum();
+    let span = report.wall_clock_s * report.workers as f64;
+    if span > 0.0 {
+        println!(
+            "worker occupancy {:.0}% ({:.2} s busy / {:.2} s capacity)",
+            busy / span * 100.0,
+            busy,
+            span
+        );
+    }
+    export_observability(&recorder, args)?;
     Ok(())
 }

@@ -41,11 +41,12 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use mpt_daq::stats;
+use mpt_obs::{Counter, Recorder};
 use mpt_sim::Result;
 
 use crate::scenario::{self, CampaignCell, CampaignSpec, ScenarioOutcome};
@@ -67,19 +68,33 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_parallel_workers(count, jobs, |i, _worker| run(i))
+}
+
+/// [`run_parallel`] with the executing worker's index (0-based, dense)
+/// passed alongside each job index — the campaign runner uses it to
+/// attribute per-cell wall time to workers for the occupancy report.
+pub fn run_parallel_workers<T, F>(count: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
     let workers = effective_jobs(jobs).min(count.max(1));
     let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
     slots.resize_with(count, || None);
     let slots = Mutex::new(slots);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            let slots = &slots;
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
                 }
-                let result = run(i);
+                let result = run(i, worker);
                 slots.lock().expect("result mutex is never poisoned")[i] = Some(result);
             });
         }
@@ -131,6 +146,20 @@ impl SummaryStats {
     }
 }
 
+/// Wall-clock timing of one executed cell: which worker ran it and for
+/// how long. Lives in [`CampaignReport::timings`], *not* in
+/// [`CellOutcome`], so the deterministic part of the report stays
+/// bit-identical across worker counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Position in the expansion order.
+    pub index: usize,
+    /// Worker thread (0-based, dense) that executed the cell.
+    pub worker: usize,
+    /// Wall-clock seconds the cell took, including simulator build.
+    pub wall_clock_s: f64,
+}
+
 /// One executed campaign cell: the expansion metadata plus the scenario
 /// outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -161,6 +190,15 @@ pub struct CampaignReport {
     /// comparisons: compare [`cells`](Self::cells) when checking
     /// determinism across worker counts.
     pub wall_clock_s: f64,
+    /// Number of worker threads the campaign actually used.
+    pub workers: usize,
+    /// Per-cell wall time and worker attribution, in expansion order.
+    /// Timing-dependent: compare [`cells`](Self::cells), not this, when
+    /// checking determinism.
+    pub timings: Vec<CellTiming>,
+    /// Busy seconds per worker (sum of its cells' wall times) — the
+    /// occupancy picture of the pool.
+    pub worker_busy_s: Vec<f64>,
 }
 
 /// Runs every expanded cell of a campaign on up to `jobs` worker threads
@@ -174,6 +212,22 @@ pub fn run_campaign(spec: &CampaignSpec, jobs: usize) -> Result<CampaignReport> 
     run_cells(&spec.expand()?, jobs)
 }
 
+/// [`run_campaign`] with a shared observability recorder and an optional
+/// progress callback — the entry point behind `run_scenario`'s
+/// `--trace-out`/`--metrics-out`/`--progress` flags.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    jobs: usize,
+    recorder: &Arc<Recorder>,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<CampaignReport> {
+    run_cells_observed(&spec.expand()?, jobs, recorder, progress)
+}
+
 /// Runs pre-expanded campaign cells — the entry point for callers that
 /// build or filter the grid themselves.
 ///
@@ -181,12 +235,54 @@ pub fn run_campaign(spec: &CampaignSpec, jobs: usize) -> Result<CampaignReport> 
 ///
 /// The first failing cell's error, by expansion order.
 pub fn run_cells(cells: &[CampaignCell], jobs: usize) -> Result<CampaignReport> {
+    run_cells_observed(cells, jobs, &Arc::new(Recorder::new()), None)
+}
+
+/// [`run_cells`] against a caller-supplied recorder: every simulator in
+/// the campaign shares it (histogram registration is idempotent, counter
+/// adds commute, and each worker's spans land on its own lane), each
+/// cell gets a `cell` span plus `cell` latency histogram sample, and
+/// `progress(done, total)` fires after every completed cell.
+///
+/// Counter totals on the recorder depend only on the simulated events,
+/// so they are bit-identical whatever `jobs` is; spans and histograms
+/// carry the actual wall-clock timing.
+///
+/// # Errors
+///
+/// The first failing cell's error, by expansion order.
+pub fn run_cells_observed(
+    cells: &[CampaignCell],
+    jobs: usize,
+    recorder: &Arc<Recorder>,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<CampaignReport> {
     let start = std::time::Instant::now();
-    let results = run_parallel(cells.len(), jobs, |i| {
-        scenario::run_scenario(&cells[i].scenario)
+    let cell_hist = recorder.register_histogram("cell");
+    let done = AtomicUsize::new(0);
+    let results = run_parallel_workers(cells.len(), jobs, |i, worker| {
+        let cell_start = std::time::Instant::now();
+        let result = {
+            let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
+            scenario::run_scenario_with(&cells[i].scenario, Some(Arc::clone(recorder)))
+        };
+        recorder.incr(Counter::CellsCompleted);
+        if let Some(cb) = progress {
+            cb(done.fetch_add(1, Ordering::Relaxed) + 1, cells.len());
+        }
+        (result, cell_start.elapsed().as_secs_f64(), worker)
     });
+    let workers = effective_jobs(jobs).min(cells.len().max(1));
+    let mut worker_busy_s = vec![0.0; workers];
+    let mut timings = Vec::with_capacity(cells.len());
     let mut outcomes = Vec::with_capacity(cells.len());
-    for (cell, result) in cells.iter().zip(results) {
+    for (cell, (result, wall_clock_s, worker)) in cells.iter().zip(results) {
+        worker_busy_s[worker] += wall_clock_s;
+        timings.push(CellTiming {
+            index: cell.index,
+            worker,
+            wall_clock_s,
+        });
         outcomes.push(CellOutcome {
             index: cell.index,
             label: cell.label.clone(),
@@ -202,6 +298,9 @@ pub fn run_cells(cells: &[CampaignCell], jobs: usize) -> Result<CampaignReport> 
         average_power_w: metric(|o| o.average_power_w),
         energy_j: metric(|o| o.energy_j),
         wall_clock_s: start.elapsed().as_secs_f64(),
+        workers,
+        timings,
+        worker_busy_s,
         cells: outcomes,
     })
 }
@@ -218,6 +317,25 @@ pub fn run_campaign_json(json: &str, jobs: usize) -> Result<CampaignReport> {
             reason: format!("bad campaign json: {e}"),
         })?;
     run_campaign(&spec, jobs)
+}
+
+/// [`run_campaign_json`] with a shared recorder and optional progress
+/// callback, as [`run_campaign_observed`].
+///
+/// # Errors
+///
+/// As [`run_campaign_json`].
+pub fn run_campaign_json_observed(
+    json: &str,
+    jobs: usize,
+    recorder: &Arc<Recorder>,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<CampaignReport> {
+    let spec: CampaignSpec =
+        serde_json::from_str(json).map_err(|e| mpt_sim::SimError::InvalidConfig {
+            reason: format!("bad campaign json: {e}"),
+        })?;
+    run_campaign_observed(&spec, jobs, recorder, progress)
 }
 
 #[cfg(test)]
@@ -316,6 +434,43 @@ mod tests {
         assert_eq!(serial.cells.len(), 4);
         assert!(serial.peak_temperature_c.max >= serial.peak_temperature_c.min);
         assert!(serial.average_power_w.mean > 0.0);
+    }
+
+    #[test]
+    fn observed_run_records_timings_and_occupancy() {
+        let spec = small_campaign();
+        let recorder = Arc::new(Recorder::new());
+        let calls = AtomicUsize::new(0);
+        let progress = |_done: usize, total: usize| {
+            assert_eq!(total, 4);
+            calls.fetch_add(1, Ordering::Relaxed);
+        };
+        let report = run_campaign_observed(&spec, 2, &recorder, Some(&progress)).unwrap();
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.timings.len(), report.cells.len());
+        assert!(report.timings.iter().all(|t| t.worker < report.workers));
+        assert_eq!(report.worker_busy_s.len(), 2);
+        let busy: f64 = report.worker_busy_s.iter().sum();
+        let cells: f64 = report.timings.iter().map(|t| t.wall_clock_s).sum();
+        assert!((busy - cells).abs() < 1e-9);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(recorder.counter(Counter::CellsCompleted), 4);
+        assert!(recorder.histogram_names().iter().any(|n| n == "cell"));
+        assert!(recorder.spans().iter().any(|s| s.cat == "cell"));
+        assert!(recorder.spans().iter().any(|s| s.cat == "stage"));
+    }
+
+    #[test]
+    fn observed_counters_match_across_worker_counts() {
+        let spec = small_campaign();
+        let serial = Arc::new(Recorder::new());
+        let parallel = Arc::new(Recorder::new());
+        run_campaign_observed(&spec, 1, &serial, None).unwrap();
+        run_campaign_observed(&spec, 4, &parallel, None).unwrap();
+        assert_eq!(
+            serial.snapshot().deterministic_counters(),
+            parallel.snapshot().deterministic_counters()
+        );
     }
 
     #[test]

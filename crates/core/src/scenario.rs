@@ -529,6 +529,20 @@ fn invalid(reason: String) -> SimError {
 pub fn build_scenario(
     spec: &ScenarioSpec,
 ) -> Result<(Simulator, Option<std::sync::Arc<GovernorStats>>)> {
+    build_scenario_with(spec, None)
+}
+
+/// [`build_scenario`] with an explicit observability recorder — the
+/// campaign runner passes one shared recorder so every cell's spans and
+/// counters land in a single trace/metrics set.
+///
+/// # Errors
+///
+/// As [`build_scenario`].
+pub fn build_scenario_with(
+    spec: &ScenarioSpec,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+) -> Result<(Simulator, Option<std::sync::Arc<GovernorStats>>)> {
     if spec.duration_s <= 0.0 {
         return Err(invalid("duration must be positive".into()));
     }
@@ -537,6 +551,9 @@ pub fn build_scenario(
     }
     let platform = spec.platform.build();
     let mut builder = SimBuilder::new(platform.clone());
+    if let Some(rec) = recorder {
+        builder = builder.recorder(rec);
+    }
     if let Some(t0) = spec.initial_temperature_c {
         builder = builder.initial_temperature(Celsius::new(t0));
     }
@@ -643,7 +660,20 @@ pub fn build_scenario(
 /// [`SimError::InvalidConfig`] for malformed specs; simulator errors
 /// otherwise.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioOutcome> {
-    let (mut sim, stats) = build_scenario(spec)?;
+    run_scenario_with(spec, None)
+}
+
+/// [`run_scenario`] recording into an explicit (usually shared)
+/// observability recorder.
+///
+/// # Errors
+///
+/// As [`run_scenario`].
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+) -> Result<ScenarioOutcome> {
+    let (mut sim, stats) = build_scenario_with(spec, recorder)?;
     sim.run_for(Seconds::new(spec.duration_s))?;
     let workloads = spec
         .workloads
@@ -677,9 +707,22 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioOutcome> {
 /// [`SimError::InvalidConfig`] if the JSON does not parse; otherwise as
 /// [`run_scenario`].
 pub fn run_scenario_json(json: &str) -> Result<ScenarioOutcome> {
+    run_scenario_json_with(json, None)
+}
+
+/// [`run_scenario_json`] recording into an explicit observability
+/// recorder — what `run_scenario --trace-out`/`--metrics-out` uses.
+///
+/// # Errors
+///
+/// As [`run_scenario_json`].
+pub fn run_scenario_json_with(
+    json: &str,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+) -> Result<ScenarioOutcome> {
     let spec: ScenarioSpec =
         serde_json::from_str(json).map_err(|e| invalid(format!("bad scenario json: {e}")))?;
-    run_scenario(&spec)
+    run_scenario_with(&spec, recorder)
 }
 
 #[cfg(test)]

@@ -3,9 +3,11 @@
 //! campaign execution must be bit-identical regardless of worker count.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use mpt_core::campaign::run_cells;
+use mpt_core::campaign::{run_cells, run_cells_observed};
 use mpt_core::scenario::{run_scenario, CampaignSpec, ScenarioSpec};
+use mpt_obs::{Counter, Recorder};
 
 /// The repo-level `scenarios/` directory, relative to this crate.
 fn scenarios_dir() -> PathBuf {
@@ -83,4 +85,78 @@ fn campaign_cells_are_identical_between_one_and_eight_workers() {
     let serial = run_cells(&cells, 1).expect("runs");
     let parallel = run_cells(&cells, 8).expect("runs");
     assert_eq!(serial.cells, parallel.cells);
+}
+
+/// Golden list of metric identities: the counter exposition names (in id
+/// order) and the histograms a campaign run registers. Exporters,
+/// dashboards and the CI artifact step key on these strings — change
+/// them deliberately, updating this test and the docs together.
+#[test]
+fn metric_names_and_histogram_registry_are_stable() {
+    let expected: Vec<&str> = vec![
+        "mpt_ticks_total",
+        "mpt_stage_runs_total",
+        "mpt_throttle_events_total",
+        "mpt_trip_crossings_total",
+        "mpt_governor_freq_changes_total",
+        "mpt_sysfs_writes_total",
+        "mpt_events_cap_changed_total",
+        "mpt_events_migration_total",
+        "mpt_events_workload_finished_total",
+        "mpt_cells_completed_total",
+        "mpt_spans_dropped_total",
+    ];
+    let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+    assert_eq!(names, expected);
+
+    let path = scenarios_dir().join("odroid_policy_sweep.campaign.json");
+    let json = std::fs::read_to_string(path).expect("readable file");
+    let spec: CampaignSpec = serde_json::from_str(&json).expect("parses");
+    let mut cells = spec.expand().expect("expands");
+    cells.truncate(1);
+    cells[0].scenario.duration_s = 0.5;
+    let recorder = Arc::new(Recorder::new());
+    run_cells_observed(&cells, 1, &recorder, None).expect("runs");
+    assert_eq!(
+        recorder.histogram_names(),
+        vec![
+            "cell",
+            "tick",
+            "stage:sysfs-control",
+            "stage:demand",
+            "stage:schedule",
+            "stage:power",
+            "stage:thermal",
+            "stage:telemetry",
+            "stage:govern",
+            "stage:events",
+        ]
+    );
+}
+
+/// The acceptance bar for the observability layer: counter totals from a
+/// shipped campaign are bit-identical whether one or eight workers ran
+/// it — only span/histogram timing may differ.
+#[test]
+fn campaign_counter_totals_are_identical_between_one_and_eight_workers() {
+    let path = scenarios_dir().join("odroid_policy_sweep.campaign.json");
+    let json = std::fs::read_to_string(path).expect("readable file");
+    let spec: CampaignSpec = serde_json::from_str(&json).expect("parses");
+    let mut cells = spec.expand().expect("expands");
+    for cell in &mut cells {
+        cell.scenario.duration_s = 1.0;
+    }
+    let serial = Arc::new(Recorder::new());
+    let parallel = Arc::new(Recorder::new());
+    run_cells_observed(&cells, 1, &serial, None).expect("runs");
+    run_cells_observed(&cells, 8, &parallel, None).expect("runs");
+    let serial = serial.snapshot().deterministic_counters();
+    let parallel = parallel.snapshot().deterministic_counters();
+    assert_eq!(serial, parallel);
+    let ticks = serial
+        .iter()
+        .find(|(n, _)| n == "mpt_ticks_total")
+        .map(|&(_, v)| v)
+        .expect("ticks counter present");
+    assert!(ticks > 0, "campaign should have simulated ticks");
 }

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency observability for the simulator stack.
+//!
+//! The paper's entire methodology is *measurement* — on-SoC sensors plus
+//! an external DAQ watching the platform while the governor acts. This
+//! crate gives the reproduction the same treatment: a [`Recorder`] that
+//! watches the simulator while it runs, with
+//!
+//! * **spans** — monotonic wall-clock intervals (per pipeline stage, per
+//!   tick, per campaign cell), exportable as Chrome trace-event JSON that
+//!   loads directly into `chrome://tracing` or [Perfetto](https://ui.perfetto.dev);
+//! * **counters** — pre-registered, fixed-id event counts (throttle
+//!   events, trip crossings, governor frequency changes, migrations,
+//!   sysfs writes). Counting is fully deterministic: two runs of the same
+//!   scenario produce bit-identical totals whatever the worker count —
+//!   only span *durations* vary between runs;
+//! * **histograms** — log-scale latency histograms with p50/p95/p99,
+//!   registered once by name and recorded by id on the hot path;
+//! * **exporters** — Chrome trace JSON ([`trace`]), a Prometheus-style
+//!   text exposition and a JSON snapshot ([`export`]).
+//!
+//! Everything is allocation-light by design: counters and histograms are
+//! fixed atomic slots addressed by pre-registered ids, spans push one
+//! small record into a sharded buffer, and no formatting happens until an
+//! exporter is invoked. The disabled path ([`Recorder::null`], the
+//! "NullRecorder") reduces every operation to a branch on a `bool`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpt_obs::{Counter, Recorder};
+//!
+//! let rec = Recorder::new();
+//! let hist = rec.register_histogram("stage:power");
+//! {
+//!     let _span = rec.span_with_hist("stage", "power", hist);
+//!     // ... timed work ...
+//! }
+//! rec.incr(Counter::ThrottleEvents);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("mpt_throttle_events_total"), Some(1));
+//! assert!(!rec.spans().is_empty());
+//! ```
+
+pub mod export;
+pub mod hist;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+pub mod trace;
+
+pub use export::{HistSnapshot, MetricsSnapshot};
+pub use hist::{HistId, Histogram};
+pub use metrics::Counter;
+pub use recorder::Recorder;
+pub use span::{SpanGuard, SpanRecord};

@@ -1,0 +1,131 @@
+//! Pre-registered counters with stable names and ids.
+//!
+//! Counters are the *deterministic* half of the recorder: every increment
+//! corresponds to a simulated event (a throttle action, a migration, a
+//! sysfs write), never to wall-clock behaviour, so totals are
+//! bit-identical across runs and worker counts. Ids are fixed at compile
+//! time — the hot path is one atomic add into a fixed slot, with no
+//! lookup and no allocation.
+
+/// A pre-registered counter.
+///
+/// The discriminant is the counter's slot index; [`Counter::name`] is its
+/// stable Prometheus-style name. Both are part of the observability
+/// contract (golden-tested), so new counters must be appended, never
+/// reordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Counter {
+    /// Simulator ticks executed.
+    Ticks,
+    /// Pipeline stage executions (ticks × stages).
+    StageRuns,
+    /// Thermal-governor throttle actions applied (`SetMaxFreq`, incl.
+    /// repeats of the same cap).
+    ThrottleEvents,
+    /// Cap-state transitions between uncapped and capped — the simulator's
+    /// view of a trip point being crossed (either direction).
+    TripCrossings,
+    /// cpufreq governor frequency changes (any component, any direction).
+    GovernorFreqChanges,
+    /// Writes performed against the sysfs control plane by the simulator
+    /// core (caps, state mirroring).
+    SysfsWrites,
+    /// `cap_changed` events (includes cap-level moves while throttled).
+    CapChanges,
+    /// `migration` events (cluster moves, whatever initiated them).
+    Migrations,
+    /// `workload_finished` events.
+    WorkloadsFinished,
+    /// Campaign cells completed.
+    CellsCompleted,
+    /// Spans dropped because the span buffer hit its cap.
+    SpansDropped,
+}
+
+impl Counter {
+    /// Every counter, in slot order.
+    pub const ALL: [Counter; 11] = [
+        Counter::Ticks,
+        Counter::StageRuns,
+        Counter::ThrottleEvents,
+        Counter::TripCrossings,
+        Counter::GovernorFreqChanges,
+        Counter::SysfsWrites,
+        Counter::CapChanges,
+        Counter::Migrations,
+        Counter::WorkloadsFinished,
+        Counter::CellsCompleted,
+        Counter::SpansDropped,
+    ];
+
+    /// Number of counter slots.
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// The counter's slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable exposition name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Ticks => "mpt_ticks_total",
+            Counter::StageRuns => "mpt_stage_runs_total",
+            Counter::ThrottleEvents => "mpt_throttle_events_total",
+            Counter::TripCrossings => "mpt_trip_crossings_total",
+            Counter::GovernorFreqChanges => "mpt_governor_freq_changes_total",
+            Counter::SysfsWrites => "mpt_sysfs_writes_total",
+            Counter::CapChanges => "mpt_events_cap_changed_total",
+            Counter::Migrations => "mpt_events_migration_total",
+            Counter::WorkloadsFinished => "mpt_events_workload_finished_total",
+            Counter::CellsCompleted => "mpt_cells_completed_total",
+            Counter::SpansDropped => "mpt_spans_dropped_total",
+        }
+    }
+
+    /// Maps a discrete-event kind key (as produced by the simulator's
+    /// event log) to its counter, if one exists. This is the single
+    /// source of the event-to-counter semantics shared by the event log's
+    /// rendering and the metrics snapshot.
+    #[must_use]
+    pub fn for_event_kind(key: &str) -> Option<Counter> {
+        match key {
+            "migration" => Some(Counter::Migrations),
+            "cap_changed" => Some(Counter::CapChanges),
+            "workload_finished" => Some(Counter::WorkloadsFinished),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn event_kind_mapping() {
+        assert_eq!(
+            Counter::for_event_kind("migration"),
+            Some(Counter::Migrations)
+        );
+        assert_eq!(Counter::for_event_kind("nope"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Chrome trace-event export.
+//!
+//! Emits the [Trace Event Format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! JSON object consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): one complete (`"ph": "X"`) event
+//! per finished span, one thread row per recorder lane.
+
+use crate::span::SpanRecord;
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders spans as a Chrome trace-event JSON object.
+///
+/// `process_name` labels the single process row (e.g. the scenario or
+/// campaign file name). Lanes become thread rows named `lane N`;
+/// timestamps are microseconds since the recorder's epoch, as the format
+/// requires.
+#[must_use]
+pub fn chrome_trace_json(spans: &[SpanRecord], process_name: &str) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(process_name)
+    ));
+    let mut lanes: Vec<u32> = spans.iter().map(|s| s.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for lane in &lanes {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\
+             \"args\":{{\"name\":\"lane {lane}\"}}}}"
+        ));
+    }
+    for s in spans {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{}}}",
+            escape_json(&s.name),
+            escape_json(s.cat),
+            s.start_us,
+            s.dur_us,
+            s.lane
+        ));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn span(name: &'static str, lane: u32, start_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            name: Cow::Borrowed(name),
+            cat: "stage",
+            lane,
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn trace_is_loadable_shape() {
+        let spans = vec![span("power", 0, 10, 5), span("thermal", 1, 15, 3)];
+        let json = chrome_trace_json(&spans, "demo.json");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"power\""));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"name\":\"lane 1\""));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let json = chrome_trace_json(&[], "we \"quote\"");
+        assert!(json.contains("we \\\"quote\\\""));
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 use mpt_kernel::{
     CpuFreqPolicy, DisabledGovernor, GovernorKind, ProcessClass, Scheduler, ThermalGovernor,
 };
+use mpt_obs::Recorder;
 use mpt_soc::{ComponentId, Platform};
 use mpt_sysfs::SysFs;
 use mpt_thermal::RcNetwork;
@@ -34,6 +35,7 @@ pub struct SimBuilder {
     telemetry_period: Seconds,
     accounting_window: Option<Seconds>,
     workloads: Vec<(Box<dyn Workload>, ProcessClass, ComponentId, bool)>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -66,7 +68,19 @@ impl SimBuilder {
             telemetry_period: Seconds::from_millis(100.0),
             accounting_window: None,
             workloads: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Installs an observability recorder — typically a shared
+    /// `Arc<Recorder>` so one trace/metrics set spans several simulators
+    /// (as the campaign runner does), or `Recorder::null()` to strip
+    /// observability from the hot loop. By default every simulator gets
+    /// its own enabled recorder.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Sets the simulation tick.
@@ -240,6 +254,7 @@ impl SimBuilder {
             scheduler.set_realtime(pid, realtime)?;
             attached.push(Attached { pid, workload });
         }
+        let recorder = self.recorder.unwrap_or_else(|| Arc::new(Recorder::new()));
         let mut core = SimCore {
             platform: self.platform,
             network,
@@ -255,6 +270,7 @@ impl SimBuilder {
             pending_migrations: Arc::new(Mutex::new(Vec::new())),
             cluster_mirror: Arc::new(Mutex::new(BTreeMap::new())),
             events: EventLog::new(),
+            recorder,
         };
         core.register_sysfs()?;
         core.sync_sysfs()?;
@@ -263,6 +279,23 @@ impl SimBuilder {
             self.thermal_period,
             self.system_policy,
         );
-        Ok(Simulator { core, stages })
+        // Pre-register the latency histograms so the per-tick hot path
+        // records by id, never by name. Registration is idempotent on a
+        // shared recorder, so every simulator in a campaign resolves the
+        // same ids.
+        let tick_hist = core.recorder.register_histogram("tick");
+        let stage_hists = stages
+            .iter()
+            .map(|s| {
+                core.recorder
+                    .register_histogram(&format!("stage:{}", s.name()))
+            })
+            .collect();
+        Ok(Simulator {
+            core,
+            stages,
+            tick_hist,
+            stage_hists,
+        })
     }
 }

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use mpt_kernel::{CpuFreqPolicy, Pid, Scheduler, ThermalAction};
+use mpt_obs::{Counter, HistId, Recorder};
 use mpt_soc::{Component, ComponentId, Platform, PowerBreakdown};
 use mpt_sysfs::{Attribute, SysFs};
 use mpt_thermal::RcNetwork;
@@ -16,6 +17,18 @@ use crate::{Event, EventKind, EventLog, Result, Telemetry};
 pub(crate) struct Attached {
     pub(crate) pid: Pid,
     pub(crate) workload: Box<dyn Workload>,
+}
+
+/// Appends a discrete event and bumps its per-kind counter — the one
+/// place the event log and the metrics snapshot are kept in step (the
+/// kind-to-counter mapping is [`Counter::for_event_kind`] over
+/// [`EventKind::key`]). A free function over the two fields so call
+/// sites holding other `SimCore` borrows can still log.
+pub(crate) fn log_event(recorder: &Recorder, events: &mut EventLog, event: Event) {
+    if let Some(counter) = Counter::for_event_kind(event.kind.key()) {
+        recorder.incr(counter);
+    }
+    events.push(event);
 }
 
 impl std::fmt::Debug for Attached {
@@ -54,6 +67,9 @@ pub struct SimCore {
     /// Live mirror of each process's cluster, read by the cpuset files.
     pub(crate) cluster_mirror: Arc<Mutex<BTreeMap<u32, &'static str>>>,
     pub(crate) events: EventLog,
+    /// The run's observability recorder (shared with the campaign layer
+    /// when several simulators feed one trace).
+    pub(crate) recorder: Arc<Recorder>,
 }
 
 impl SimCore {
@@ -89,17 +105,26 @@ impl SimCore {
             .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
     }
 
+    /// Writes a sysfs attribute on behalf of the simulator core, counting
+    /// the write.
+    pub(crate) fn sysfs_write(&self, path: &str, value: &str) -> Result<()> {
+        self.recorder.incr(Counter::SysfsWrites);
+        self.sysfs.write(path, value)?;
+        Ok(())
+    }
+
     pub(crate) fn apply_thermal_actions(&mut self, actions: &[ThermalAction]) -> Result<()> {
         for action in actions {
             match *action {
                 ThermalAction::SetMaxFreq { component, freq } => {
+                    self.recorder.incr(Counter::ThrottleEvents);
                     let path = mpt_kernel::paths::max_freq(component);
-                    self.sysfs.write(&path, &freq.as_khz().to_string())?;
+                    self.sysfs_write(&path, &freq.as_khz().to_string())?;
                 }
                 ThermalAction::ClearCap { component } => {
                     let top = self.component(component).opps().highest().frequency();
                     let path = mpt_kernel::paths::max_freq(component);
-                    self.sysfs.write(&path, &top.as_khz().to_string())?;
+                    self.sysfs_write(&path, &top.as_khz().to_string())?;
                 }
             }
         }
@@ -209,7 +234,7 @@ impl SimCore {
 
     pub(crate) fn sync_sysfs(&self) -> Result<()> {
         for (&id, policy) in &self.policies {
-            self.sysfs.write(
+            self.sysfs_write(
                 &mpt_kernel::paths::cur_freq(id),
                 &policy.current().as_khz().to_string(),
             )?;
@@ -217,7 +242,7 @@ impl SimCore {
         for (zone, sensor) in self.platform.temperature_sensors().iter().enumerate() {
             if let Ok(c) = self.network.celsius_of(sensor.thermal_node()) {
                 // Millidegrees, as in real thermal zones.
-                self.sysfs.write(
+                self.sysfs_write(
                     &mpt_kernel::paths::thermal_zone_temp(zone),
                     &format!("{}", (c.value() * 1000.0).round() as i64),
                 )?;
@@ -228,7 +253,7 @@ impl SimCore {
                 .last_powers
                 .get(&rail.component())
                 .map_or(0.0, |b| b.total().value());
-            self.sysfs.write(
+            self.sysfs_write(
                 &mpt_kernel::paths::power_rail_uw(rail.name()),
                 &format!("{}", (power * 1e6).round() as i64),
             )?;
@@ -272,14 +297,24 @@ impl SimCore {
                 .expect("policies cover all components");
             let desired = if cap >= top { None } else { Some(cap) };
             if policy.max_cap() != desired {
+                // An engage or release transition is the simulator's view
+                // of a trip point being crossed; a cap-level move while
+                // already throttled is not.
+                if policy.max_cap().is_none() != desired.is_none() {
+                    self.recorder.incr(Counter::TripCrossings);
+                }
                 policy.set_max_cap(desired);
-                self.events.push(Event {
-                    time: self.time,
-                    kind: EventKind::CapChanged {
-                        component: id,
-                        cap: desired,
+                log_event(
+                    &self.recorder,
+                    &mut self.events,
+                    Event {
+                        time: self.time,
+                        kind: EventKind::CapChanged {
+                            component: id,
+                            cap: desired,
+                        },
                     },
-                });
+                );
             }
         }
         Ok(())
@@ -292,6 +327,10 @@ impl SimCore {
 pub struct Simulator {
     pub(crate) core: SimCore,
     pub(crate) stages: Vec<Box<dyn SimStage>>,
+    /// Histogram id of the whole-tick latency, pre-registered at build.
+    pub(crate) tick_hist: HistId,
+    /// Per-stage latency histogram ids, parallel to `stages`.
+    pub(crate) stage_hists: Vec<HistId>,
 }
 
 impl Simulator {
@@ -363,6 +402,15 @@ impl Simulator {
         &self.core.events
     }
 
+    /// The run's observability recorder: spans per stage/tick, counters
+    /// for throttle/trip/governor/migration/sysfs activity, and latency
+    /// histograms. Export with [`mpt_obs::trace::chrome_trace_json`] and
+    /// [`mpt_obs::MetricsSnapshot`].
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.core.recorder
+    }
+
     /// Total power from the last tick.
     #[must_use]
     pub fn total_power(&self) -> Watts {
@@ -418,10 +466,17 @@ impl Simulator {
     /// Propagates thermal/scheduler/sysfs errors (none occur in a
     /// correctly built simulator).
     pub fn step(&mut self) -> Result<()> {
+        let recorder = Arc::clone(&self.core.recorder);
         let mut ctx = StepContext::new(self.core.time, self.core.dt);
-        for stage in &mut self.stages {
-            stage.run(&mut self.core, &mut ctx)?;
+        {
+            let _tick = recorder.span_with_hist("tick", "tick", self.tick_hist);
+            for (stage, &hist) in self.stages.iter_mut().zip(&self.stage_hists) {
+                let _stage = recorder.span_with_hist("stage", stage.name(), hist);
+                stage.run(&mut self.core, &mut ctx)?;
+            }
         }
+        recorder.incr(Counter::Ticks);
+        recorder.add(Counter::StageRuns, self.stages.len() as u64);
         self.core.time += self.core.dt;
         Ok(())
     }

@@ -41,6 +41,20 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The kind's stable key — the grouping used by
+    /// [`EventLog::counts_by_kind`], the rendered summary line, and the
+    /// metrics counters (`mpt_events_<key>_total`).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            EventKind::Migration { .. } => "migration",
+            EventKind::CapChanged { .. } => "cap_changed",
+            EventKind::WorkloadFinished { .. } => "workload_finished",
+        }
+    }
+}
+
 /// A timestamped event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -151,13 +165,36 @@ impl EventLog {
         self.migrations().next().map(|e| e.time)
     }
 
-    /// Renders the whole log, one event per line.
+    /// Event totals grouped by [`EventKind::key`] — the same counter
+    /// semantics the metrics snapshot exposes as
+    /// `mpt_events_<key>_total`.
+    #[must_use]
+    pub fn counts_by_kind(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.kind.key()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the whole log: one event per line, then a per-kind summary
+    /// footer (from [`counts_by_kind`](Self::counts_by_kind)). Empty logs
+    /// render as the empty string.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
             out.push_str(&e.to_string());
             out.push('\n');
+        }
+        if !self.events.is_empty() {
+            let summary = self
+                .counts_by_kind()
+                .into_iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!("-- {} events: {summary}\n", self.events.len()));
         }
         out
     }
@@ -212,11 +249,32 @@ mod tests {
     }
 
     #[test]
-    fn render_has_one_line_per_event() {
+    fn render_has_one_line_per_event_plus_summary() {
         let mut log = EventLog::new();
         log.push(migration(1.0));
         log.push(migration(2.0));
-        assert_eq!(log.render().lines().count(), 2);
+        let rendered = log.render();
+        assert_eq!(rendered.lines().count(), 3);
+        assert_eq!(rendered.lines().last().unwrap(), "-- 2 events: migration=2");
+    }
+
+    #[test]
+    fn counts_by_kind_groups_by_key() {
+        let mut log = EventLog::new();
+        log.push(migration(1.0));
+        log.push(migration(2.0));
+        log.push(Event {
+            time: Seconds::new(3.0),
+            kind: EventKind::CapChanged {
+                component: ComponentId::Gpu,
+                cap: None,
+            },
+        });
+        let counts = log.counts_by_kind();
+        assert_eq!(counts[&"migration"], 2);
+        assert_eq!(counts[&"cap_changed"], 1);
+        assert_eq!(counts.get(&"workload_finished"), None);
+        assert!(EventLog::new().counts_by_kind().is_empty());
     }
 
     #[test]

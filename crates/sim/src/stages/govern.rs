@@ -80,6 +80,7 @@ impl SimStage for GovernStage {
                 ComponentId::Gpu => ctx.gpu_util,
                 ComponentId::Memory => 1.0,
             };
+            let before = policy.current();
             policy.update(
                 ClusterLoad {
                     utilization: Ratio::new(utilization),
@@ -87,6 +88,9 @@ impl SimStage for GovernStage {
                 },
                 dt,
             );
+            if policy.current() != before {
+                core.recorder.incr(mpt_obs::Counter::GovernorFreqChanges);
+            }
         }
 
         // Thermal governor at its period, acting through sysfs.

@@ -6,7 +6,7 @@ use mpt_kernel::Pid;
 use mpt_soc::ComponentId;
 use mpt_units::Hertz;
 
-use crate::engine::SimCore;
+use crate::engine::{log_event, SimCore};
 use crate::stages::{SimStage, StepContext};
 use crate::{Event, EventKind, Result};
 
@@ -57,26 +57,34 @@ impl SimStage for EventStage {
             let cluster = p.cluster();
             if let Some(&prev) = self.prev_clusters.get(&a.pid) {
                 if prev != cluster {
-                    core.events.push(Event {
-                        time: ctx.now,
-                        kind: EventKind::Migration {
-                            pid: a.pid,
-                            name: a.workload.name().to_owned(),
-                            from: prev,
-                            to: cluster,
+                    log_event(
+                        &core.recorder,
+                        &mut core.events,
+                        Event {
+                            time: ctx.now,
+                            kind: EventKind::Migration {
+                                pid: a.pid,
+                                name: a.workload.name().to_owned(),
+                                from: prev,
+                                to: cluster,
+                            },
                         },
-                    });
+                    );
                 }
             }
             self.prev_clusters.insert(a.pid, cluster);
             if a.workload.is_finished() && self.finished.insert(a.pid) {
-                core.events.push(Event {
-                    time: ctx.now,
-                    kind: EventKind::WorkloadFinished {
-                        pid: a.pid,
-                        name: a.workload.name().to_owned(),
+                log_event(
+                    &core.recorder,
+                    &mut core.events,
+                    Event {
+                        time: ctx.now,
+                        kind: EventKind::WorkloadFinished {
+                            pid: a.pid,
+                            name: a.workload.name().to_owned(),
+                        },
                     },
-                });
+                );
             }
         }
         core.sync_sysfs()

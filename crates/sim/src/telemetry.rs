@@ -207,11 +207,14 @@ impl Telemetry {
         for &t in times {
             out.push_str(&format!("{t}"));
             for (_, ts) in &columns {
+                // A series with no sample at `t` (e.g. a sensor that came
+                // online mid-run) still contributes an explicit empty
+                // field, keeping every row the same width as the header.
+                let field = ts
+                    .at(mpt_units::Seconds::new(t))
+                    .map_or_else(String::new, |v| v.to_string());
                 out.push(',');
-                match ts.at(mpt_units::Seconds::new(t)) {
-                    Some(v) => out.push_str(&format!("{v}")),
-                    None => out.push_str(""),
-                }
+                out.push_str(&field);
             }
             out.push('\n');
         }
@@ -330,5 +333,38 @@ mod tests {
         for line in csv.lines().skip(1) {
             assert_eq!(line.split(',').count(), fields, "row {line:?}");
         }
+    }
+
+    #[test]
+    fn csv_export_pads_misaligned_series_with_empty_fields() {
+        let mut t = Telemetry::new(Seconds::new(0.1));
+        for i in 0..20 {
+            // The "late" sensor only reports from t = 1.0 s on, so its
+            // column has no samples for the first half of the run.
+            let mut temps = vec![("big".to_owned(), Celsius::new(40.0))];
+            if i >= 10 {
+                temps.push(("late".to_owned(), Celsius::new(55.0)));
+            }
+            t.record(
+                Seconds::new(i as f64 * 0.1),
+                Seconds::new(0.1),
+                &temps,
+                &[(ComponentId::BigCluster, Hertz::from_mhz(2000))],
+                &powers(2.0),
+            );
+        }
+        let csv = t.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("late"));
+        let fields = header.split(',').count();
+        let late_col = header.split(',').position(|c| c == "late").unwrap();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        for row in &rows {
+            assert_eq!(row.split(',').count(), fields, "row {row:?}");
+        }
+        // Early rows carry an explicit empty field in the late column...
+        assert_eq!(rows[0].split(',').nth(late_col).unwrap(), "");
+        // ...and the value appears once the sensor comes online.
+        assert_eq!(rows[19].split(',').nth(late_col).unwrap(), "55");
     }
 }
