@@ -1,0 +1,179 @@
+//! Compares benchmark result files and flags regressions.
+//!
+//! The repo pins benchmark numbers in `BENCH_*.json` files: flat maps of
+//! `"group/bench": microseconds` pairs, optionally split into `"before"`
+//! and `"after"` objects (how `BENCH_obs.json` records an
+//! instrumentation change). This tool prints a per-benchmark delta table
+//! and exits nonzero when any benchmark got more than the threshold
+//! slower — CI runs it as a non-blocking report step.
+//!
+//! ```sh
+//! # Before/after pair inside one file:
+//! cargo run --release -p mpt-bench --bin bench_diff -- BENCH_obs.json
+//!
+//! # Two snapshots (each file's `after` map, or its flat top level):
+//! cargo run --release -p mpt-bench --bin bench_diff -- old.json new.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde::Value;
+
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff BENCH.json            compare its `before` vs `after` maps\n       bench_diff OLD.json NEW.json     compare two snapshots\n\noptions:\n  --threshold PCT   regression threshold in percent (default {DEFAULT_THRESHOLD_PCT})"
+    );
+    std::process::exit(2);
+}
+
+/// Collects every numeric leaf of `obj` into `out`, flattening one level
+/// of nesting as `"group/bench"` (annotation fields like `description`
+/// and `notes` are non-numeric and fall away naturally).
+fn collect_numbers(obj: &[(String, Value)], prefix: &str, out: &mut BTreeMap<String, f64>) {
+    for (key, value) in obj {
+        let name = if prefix.is_empty() {
+            key.clone()
+        } else {
+            format!("{prefix}/{key}")
+        };
+        match value {
+            Value::Number(n) if n.is_finite() => {
+                out.insert(name, *n);
+            }
+            Value::Object(inner) if prefix.is_empty() && key != "before" && key != "after" => {
+                collect_numbers(inner, &name, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The benchmark map of one side: an explicit `before`/`after` object if
+/// `side` names one that exists, the flat numeric top level otherwise.
+fn benchmarks(root: &Value, side: Option<&str>) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(obj) = root.as_object() else {
+        return out;
+    };
+    if let Some(side) = side {
+        if let Some(inner) = serde::__find(obj, side).and_then(Value::as_object) {
+            collect_numbers(inner, "", &mut out);
+            return out;
+        }
+    }
+    collect_numbers(obj, "", &mut out);
+    out
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::value_from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    usage();
+                };
+                if pct <= 0.0 || !pct.is_finite() {
+                    usage();
+                }
+                threshold = pct;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let (old_label, old, new_label, new) = match paths.as_slice() {
+        [single] => {
+            let root = load(single);
+            let old = benchmarks(&root, Some("before"));
+            let new = benchmarks(&root, Some("after"));
+            (
+                format!("{single}#before"),
+                old,
+                format!("{single}#after"),
+                new,
+            )
+        }
+        [a, b] => {
+            let old = benchmarks(&load(a), Some("after"));
+            let new = benchmarks(&load(b), Some("after"));
+            (a.clone(), old, b.clone(), new)
+        }
+        _ => usage(),
+    };
+    if old.is_empty() || new.is_empty() {
+        eprintln!(
+            "bench_diff: no benchmark numbers found ({old_label}: {}, {new_label}: {})",
+            old.len(),
+            new.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    println!("comparing {old_label} -> {new_label} (threshold {threshold:.0}%)\n");
+    println!(
+        "{:<40} {:>12} {:>12} {:>9}",
+        "benchmark", "old [us]", "new [us]", "delta"
+    );
+    println!("{}", "-".repeat(76));
+    let mut regressions = Vec::new();
+    for (name, &old_us) in &old {
+        match new.get(name) {
+            Some(&new_us) if old_us > 0.0 => {
+                let delta_pct = (new_us - old_us) / old_us * 100.0;
+                let flag = if delta_pct > threshold {
+                    regressions.push((name.clone(), delta_pct));
+                    "  !! regression"
+                } else {
+                    ""
+                };
+                println!("{name:<40} {old_us:>12.3} {new_us:>12.3} {delta_pct:>+8.1}%{flag}");
+            }
+            Some(&new_us) => {
+                println!("{name:<40} {old_us:>12.3} {new_us:>12.3} {:>9}", "-");
+            }
+            None => {
+                println!("{name:<40} {old_us:>12.3} {:>12} {:>9}", "dropped", "-");
+            }
+        }
+    }
+    for (name, &new_us) in &new {
+        if !old.contains_key(name) {
+            println!("{name:<40} {:>12} {new_us:>12.3} {:>9}", "new", "-");
+        }
+    }
+    println!("{}", "-".repeat(76));
+    if regressions.is_empty() {
+        println!(
+            "no regressions beyond {threshold:.0}% across {} shared benchmark(s)",
+            old.keys().filter(|k| new.contains_key(*k)).count()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} regression(s) beyond {threshold:.0}%:",
+            regressions.len()
+        );
+        for (name, pct) in &regressions {
+            println!("  {name}: {pct:+.1}%");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -16,13 +16,14 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Instant;
 
-use mpt_core::campaign::run_campaign_json_observed;
-use mpt_core::scenario::run_scenario_json_with;
-use mpt_obs::{trace::chrome_trace_json, Recorder};
+use mpt_core::campaign::run_campaign_observed;
+use mpt_core::report::SessionReport;
+use mpt_core::scenario::{run_scenario_analyzed, AlertRuleSpec, CampaignSpec, ScenarioSpec};
+use mpt_obs::{trace::chrome_trace_json_full, Recorder};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -33,6 +34,8 @@ struct Args {
     jobs: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    report_out: Option<String>,
+    alerts: Option<String>,
     progress: bool,
 }
 
@@ -43,6 +46,8 @@ fn parse_args() -> Args {
         jobs: 0,
         trace_out: None,
         metrics_out: None,
+        report_out: None,
+        alerts: None,
         progress: false,
     };
     let mut it = std::env::args().skip(1);
@@ -62,6 +67,14 @@ fn parse_args() -> Args {
             "--metrics-out" => {
                 let Some(path) = it.next() else { usage() };
                 args.metrics_out = Some(path);
+            }
+            "--report-out" => {
+                let Some(path) = it.next() else { usage() };
+                args.report_out = Some(path);
+            }
+            "--alerts" => {
+                let Some(path) = it.next() else { usage() };
+                args.alerts = Some(path);
             }
             "--progress" => args.progress = true,
             "--help" | "-h" => usage(),
@@ -91,8 +104,16 @@ fn read_input(path: Option<&str>) -> std::io::Result<String> {
 fn export_observability(recorder: &Recorder, args: &Args) -> std::io::Result<()> {
     let input = args.path.as_deref().unwrap_or("stdin");
     if let Some(path) = &args.trace_out {
-        std::fs::write(path, chrome_trace_json(&recorder.spans(), input))?;
-        eprintln!("trace written to {path} ({} spans)", recorder.spans().len());
+        let tracks = recorder.tracks();
+        std::fs::write(
+            path,
+            chrome_trace_json_full(&recorder.spans(), &tracks, input),
+        )?;
+        eprintln!(
+            "trace written to {path} ({} spans, {} counter tracks)",
+            recorder.spans().len(),
+            tracks.len()
+        );
     }
     if let Some(path) = &args.metrics_out {
         let snapshot = recorder.snapshot();
@@ -117,10 +138,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Parses the `--alerts` file: a JSON array of rule objects.
+fn load_extra_alerts(args: &Args) -> Result<Vec<AlertRuleSpec>, Box<dyn std::error::Error>> {
+    match &args.alerts {
+        None => Ok(Vec::new()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let rules: Vec<AlertRuleSpec> =
+                serde_json::from_str(&text).map_err(|e| format!("bad alert rules {path}: {e}"))?;
+            Ok(rules)
+        }
+    }
+}
+
 fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let recorder = Arc::new(Recorder::new());
     let start = Instant::now();
-    let outcome = run_scenario_json_with(json, Some(Arc::clone(&recorder)))?;
+    let mut spec: ScenarioSpec =
+        serde_json::from_str(json).map_err(|e| format!("bad scenario json: {e}"))?;
+    spec.alerts.extend(load_extra_alerts(args)?);
+    let (outcome, analysis) = run_scenario_analyzed(&spec, Some(Arc::clone(&recorder)))?;
     if args.progress {
         eprintln!("scenario done in {:.2} s", start.elapsed().as_secs_f64());
     }
@@ -138,8 +175,42 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
             None => println!("  {:<20} {:>10}  (on {})", w.name, "-", w.final_cluster),
         }
     }
+    let d = &analysis.derived;
+    println!("\nderived observables:");
+    if let (Some(trip), Some(peak)) = (d.trip_c, d.peak_temp_c) {
+        println!(
+            "  trip reference   : {trip:.1} C  (peak {peak:.1} C, headroom {:.1} C)",
+            trip - peak
+        );
+        println!("  time above trip  : {:.1} s", d.time_above_trip_s);
+    }
+    println!(
+        "  time throttled   : {:.1} s  ({} throttle events)",
+        d.time_throttled_s, d.throttle_events
+    );
+    if let Some(loss) = d.throttle_fps_loss {
+        println!(
+            "  throttle FPS loss: {loss:.1} FPS ({:.0}%; {:.1} free vs {:.1} throttled)",
+            d.throttle_fps_loss_pct.unwrap_or(0.0),
+            d.fps_mean_free.unwrap_or(0.0),
+            d.fps_mean_throttled.unwrap_or(0.0)
+        );
+    }
+    println!("  temp trend       : {:+.3} C/s", d.temp_trend_c_per_s);
+    if !analysis.alerts.is_empty() {
+        println!("\nalerts:");
+        for a in &analysis.alerts {
+            println!("  [{:>7.1}s] {:<14} {}", a.t_s, a.rule, a.message);
+        }
+    }
     if !outcome.events.is_empty() {
         println!("\nevents:\n{}", outcome.events.trim_end());
+    }
+    if let Some(path) = &args.report_out {
+        let input = args.path.as_deref().unwrap_or("stdin");
+        let report = SessionReport::new(input, outcome, analysis);
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("session report written to {path}");
     }
     export_observability(&recorder, args)?;
     Ok(())
@@ -166,7 +237,10 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     };
     let progress_cb: Option<&(dyn Fn(usize, usize) + Sync)> =
         if args.progress { Some(&progress) } else { None };
-    let report = run_campaign_json_observed(json, args.jobs, &recorder, progress_cb)?;
+    let mut spec: CampaignSpec =
+        serde_json::from_str(json).map_err(|e| format!("bad campaign json: {e}"))?;
+    spec.base.alerts.extend(load_extra_alerts(args)?);
+    let report = run_campaign_observed(&spec, args.jobs, &recorder, progress_cb)?;
     println!(
         "{:<52} {:>9} {:>9} {:>9} {:>6}",
         "cell", "peak C", "avg W", "J", "migr"
@@ -192,6 +266,25 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     row("peak temp [C]", &report.peak_temperature_c);
     row("avg power [W]", &report.average_power_w);
     row("energy [J]", &report.energy_j);
+    if report.analysis.alerts_total > 0 {
+        let by_rule = report
+            .analysis
+            .alerts_by_rule
+            .iter()
+            .map(|(rule, n)| format!("{rule}={n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "alerts             {} across {} cell(s): {by_rule}",
+            report.analysis.alerts_total,
+            report
+                .analysis
+                .cell_alerts
+                .iter()
+                .filter(|c| c.total > 0)
+                .count(),
+        );
+    }
     println!(
         "\n{} cells in {:.2} s wall clock on {} worker{}",
         report.cells.len(),
@@ -208,6 +301,10 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
             busy,
             span
         );
+    }
+    if let Some(path) = &args.report_out {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("campaign report written to {path}");
     }
     export_observability(&recorder, args)?;
     Ok(())

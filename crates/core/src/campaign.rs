@@ -21,6 +21,7 @@
 //!         initial_temperature_c: Some(50.0),
 //!         thermal: ThermalPolicySpec::Disabled,
 //!         app_aware: None,
+//!         alerts: Vec::new(),
 //!         workloads: vec![WorkloadSpec {
 //!             kind: WorkloadKind::BasicMath,
 //!             cluster: ClusterSpec::Big,
@@ -40,6 +41,7 @@
 //! # Ok::<(), mpt_sim::SimError>(())
 //! ```
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -49,6 +51,7 @@ use mpt_daq::stats;
 use mpt_obs::{Counter, Recorder};
 use mpt_sim::Result;
 
+use crate::report::SessionAnalysis;
 use crate::scenario::{self, CampaignCell, CampaignSpec, ScenarioOutcome};
 
 /// Runs `count` independent jobs on up to `jobs` scoped worker threads
@@ -160,6 +163,92 @@ pub struct CellTiming {
     pub wall_clock_s: f64,
 }
 
+/// Alert firings of one campaign cell, keyed for the campaign-level
+/// rollup. Lives next to — not inside — [`CellOutcome`], so the classic
+/// outcome surface is unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellAlerts {
+    /// Position in the expansion order.
+    pub index: usize,
+    /// The cell's axis-value label.
+    pub label: String,
+    /// Total alerts fired in this cell.
+    pub total: u64,
+    /// Firings per rule key.
+    pub by_rule: BTreeMap<String, u64>,
+}
+
+/// Campaign-level rollup of the online analysis: alert totals and
+/// summary statistics of the derived observables across cells. Every
+/// field is driven only by simulated time, so the rollup is
+/// bit-identical across worker counts (the determinism tests compare
+/// it alongside [`CampaignReport::cells`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignAnalysis {
+    /// Total alerts fired across all cells.
+    pub alerts_total: u64,
+    /// Campaign-wide firings per rule key.
+    pub alerts_by_rule: BTreeMap<String, u64>,
+    /// Per-cell alert counts, in expansion order.
+    pub cell_alerts: Vec<CellAlerts>,
+    /// Time-above-trip summary over the cells that had a trip reference
+    /// (`None` when no cell configured throttling).
+    pub time_above_trip_s: Option<SummaryStats>,
+    /// Time-throttled summary across all cells.
+    pub time_throttled_s: SummaryStats,
+    /// Throttle-attributed FPS loss (percent) over the cells where it
+    /// was defined.
+    pub throttle_fps_loss_pct: Option<SummaryStats>,
+    /// Temperature-trend summary across all cells, Celsius per second.
+    pub temp_trend_c_per_s: SummaryStats,
+}
+
+impl CampaignAnalysis {
+    fn of(cells: &[CellOutcome], analyses: &[SessionAnalysis]) -> Self {
+        let mut alerts_by_rule = BTreeMap::new();
+        let mut cell_alerts = Vec::with_capacity(analyses.len());
+        for (cell, analysis) in cells.iter().zip(analyses) {
+            let by_rule = analysis.alert_counts();
+            for (rule, n) in &by_rule {
+                *alerts_by_rule.entry(rule.clone()).or_insert(0) += n;
+            }
+            cell_alerts.push(CellAlerts {
+                index: cell.index,
+                label: cell.label.clone(),
+                total: analysis.alerts.len() as u64,
+                by_rule,
+            });
+        }
+        let over_some = |f: fn(&SessionAnalysis) -> Option<f64>| {
+            let values: Vec<f64> = analyses.iter().filter_map(f).collect();
+            if values.is_empty() {
+                None
+            } else {
+                Some(SummaryStats::of(&values))
+            }
+        };
+        Self {
+            alerts_total: alerts_by_rule.values().sum(),
+            alerts_by_rule,
+            cell_alerts,
+            time_above_trip_s: over_some(|a| a.derived.trip_c.map(|_| a.derived.time_above_trip_s)),
+            time_throttled_s: SummaryStats::of(
+                &analyses
+                    .iter()
+                    .map(|a| a.derived.time_throttled_s)
+                    .collect::<Vec<_>>(),
+            ),
+            throttle_fps_loss_pct: over_some(|a| a.derived.throttle_fps_loss_pct),
+            temp_trend_c_per_s: SummaryStats::of(
+                &analyses
+                    .iter()
+                    .map(|a| a.derived.temp_trend_c_per_s)
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+}
+
 /// One executed campaign cell: the expansion metadata plus the scenario
 /// outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -199,6 +288,8 @@ pub struct CampaignReport {
     /// Busy seconds per worker (sum of its cells' wall times) — the
     /// occupancy picture of the pool.
     pub worker_busy_s: Vec<f64>,
+    /// Alert totals and derived-observable summaries across cells.
+    pub analysis: CampaignAnalysis,
 }
 
 /// Runs every expanded cell of a campaign on up to `jobs` worker threads
@@ -264,7 +355,7 @@ pub fn run_cells_observed(
         let cell_start = std::time::Instant::now();
         let result = {
             let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
-            scenario::run_scenario_with(&cells[i].scenario, Some(Arc::clone(recorder)))
+            scenario::run_scenario_analyzed(&cells[i].scenario, Some(Arc::clone(recorder)))
         };
         recorder.incr(Counter::CellsCompleted);
         if let Some(cb) = progress {
@@ -276,6 +367,7 @@ pub fn run_cells_observed(
     let mut worker_busy_s = vec![0.0; workers];
     let mut timings = Vec::with_capacity(cells.len());
     let mut outcomes = Vec::with_capacity(cells.len());
+    let mut analyses = Vec::with_capacity(cells.len());
     for (cell, (result, wall_clock_s, worker)) in cells.iter().zip(results) {
         worker_busy_s[worker] += wall_clock_s;
         timings.push(CellTiming {
@@ -283,12 +375,14 @@ pub fn run_cells_observed(
             worker,
             wall_clock_s,
         });
+        let (outcome, analysis) = result?;
         outcomes.push(CellOutcome {
             index: cell.index,
             label: cell.label.clone(),
             seed: cell.seed,
-            outcome: result?,
+            outcome,
         });
+        analyses.push(analysis);
     }
     let metric = |f: fn(&ScenarioOutcome) -> f64| {
         SummaryStats::of(&outcomes.iter().map(|c| f(&c.outcome)).collect::<Vec<_>>())
@@ -301,6 +395,7 @@ pub fn run_cells_observed(
         workers,
         timings,
         worker_busy_s,
+        analysis: CampaignAnalysis::of(&outcomes, &analyses),
         cells: outcomes,
     })
 }
@@ -354,6 +449,7 @@ mod tests {
                 initial_temperature_c: Some(50.0),
                 thermal: ThermalPolicySpec::Disabled,
                 app_aware: None,
+                alerts: Vec::new(),
                 workloads: vec![WorkloadSpec {
                     kind: WorkloadKind::BasicMath,
                     cluster: ClusterSpec::Big,
@@ -430,6 +526,7 @@ mod tests {
         let serial = run_campaign(&spec, 1).unwrap();
         let parallel = run_campaign(&spec, 4).unwrap();
         assert_eq!(serial.cells, parallel.cells);
+        assert_eq!(serial.analysis, parallel.analysis);
         assert_eq!(serial.peak_temperature_c, parallel.peak_temperature_c);
         assert_eq!(serial.cells.len(), 4);
         assert!(serial.peak_temperature_c.max >= serial.peak_temperature_c.min);

@@ -52,6 +52,7 @@ pub mod advisor;
 pub mod campaign;
 pub mod experiments;
 mod governor;
+pub mod report;
 pub mod scenario;
 
 pub use governor::{AppAwareConfig, AppAwareGovernor, GovernorStats, ThrottleAction};

@@ -236,6 +236,88 @@ fn default_horizon() -> f64 {
     60.0
 }
 
+/// A declarative alert rule as it appears in scenario JSON, converted to
+/// [`mpt_obs::AlertRule`] when the simulator is built. Rules are
+/// evaluated every tick by the analyze stage; firings land in the event
+/// log (`ALERT <rule>: ...`) and in the session report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "rule", rename_all = "snake_case")]
+pub enum AlertRuleSpec {
+    /// Control temperature above `threshold_c` for `sustain_s`
+    /// consecutive simulated seconds.
+    TempAbove {
+        /// Temperature threshold, Celsius.
+        threshold_c: f64,
+        /// Required consecutive seconds above the threshold.
+        #[serde(default)]
+        sustain_s: f64,
+    },
+    /// Foreground frame rate below `target` for `sustain_s` consecutive
+    /// simulated seconds.
+    FpsBelow {
+        /// FPS floor.
+        target: f64,
+        /// Required consecutive seconds below the floor.
+        #[serde(default)]
+        sustain_s: f64,
+    },
+    /// At least `events` throttle (cap-change) events within any
+    /// trailing `window_s`.
+    ThrottleStorm {
+        /// Event count threshold.
+        events: u64,
+        /// Trailing window length, seconds.
+        window_s: f64,
+    },
+    /// Temperature rising faster than `slope_c_per_s` over the trailing
+    /// `window_s` while throttling is already engaged.
+    Runaway {
+        /// Trailing window length, seconds.
+        #[serde(default = "default_runaway_window")]
+        window_s: f64,
+        /// Minimum sustained heating rate, Celsius per second.
+        #[serde(default = "default_runaway_slope")]
+        slope_c_per_s: f64,
+    },
+}
+
+fn default_runaway_window() -> f64 {
+    5.0
+}
+
+fn default_runaway_slope() -> f64 {
+    0.1
+}
+
+impl AlertRuleSpec {
+    /// The equivalent engine rule.
+    #[must_use]
+    pub fn to_rule(&self) -> mpt_obs::AlertRule {
+        match *self {
+            AlertRuleSpec::TempAbove {
+                threshold_c,
+                sustain_s,
+            } => mpt_obs::AlertRule::TempAbove {
+                threshold_c,
+                sustain_s,
+            },
+            AlertRuleSpec::FpsBelow { target, sustain_s } => {
+                mpt_obs::AlertRule::FpsBelow { target, sustain_s }
+            }
+            AlertRuleSpec::ThrottleStorm { events, window_s } => {
+                mpt_obs::AlertRule::ThrottleStorm { events, window_s }
+            }
+            AlertRuleSpec::Runaway {
+                window_s,
+                slope_c_per_s,
+            } => mpt_obs::AlertRule::Runaway {
+                window_s,
+                slope_c_per_s,
+            },
+        }
+    }
+}
+
 /// A complete, serializable experiment definition.
 ///
 /// # Examples
@@ -271,6 +353,9 @@ pub struct ScenarioSpec {
     /// The proposed application-aware governor, if enabled.
     #[serde(default)]
     pub app_aware: Option<AppAwareSpec>,
+    /// Alert rules evaluated online against the run.
+    #[serde(default)]
+    pub alerts: Vec<AlertRuleSpec>,
     /// Workloads to attach.
     pub workloads: Vec<WorkloadSpec>,
 }
@@ -587,7 +672,10 @@ pub fn build_scenario_with(
                 .thermal_governor(Box::new(StepWiseGovernor::with_state_limits(
                     trips, governed,
                 )))
-                .thermal_period(Seconds::new(*period_s));
+                .thermal_period(Seconds::new(*period_s))
+                .trip_reference(Celsius::new(
+                    trips_c.iter().copied().fold(f64::INFINITY, f64::min),
+                ));
         }
         ThermalPolicySpec::Ipa {
             control_c,
@@ -620,8 +708,10 @@ pub fn build_scenario_with(
                     ),
                 ],
             )));
+            builder = builder.trip_reference(Celsius::new(*control_c));
         }
     }
+    builder = builder.alert_rules(spec.alerts.iter().map(AlertRuleSpec::to_rule).collect());
     let mut stats = None;
     if let Some(aa) = &spec.app_aware {
         let gov = AppAwareGovernor::new(AppAwareConfig {
@@ -673,8 +763,24 @@ pub fn run_scenario_with(
     spec: &ScenarioSpec,
     recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
 ) -> Result<ScenarioOutcome> {
+    run_scenario_analyzed(spec, recorder).map(|(outcome, _)| outcome)
+}
+
+/// [`run_scenario_with`] returning the session analysis — derived
+/// observables, fired alerts and frequency residency — alongside the
+/// outcome. Both halves depend only on simulated time, so they are
+/// bit-identical across repeats and worker counts.
+///
+/// # Errors
+///
+/// As [`run_scenario`].
+pub fn run_scenario_analyzed(
+    spec: &ScenarioSpec,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+) -> Result<(ScenarioOutcome, crate::report::SessionAnalysis)> {
     let (mut sim, stats) = build_scenario_with(spec, recorder)?;
     sim.run_for(Seconds::new(spec.duration_s))?;
+    let analysis = crate::report::SessionAnalysis::from_sim(&sim);
     let workloads = spec
         .workloads
         .iter()
@@ -690,14 +796,15 @@ pub fn run_scenario_with(
             }
         })
         .collect();
-    Ok(ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         peak_temperature_c: sim.telemetry().max_temperature().max().unwrap_or(f64::NAN),
         average_power_w: sim.telemetry().average_total_power().value(),
         energy_j: sim.telemetry().total_energy(),
         workloads,
         migrations: stats.map_or(0, |s| s.migrations()),
         events: sim.events().render(),
-    })
+    };
+    Ok((outcome, analysis))
 }
 
 /// Parses a JSON scenario and runs it.
@@ -736,6 +843,7 @@ mod tests {
             initial_temperature_c: Some(50.0),
             thermal: ThermalPolicySpec::Disabled,
             app_aware: None,
+            alerts: Vec::new(),
             workloads: vec![WorkloadSpec {
                 kind: WorkloadKind::BasicMath,
                 cluster: ClusterSpec::Big,

@@ -6,7 +6,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use mpt_core::campaign::{run_cells, run_cells_observed};
-use mpt_core::scenario::{run_scenario, CampaignSpec, ScenarioSpec};
+use mpt_core::report::SessionReport;
+use mpt_core::scenario::{run_scenario, run_scenario_analyzed, CampaignSpec, ScenarioSpec};
 use mpt_obs::{Counter, Recorder};
 
 /// The repo-level `scenarios/` directory, relative to this crate.
@@ -85,6 +86,28 @@ fn campaign_cells_are_identical_between_one_and_eight_workers() {
     let serial = run_cells(&cells, 1).expect("runs");
     let parallel = run_cells(&cells, 8).expect("runs");
     assert_eq!(serial.cells, parallel.cells);
+    assert_eq!(serial.analysis, parallel.analysis);
+}
+
+/// The acceptance bar for the analysis layer: derived observables and
+/// fired alerts from an alert-carrying scenario are bit-identical across
+/// repeats and serialize identically — `--report-out` output does not
+/// depend on scheduling.
+#[test]
+fn derived_observables_and_alerts_are_deterministic() {
+    let path = scenarios_dir().join("nexus_throttled_game.json");
+    let json = std::fs::read_to_string(path).expect("readable file");
+    let mut spec: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+    spec.duration_s = 30.0;
+    let (outcome_a, first) = run_scenario_analyzed(&spec, None).expect("runs");
+    let (outcome_b, second) = run_scenario_analyzed(&spec, None).expect("runs");
+    assert_eq!(first, second);
+    let report_a = SessionReport::new("nexus_throttled_game.json", outcome_a, first);
+    let report_b = SessionReport::new("nexus_throttled_game.json", outcome_b, second);
+    assert_eq!(
+        serde_json::to_string_pretty(&report_a).expect("serializes"),
+        serde_json::to_string_pretty(&report_b).expect("serializes")
+    );
 }
 
 /// Golden list of metric identities: the counter exposition names (in id
@@ -105,6 +128,8 @@ fn metric_names_and_histogram_registry_are_stable() {
         "mpt_events_workload_finished_total",
         "mpt_cells_completed_total",
         "mpt_spans_dropped_total",
+        "mpt_alerts_fired_total",
+        "mpt_track_samples_dropped_total",
     ];
     let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
     assert_eq!(names, expected);
@@ -130,8 +155,28 @@ fn metric_names_and_histogram_registry_are_stable() {
             "stage:telemetry",
             "stage:govern",
             "stage:events",
+            "stage:analyze",
         ]
     );
+}
+
+/// The Prometheus exposition carries a `# HELP`/`# TYPE` pair for every
+/// counter family — scrape configs and dashboards key on this format.
+#[test]
+fn prometheus_exposition_has_help_for_every_counter() {
+    let recorder = Recorder::new();
+    let text = recorder.snapshot().to_prometheus();
+    for counter in Counter::ALL {
+        let name = counter.name();
+        assert!(
+            text.contains(&format!("# HELP {name} ")),
+            "missing HELP for {name}"
+        );
+        assert!(
+            text.contains(&format!("# TYPE {name} counter")),
+            "missing TYPE for {name}"
+        );
+    }
 }
 
 /// The acceptance bar for the observability layer: counter totals from a

@@ -5,6 +5,7 @@
 //! determinism contract covers *which* metrics exist and the counter
 //! values, never timing.
 
+use crate::metrics::Counter;
 use crate::trace::escape_json;
 
 /// Summary of one registered histogram.
@@ -71,14 +72,19 @@ impl MetricsSnapshot {
 
     /// Renders the Prometheus-style text exposition: counters as
     /// `counter` metrics, histograms as `summary` metrics in seconds with
-    /// p50/p95/p99 quantiles.
+    /// p50/p95/p99 quantiles. Every family carries a `# HELP` line before
+    /// its `# TYPE` line, as the exposition format prescribes.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            let help = Counter::help_for_name(name).unwrap_or("Event counter.");
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
         }
         let s = |ns: f64| ns * 1e-9;
+        let mut helped: Vec<String> = Vec::new();
         for h in &self.histograms {
             let (family, label) = h.family();
             let tag = |quantile: &str| match label {
@@ -89,7 +95,15 @@ impl MetricsSnapshot {
                 Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
                 None => String::new(),
             };
-            out.push_str(&format!("# TYPE {family} summary\n"));
+            // One HELP/TYPE pair per family — labelled histograms of the
+            // same family ("stage:power", "stage:thermal") share it.
+            if !helped.contains(&family) {
+                out.push_str(&format!(
+                    "# HELP {family} Latency summary in seconds (p50/p95/p99).\n"
+                ));
+                out.push_str(&format!("# TYPE {family} summary\n"));
+                helped.push(family.clone());
+            }
             for (q, ns) in [("0.5", h.p50_ns), ("0.95", h.p95_ns), ("0.99", h.p99_ns)] {
                 out.push_str(&format!("{family}{} {:e}\n", tag(q), s(ns as f64)));
             }
@@ -159,11 +173,38 @@ mod tests {
     #[test]
     fn prometheus_exposition_shape() {
         let text = sample().to_prometheus();
+        assert!(text.contains("# HELP mpt_ticks_total Simulator ticks executed.\n"));
         assert!(text.contains("# TYPE mpt_ticks_total counter"));
         assert!(text.contains("mpt_ticks_total 100"));
+        assert!(text.contains("# HELP mpt_stage_seconds "));
         assert!(text.contains("# TYPE mpt_stage_seconds summary"));
         assert!(text.contains("mpt_stage_seconds{stage=\"power\",quantile=\"0.5\"}"));
         assert!(text.contains("mpt_stage_seconds_count{stage=\"power\"} 100"));
+    }
+
+    #[test]
+    fn prometheus_every_family_has_one_help_and_type() {
+        let mut snap = sample();
+        snap.histograms.push(HistSnapshot {
+            name: "stage:thermal".into(),
+            ..snap.histograms[0].clone()
+        });
+        let text = snap.to_prometheus();
+        // Two histograms of the same family share one HELP/TYPE pair.
+        assert_eq!(text.matches("# HELP mpt_stage_seconds ").count(), 1);
+        assert_eq!(text.matches("# TYPE mpt_stage_seconds ").count(), 1);
+        // Every exposed metric line belongs to a family introduced by a
+        // HELP line; every HELP is immediately followed by its TYPE.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let fam = rest.split_whitespace().next().unwrap();
+                assert!(
+                    lines[i + 1].starts_with(&format!("# TYPE {fam} ")),
+                    "HELP for {fam} not followed by TYPE"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //!   only span *durations* vary between runs;
 //! * **histograms** — log-scale latency histograms with p50/p95/p99,
 //!   registered once by name and recorded by id on the hot path;
+//! * **counter tracks** — per-tick domain series (temperature, power,
+//!   frequency, FPS) in *simulation time*, exported as Chrome `"ph":"C"`
+//!   counter events so the paper's Figure 1/3/5-style curves render as
+//!   Perfetto tracks next to the stage spans;
+//! * **derived observables + alerts** ([`analyze`]) — online computation
+//!   of the paper's headline metrics (time-above-trip, throttle-attributed
+//!   FPS loss, thermal headroom, stability-margin drift) and a
+//!   declarative alert-rule engine (`temp_above`, `fps_below`,
+//!   `throttle_storm`, `runaway`), all deterministic across worker
+//!   counts;
 //! * **exporters** — Chrome trace JSON ([`trace`]), a Prometheus-style
 //!   text exposition and a JSON snapshot ([`export`]).
 //!
@@ -43,6 +53,7 @@
 //! assert!(!rec.spans().is_empty());
 //! ```
 
+pub mod analyze;
 pub mod export;
 pub mod hist;
 pub mod metrics;
@@ -50,8 +61,10 @@ pub mod recorder;
 pub mod span;
 pub mod trace;
 
+pub use analyze::{Alert, AlertEngine, AlertRule, DerivedSummary, DerivedTracker, TickSample};
 pub use export::{HistSnapshot, MetricsSnapshot};
 pub use hist::{HistId, Histogram};
 pub use metrics::Counter;
 pub use recorder::Recorder;
 pub use span::{SpanGuard, SpanRecord};
+pub use trace::{CounterTrack, TrackId};

@@ -41,11 +41,15 @@ pub enum Counter {
     CellsCompleted,
     /// Spans dropped because the span buffer hit its cap.
     SpansDropped,
+    /// `alert` events — alert rules fired by the analyze stage.
+    AlertsFired,
+    /// Counter-track samples dropped because a track hit its cap.
+    TrackSamplesDropped,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::Ticks,
         Counter::StageRuns,
         Counter::ThrottleEvents,
@@ -57,6 +61,8 @@ impl Counter {
         Counter::WorkloadsFinished,
         Counter::CellsCompleted,
         Counter::SpansDropped,
+        Counter::AlertsFired,
+        Counter::TrackSamplesDropped,
     ];
 
     /// Number of counter slots.
@@ -83,7 +89,43 @@ impl Counter {
             Counter::WorkloadsFinished => "mpt_events_workload_finished_total",
             Counter::CellsCompleted => "mpt_cells_completed_total",
             Counter::SpansDropped => "mpt_spans_dropped_total",
+            Counter::AlertsFired => "mpt_alerts_fired_total",
+            Counter::TrackSamplesDropped => "mpt_track_samples_dropped_total",
         }
+    }
+
+    /// One-line description for the Prometheus `# HELP` exposition.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::Ticks => "Simulator ticks executed.",
+            Counter::StageRuns => "Pipeline stage executions (ticks x stages).",
+            Counter::ThrottleEvents => {
+                "Thermal-governor throttle actions applied, including repeated caps."
+            }
+            Counter::TripCrossings => {
+                "Cap-state transitions between uncapped and capped (trip crossings)."
+            }
+            Counter::GovernorFreqChanges => "cpufreq governor frequency changes.",
+            Counter::SysfsWrites => "Writes against the sysfs control plane.",
+            Counter::CapChanges => "cap_changed events, including cap-level moves.",
+            Counter::Migrations => "migration events (cluster moves).",
+            Counter::WorkloadsFinished => "workload_finished events.",
+            Counter::CellsCompleted => "Campaign cells completed.",
+            Counter::SpansDropped => "Spans dropped at the span-buffer cap.",
+            Counter::AlertsFired => "Alert-rule firings recorded by the analyze stage.",
+            Counter::TrackSamplesDropped => "Counter-track samples dropped at the track cap.",
+        }
+    }
+
+    /// Looks up the `# HELP` text for a counter by its exposition name,
+    /// for exporters that only carry `(name, value)` pairs.
+    #[must_use]
+    pub fn help_for_name(name: &str) -> Option<&'static str> {
+        Counter::ALL
+            .iter()
+            .find(|c| c.name() == name)
+            .map(|c| c.help())
     }
 
     /// Maps a discrete-event kind key (as produced by the simulator's
@@ -96,6 +138,7 @@ impl Counter {
             "migration" => Some(Counter::Migrations),
             "cap_changed" => Some(Counter::CapChanges),
             "workload_finished" => Some(Counter::WorkloadsFinished),
+            "alert" => Some(Counter::AlertsFired),
             _ => None,
         }
     }
@@ -118,6 +161,15 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn every_counter_has_help() {
+        for c in Counter::ALL {
+            assert!(!c.help().is_empty());
+            assert_eq!(Counter::help_for_name(c.name()), Some(c.help()));
+        }
+        assert_eq!(Counter::help_for_name("no_such"), None);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Per-run online analysis: derived observables, alert rules and the
+//! domain counter tracks.
+//!
+//! [`RunAnalysis`] is the simulator-side owner of the `mpt-obs` analyze
+//! machinery: it folds every tick into a
+//! [`DerivedTracker`](mpt_obs::DerivedTracker), evaluates the configured
+//! [`AlertRule`](mpt_obs::AlertRule)s (firing [`EventKind::Alert`] events
+//! into the run's event log), and streams decimated
+//! temperature/power/frequency/FPS samples into the recorder's counter
+//! tracks so `--trace-out` renders the paper's figure-style curves in
+//! Perfetto.
+//!
+//! Everything here is driven by simulation time only, so derived
+//! summaries and fired alerts are bit-identical across worker counts.
+
+use std::collections::BTreeMap;
+
+use mpt_obs::TrackId;
+use mpt_obs::{
+    Alert, AlertEngine, AlertRule, DerivedSummary, DerivedTracker, Recorder, TickSample,
+};
+use mpt_soc::ComponentId;
+use mpt_units::Seconds;
+
+use crate::engine::log_event;
+use crate::{Event, EventKind, EventLog};
+
+struct TrackIds {
+    temp: TrackId,
+    power: TrackId,
+    fps: TrackId,
+    freqs: BTreeMap<ComponentId, TrackId>,
+}
+
+/// The per-run analysis state held by the simulator core and advanced by
+/// the `analyze` pipeline stage.
+pub struct RunAnalysis {
+    tracker: DerivedTracker,
+    engine: AlertEngine,
+    alerts: Vec<Alert>,
+    sample_period_s: f64,
+    next_sample_s: f64,
+    tracks: Option<TrackIds>,
+    /// Watermark into the event log: events at or past this index have
+    /// not yet been scanned for throttle activity.
+    pub(crate) events_seen: usize,
+}
+
+impl std::fmt::Debug for RunAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunAnalysis")
+            .field("trip_c", &self.tracker.trip_c())
+            .field("alerts", &self.alerts.len())
+            .finish()
+    }
+}
+
+impl RunAnalysis {
+    /// Creates the analysis state. `trip_c` is the thermal governor's
+    /// reference (lowest trip or IPA control temperature) — `None` when
+    /// throttling is disabled; `rules` is the declarative alert set;
+    /// `sample_period` decimates the counter-track stream (typically the
+    /// telemetry period).
+    #[must_use]
+    pub(crate) fn new(trip_c: Option<f64>, rules: Vec<AlertRule>, sample_period: Seconds) -> Self {
+        Self {
+            tracker: match trip_c {
+                Some(t) => DerivedTracker::with_trip(t),
+                None => DerivedTracker::new(),
+            },
+            engine: AlertEngine::new(rules),
+            alerts: Vec::new(),
+            sample_period_s: sample_period.value().max(0.0),
+            next_sample_s: 0.0,
+            tracks: None,
+            events_seen: 0,
+        }
+    }
+
+    /// Registers the domain counter tracks on `recorder` (idempotent by
+    /// name, so campaign workers sharing one recorder resolve the same
+    /// tracks and their samples overlay in the exported trace).
+    pub(crate) fn register_tracks(&mut self, recorder: &Recorder, components: &[ComponentId]) {
+        let freqs = components
+            .iter()
+            .map(|&id| {
+                let name = format!("freq_{}_mhz", id.key());
+                (id, recorder.register_track(&name, "MHz"))
+            })
+            .collect();
+        self.tracks = Some(TrackIds {
+            temp: recorder.register_track("temp_c", "C"),
+            power: recorder.register_track("power_w", "W"),
+            fps: recorder.register_track("fps", "fps"),
+            freqs,
+        });
+    }
+
+    /// Folds one tick: updates the derived tracker, evaluates alert
+    /// rules (logging firings as [`EventKind::Alert`]), and streams the
+    /// decimated counter-track samples.
+    pub(crate) fn observe_tick(
+        &mut self,
+        recorder: &Recorder,
+        events: &mut EventLog,
+        sample: &TickSample,
+        freqs_mhz: &[(ComponentId, f64)],
+    ) {
+        self.tracker.observe(sample);
+        for alert in self.engine.observe(sample) {
+            log_event(
+                recorder,
+                events,
+                Event {
+                    time: Seconds::new(alert.t_s),
+                    kind: EventKind::Alert {
+                        rule: alert.rule,
+                        message: alert.message.clone(),
+                    },
+                },
+            );
+            self.alerts.push(alert);
+        }
+        self.events_seen = events.len();
+        if sample.t_s + 1e-12 >= self.next_sample_s {
+            // Advance past the current time so a long stall never emits
+            // a burst of catch-up samples.
+            self.next_sample_s = if self.sample_period_s > 0.0 {
+                sample.t_s + self.sample_period_s
+            } else {
+                sample.t_s
+            };
+            if let Some(tracks) = &self.tracks {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let ts_us = (sample.t_s * 1e6).round().max(0.0) as u64;
+                recorder.sample_track(tracks.temp, ts_us, sample.temp_c);
+                recorder.sample_track(tracks.power, ts_us, sample.power_w);
+                if let Some(fps) = sample.fps {
+                    recorder.sample_track(tracks.fps, ts_us, fps);
+                }
+                for &(id, mhz) in freqs_mhz {
+                    if let Some(&track) = tracks.freqs.get(&id) {
+                        recorder.sample_track(track, ts_us, mhz);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The derived summary over the run so far.
+    #[must_use]
+    pub fn summary(&self) -> DerivedSummary {
+        self.tracker.summary()
+    }
+
+    /// Every alert fired so far, in firing order.
+    #[must_use]
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The trip reference used for time-above-trip and headroom, if one
+    /// was configured.
+    #[must_use]
+    pub fn trip_c(&self) -> Option<f64> {
+        self.tracker.trip_c()
+    }
+}

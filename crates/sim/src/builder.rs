@@ -6,13 +6,14 @@ use std::sync::{Arc, Mutex};
 use mpt_kernel::{
     CpuFreqPolicy, DisabledGovernor, GovernorKind, ProcessClass, Scheduler, ThermalGovernor,
 };
-use mpt_obs::Recorder;
+use mpt_obs::{AlertRule, Recorder};
 use mpt_soc::{ComponentId, Platform};
 use mpt_sysfs::SysFs;
 use mpt_thermal::RcNetwork;
 use mpt_units::{Celsius, Seconds};
 use mpt_workloads::Workload;
 
+use crate::analysis::RunAnalysis;
 use crate::engine::{Attached, SimCore};
 use crate::stages::default_pipeline;
 use crate::{EventLog, Result, SimError, Simulator, SystemPolicy, Telemetry};
@@ -36,6 +37,8 @@ pub struct SimBuilder {
     accounting_window: Option<Seconds>,
     workloads: Vec<(Box<dyn Workload>, ProcessClass, ComponentId, bool)>,
     recorder: Option<Arc<Recorder>>,
+    trip_reference: Option<Celsius>,
+    alert_rules: Vec<AlertRule>,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -69,6 +72,8 @@ impl SimBuilder {
             accounting_window: None,
             workloads: Vec::new(),
             recorder: None,
+            trip_reference: None,
+            alert_rules: Vec::new(),
         }
     }
 
@@ -151,6 +156,26 @@ impl SimBuilder {
     #[must_use]
     pub fn accounting_window(mut self, window: Seconds) -> Self {
         self.accounting_window = Some(window);
+        self
+    }
+
+    /// Declares the thermal governor's reference temperature (lowest
+    /// trip, or the IPA control temperature) for the derived
+    /// observables: time-above-trip, thermal headroom and
+    /// stability-margin drift are computed against it. Without one those
+    /// metrics are reported as absent.
+    #[must_use]
+    pub fn trip_reference(mut self, t: Celsius) -> Self {
+        self.trip_reference = Some(t);
+        self
+    }
+
+    /// Installs declarative alert rules, evaluated every tick by the
+    /// analyze stage; firings appear in the event log as `alert` events
+    /// and in [`Simulator::analysis`](crate::Simulator::analysis).
+    #[must_use]
+    pub fn alert_rules(mut self, rules: Vec<AlertRule>) -> Self {
+        self.alert_rules = rules;
         self
     }
 
@@ -255,6 +280,14 @@ impl SimBuilder {
             attached.push(Attached { pid, workload });
         }
         let recorder = self.recorder.unwrap_or_else(|| Arc::new(Recorder::new()));
+        let mut analysis = RunAnalysis::new(
+            self.trip_reference.map(Celsius::value),
+            self.alert_rules,
+            self.telemetry_period,
+        );
+        let component_ids: Vec<ComponentId> =
+            self.platform.components().iter().map(|c| c.id()).collect();
+        analysis.register_tracks(&recorder, &component_ids);
         let mut core = SimCore {
             platform: self.platform,
             network,
@@ -271,6 +304,7 @@ impl SimBuilder {
             cluster_mirror: Arc::new(Mutex::new(BTreeMap::new())),
             events: EventLog::new(),
             recorder,
+            analysis,
         };
         core.register_sysfs()?;
         core.sync_sysfs()?;

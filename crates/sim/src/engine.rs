@@ -11,6 +11,7 @@ use mpt_thermal::RcNetwork;
 use mpt_units::{Celsius, Hertz, Kelvin, Seconds, Watts};
 use mpt_workloads::Workload;
 
+use crate::analysis::RunAnalysis;
 use crate::stages::{SimStage, StepContext};
 use crate::{Event, EventKind, EventLog, Result, Telemetry};
 
@@ -70,6 +71,9 @@ pub struct SimCore {
     /// The run's observability recorder (shared with the campaign layer
     /// when several simulators feed one trace).
     pub(crate) recorder: Arc<Recorder>,
+    /// Online derived observables, alert rules and counter tracks,
+    /// advanced by the `analyze` stage.
+    pub(crate) analysis: RunAnalysis,
 }
 
 impl SimCore {
@@ -409,6 +413,14 @@ impl Simulator {
     #[must_use]
     pub fn recorder(&self) -> &Arc<Recorder> {
         &self.core.recorder
+    }
+
+    /// The run's online analysis: derived observables (time-above-trip,
+    /// throttle-attributed FPS loss, thermal headroom, stability-margin
+    /// drift) and every fired alert.
+    #[must_use]
+    pub fn analysis(&self) -> &RunAnalysis {
+        &self.core.analysis
     }
 
     /// Total power from the last tick.

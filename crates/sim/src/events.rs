@@ -39,6 +39,13 @@ pub enum EventKind {
         /// Its name.
         name: String,
     },
+    /// An alert rule fired (the online analyze stage).
+    Alert {
+        /// The rule's stable key (`"temp_above"`, `"fps_below"`, ...).
+        rule: &'static str,
+        /// Human-readable description of what fired.
+        message: String,
+    },
 }
 
 impl EventKind {
@@ -51,6 +58,7 @@ impl EventKind {
             EventKind::Migration { .. } => "migration",
             EventKind::CapChanged { .. } => "cap_changed",
             EventKind::WorkloadFinished { .. } => "workload_finished",
+            EventKind::Alert { .. } => "alert",
         }
     }
 }
@@ -84,6 +92,7 @@ impl std::fmt::Display for Event {
                 write!(f, "uncapped {component}")
             }
             EventKind::WorkloadFinished { name, .. } => write!(f, "{name:?} finished"),
+            EventKind::Alert { rule, message } => write!(f, "ALERT {rule}: {message}"),
         }
     }
 }

@@ -45,6 +45,7 @@
 //! # Ok::<(), mpt_sim::SimError>(())
 //! ```
 
+pub mod analysis;
 mod builder;
 mod engine;
 mod error;
@@ -53,6 +54,7 @@ mod policy;
 pub mod stages;
 mod telemetry;
 
+pub use analysis::RunAnalysis;
 pub use builder::SimBuilder;
 pub use engine::{SimCore, Simulator};
 pub use error::SimError;

@@ -17,12 +17,15 @@
 //!    governor, and the optional [`SystemPolicy`](crate::SystemPolicy).
 //! 8. [`observe::EventStage`] — discrete-event detection and the sysfs
 //!    state mirror.
+//! 9. [`analyze::AnalyzeStage`] — derived observables, alert rules, and
+//!    the domain counter tracks (temperature/power/frequency/FPS).
 //!
 //! Stage-local state (governor phase accumulators, previous-cluster
 //! maps) lives inside the stage structs; everything shared lives in
 //! `SimCore`; everything produced and consumed within one tick lives in
 //! `StepContext`.
 
+pub mod analyze;
 pub mod demand;
 pub mod govern;
 pub mod observe;
@@ -122,5 +125,6 @@ pub(crate) fn default_pipeline(
             system_policy,
         )),
         Box::new(observe::EventStage::default()),
+        Box::new(analyze::AnalyzeStage),
     ]
 }

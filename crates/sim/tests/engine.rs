@@ -38,7 +38,8 @@ fn pipeline_has_the_expected_stages() {
             "thermal",
             "telemetry",
             "govern",
-            "events"
+            "events",
+            "analyze"
         ]
     );
 }
@@ -296,4 +297,91 @@ fn non_rendering_workloads_report_no_fps() {
     let pid = sim.pid_of("basicmath_large").unwrap();
     assert!(sim.median_fps(pid).is_none());
     assert!(!sim.all_finished(), "BML never finishes");
+}
+
+#[test]
+fn analysis_tracks_alerts_and_derived_observables() {
+    use mpt_obs::AlertRule;
+
+    let soc = platforms::snapdragon_810();
+    let gov = nexus_stock_thermal(&soc);
+    let mut sim = SimBuilder::new(soc)
+        .attach(
+            Box::new(apps::paper_io(42)),
+            ProcessClass::Foreground,
+            ComponentId::BigCluster,
+        )
+        .thermal_governor(gov)
+        .thermal_period(Seconds::new(1.0))
+        .control_sensor("package")
+        .initial_temperature(Celsius::new(35.0))
+        .trip_reference(Celsius::new(42.0))
+        .alert_rules(vec![
+            AlertRule::TempAbove {
+                threshold_c: 41.0,
+                sustain_s: 2.0,
+            },
+            AlertRule::FpsBelow {
+                target: 30.0,
+                sustain_s: 2.0,
+            },
+        ])
+        .build()
+        .unwrap();
+    sim.run_for(Seconds::new(140.0)).unwrap();
+
+    // Derived observables: the throttled game crosses the trip and
+    // spends real time above it.
+    let d = sim.analysis().summary();
+    assert_eq!(d.trip_c, Some(42.0));
+    assert!(d.peak_temp_c.unwrap() > 42.0);
+    assert!(
+        d.time_above_trip_s > 1.0,
+        "above trip {}",
+        d.time_above_trip_s
+    );
+    assert!(d.time_throttled_s > 10.0);
+    assert!(d.throttle_events > 0);
+    // Throttling costs frames (Table I row 1: ~35 -> ~23 FPS).
+    assert!(d.fps_mean_free.unwrap() > d.fps_mean_throttled.unwrap());
+    assert!(d.throttle_fps_loss.unwrap() > 0.0);
+
+    // Alerts fired and landed in the event log as alert events.
+    let alerts = sim.analysis().alerts();
+    assert!(alerts.iter().any(|a| a.rule == "temp_above"));
+    assert!(alerts.iter().any(|a| a.rule == "fps_below"));
+    let counts = sim.events().counts_by_kind();
+    assert_eq!(counts[&"alert"], alerts.len() as u64);
+    assert_eq!(
+        sim.recorder().counter(mpt_obs::Counter::AlertsFired),
+        alerts.len() as u64
+    );
+
+    // Counter tracks carry the figure curves: temperature, total power,
+    // big-cluster + GPU frequency, and FPS all have samples.
+    let tracks = sim.recorder().tracks();
+    for name in ["temp_c", "power_w", "freq_big_mhz", "freq_gpu_mhz", "fps"] {
+        let track = tracks.iter().find(|t| t.name == name).expect(name);
+        assert!(!track.samples.is_empty(), "{name} has no samples");
+    }
+}
+
+#[test]
+fn unthrottled_run_reports_absent_trip_metrics() {
+    let mut sim = SimBuilder::new(platforms::snapdragon_810())
+        .attach(
+            Box::new(apps::paper_io(42)),
+            ProcessClass::Foreground,
+            ComponentId::BigCluster,
+        )
+        .initial_temperature(Celsius::new(35.0))
+        .build()
+        .unwrap();
+    sim.run_for(Seconds::new(5.0)).unwrap();
+    let d = sim.analysis().summary();
+    assert_eq!(d.trip_c, None);
+    assert_eq!(d.thermal_headroom_c, None);
+    assert_eq!(d.time_above_trip_s, 0.0);
+    assert_eq!(d.time_throttled_s, 0.0);
+    assert!(sim.analysis().alerts().is_empty());
 }

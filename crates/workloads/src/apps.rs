@@ -149,6 +149,10 @@ impl Workload for AppModel {
     fn median_fps(&self) -> Option<f64> {
         self.pipeline.median_fps()
     }
+
+    fn current_fps(&self) -> Option<f64> {
+        self.pipeline.rolling_fps(Seconds::new(1.0))
+    }
 }
 
 /// Paper.io — "one of the top five games": GPU-heavy arena rendering.

@@ -147,6 +147,14 @@ impl Workload for ThreeDMark {
     fn median_fps(&self) -> Option<f64> {
         self.gt1_fps()
     }
+
+    fn current_fps(&self) -> Option<f64> {
+        // Whichever graphics test is active right now.
+        let window = Seconds::new(0.5);
+        self.gt2
+            .rolling_fps(window)
+            .or_else(|| self.gt1.rolling_fps(window))
+    }
 }
 
 impl ThreeDMark {
@@ -294,6 +302,10 @@ impl Workload for Nenamark {
 
     fn median_fps(&self) -> Option<f64> {
         self.pipeline.median_fps()
+    }
+
+    fn current_fps(&self) -> Option<f64> {
+        self.pipeline.rolling_fps(Seconds::new(1.0))
     }
 }
 

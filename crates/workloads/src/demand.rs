@@ -67,6 +67,14 @@ pub trait Workload: fmt::Debug + Send + std::any::Any {
     fn median_fps(&self) -> Option<f64> {
         None
     }
+
+    /// The *instantaneous* frame rate (a short trailing window), if this
+    /// workload renders frames — the signal the per-tick observability
+    /// stream and `fps_below` alert rules watch. `None` until enough
+    /// frame history exists, and always `None` for compute workloads.
+    fn current_fps(&self) -> Option<f64> {
+        None
+    }
 }
 
 #[cfg(test)]

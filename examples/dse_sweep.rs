@@ -73,6 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             initial_temperature_c: Some(50.0),
             thermal: ThermalPolicySpec::Disabled,
             app_aware: None,
+            alerts: Vec::new(),
             workloads: base_workloads(),
         },
         sweep: SweepAxes {
@@ -121,6 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             horizon_s: 60.0,
             cap_instead_of_migrate: false,
         }),
+        alerts: Vec::new(),
         workloads: base_workloads(),
     };
     let (gt1, gt2, peak, power) = run(&spec)?;
