@@ -20,10 +20,11 @@ use mpt_core::campaign::run_campaign_observed;
 use mpt_core::report::SessionReport;
 use mpt_core::scenario::{run_scenario_analyzed, AlertRuleSpec, CampaignSpec, ScenarioSpec};
 use mpt_obs::{trace::chrome_trace_json_full, Recorder};
+use mpt_thermal::SolverKind;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -36,6 +37,7 @@ struct Args {
     metrics_out: Option<String>,
     report_out: Option<String>,
     alerts: Option<String>,
+    solver: Option<SolverKind>,
     progress: bool,
 }
 
@@ -48,6 +50,7 @@ fn parse_args() -> Args {
         metrics_out: None,
         report_out: None,
         alerts: None,
+        solver: None,
         progress: false,
     };
     let mut it = std::env::args().skip(1);
@@ -75,6 +78,16 @@ fn parse_args() -> Args {
             "--alerts" => {
                 let Some(path) = it.next() else { usage() };
                 args.alerts = Some(path);
+            }
+            "--solver" => {
+                let Some(name) = it.next() else { usage() };
+                match name.parse() {
+                    Ok(kind) => args.solver = Some(kind),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--progress" => args.progress = true,
             "--help" | "-h" => usage(),
@@ -157,6 +170,9 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     let mut spec: ScenarioSpec =
         serde_json::from_str(json).map_err(|e| format!("bad scenario json: {e}"))?;
     spec.alerts.extend(load_extra_alerts(args)?);
+    if let Some(kind) = args.solver {
+        spec.solver = kind.into();
+    }
     let (outcome, analysis) = run_scenario_analyzed(&spec, Some(Arc::clone(&recorder)))?;
     if args.progress {
         eprintln!("scenario done in {:.2} s", start.elapsed().as_secs_f64());
@@ -240,6 +256,9 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     let mut spec: CampaignSpec =
         serde_json::from_str(json).map_err(|e| format!("bad campaign json: {e}"))?;
     spec.base.alerts.extend(load_extra_alerts(args)?);
+    if let Some(kind) = args.solver {
+        spec.base.solver = kind.into();
+    }
     let report = run_campaign_observed(&spec, args.jobs, &recorder, progress_cb)?;
     println!(
         "{:<52} {:>9} {:>9} {:>9} {:>6}",

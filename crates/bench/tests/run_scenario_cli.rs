@@ -1,0 +1,76 @@
+//! End-to-end checks of the `run_scenario` binary's command line,
+//! exercising the `--solver` override the way CI's solver-equivalence
+//! smoke does.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const TINY_SCENARIO: &str = r#"{
+    "platform": "exynos5422",
+    "duration_s": 1.0,
+    "initial_temperature_c": 45.0,
+    "workloads": [ { "kind": "basic_math", "cluster": "big" } ]
+}"#;
+
+/// Runs the binary with a scenario on stdin and returns
+/// `(exit code, stdout, stderr)`.
+fn run(args: &[&str], stdin: &str) -> (i32, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_run_scenario"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writable");
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn peak_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("peak temperature"))
+        .expect("peak temperature line")
+}
+
+#[test]
+fn solver_override_accepts_both_solvers_and_agrees() {
+    let (code, exact_out, _) = run(&["--solver", "exact_lti"], TINY_SCENARIO);
+    assert_eq!(code, 0, "exact_lti run failed:\n{exact_out}");
+    let (code, euler_out, _) = run(&["--solver", "forward_euler"], TINY_SCENARIO);
+    assert_eq!(code, 0, "forward_euler run failed:\n{euler_out}");
+    // Outcomes print at 0.1 C / 0.01 W resolution; the solvers agree well
+    // inside that, so the headline lines match exactly.
+    assert_eq!(peak_line(&exact_out), peak_line(&euler_out));
+}
+
+#[test]
+fn unknown_solver_is_a_usage_error() {
+    let (code, _, stderr) = run(&["--solver", "magic"], TINY_SCENARIO);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("unknown solver") && stderr.contains("magic"),
+        "stderr should name the bad solver: {stderr}"
+    );
+    assert!(
+        stderr.contains("exact_lti") && stderr.contains("forward_euler"),
+        "stderr should list the valid solvers: {stderr}"
+    );
+}
+
+#[test]
+fn solver_flag_requires_a_value() {
+    let (code, _, stderr) = run(&["--solver"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "expected usage text: {stderr}");
+}

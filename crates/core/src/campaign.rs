@@ -10,8 +10,8 @@
 //! ```
 //! use mpt_core::campaign::run_campaign;
 //! use mpt_core::scenario::{
-//!     CampaignSpec, ClusterSpec, PlatformSpec, ScenarioSpec, SweepAxes,
-//!     ThermalPolicySpec, WorkloadKind, WorkloadSpec,
+//!     CampaignSpec, ClusterSpec, PlatformSpec, ScenarioSpec, SolverSpec,
+//!     SweepAxes, ThermalPolicySpec, WorkloadKind, WorkloadSpec,
 //! };
 //!
 //! let spec = CampaignSpec {
@@ -22,6 +22,7 @@
 //!         thermal: ThermalPolicySpec::Disabled,
 //!         app_aware: None,
 //!         alerts: Vec::new(),
+//!         solver: SolverSpec::default(),
 //!         workloads: vec![WorkloadSpec {
 //!             kind: WorkloadKind::BasicMath,
 //!             cluster: ClusterSpec::Big,
@@ -351,11 +352,21 @@ pub fn run_cells_observed(
     let start = std::time::Instant::now();
     let cell_hist = recorder.register_histogram("cell");
     let done = AtomicUsize::new(0);
+    // One immutable transition-matrix cache for the whole campaign:
+    // cells sweeping the same platform at the same tick reuse one
+    // discretization instead of re-factoring it per cell. Builds happen
+    // atomically inside the cache, so the hit/build counter totals are
+    // independent of the worker count.
+    let solver_cache = Arc::new(mpt_thermal::TransitionCache::new());
     let results = run_parallel_workers(cells.len(), jobs, |i, worker| {
         let cell_start = std::time::Instant::now();
         let result = {
             let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
-            scenario::run_scenario_analyzed(&cells[i].scenario, Some(Arc::clone(recorder)))
+            scenario::run_scenario_analyzed_cached(
+                &cells[i].scenario,
+                Some(Arc::clone(recorder)),
+                Some(Arc::clone(&solver_cache)),
+            )
         };
         recorder.incr(Counter::CellsCompleted);
         if let Some(cb) = progress {
@@ -437,8 +448,8 @@ pub fn run_campaign_json_observed(
 mod tests {
     use super::*;
     use crate::scenario::{
-        ClusterSpec, PlatformSpec, ScenarioSpec, SweepAxes, ThermalPolicySpec, WorkloadKind,
-        WorkloadSpec,
+        ClusterSpec, PlatformSpec, ScenarioSpec, SolverSpec, SweepAxes, ThermalPolicySpec,
+        WorkloadKind, WorkloadSpec,
     };
 
     fn small_campaign() -> CampaignSpec {
@@ -450,6 +461,7 @@ mod tests {
                 thermal: ThermalPolicySpec::Disabled,
                 app_aware: None,
                 alerts: Vec::new(),
+                solver: SolverSpec::default(),
                 workloads: vec![WorkloadSpec {
                     kind: WorkloadKind::BasicMath,
                     cluster: ClusterSpec::Big,
@@ -568,6 +580,25 @@ mod tests {
             serial.snapshot().deterministic_counters(),
             parallel.snapshot().deterministic_counters()
         );
+    }
+
+    #[test]
+    fn campaign_builds_one_discretization_per_platform() {
+        // 2 platforms × 2 ambients = 4 cells, all at the default tick.
+        // Ambient does not enter the dynamics, so the shared cache
+        // factors each platform exactly once: 2 builds, 2 hits —
+        // whatever the worker count.
+        let spec = small_campaign();
+        for jobs in [1, 4] {
+            let recorder = Arc::new(Recorder::new());
+            run_campaign_observed(&spec, jobs, &recorder, None).unwrap();
+            assert_eq!(
+                recorder.counter(Counter::SolverCacheBuilds),
+                2,
+                "jobs={jobs}"
+            );
+            assert_eq!(recorder.counter(Counter::SolverCacheHits), 2, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use mpt_kernel::{IpaConfig, IpaGovernor, ProcessClass, StepWiseGovernor, TripPoint};
 use mpt_sim::{Result, SimBuilder, SimError, Simulator};
 use mpt_soc::{platforms, ComponentId, Platform};
+use mpt_thermal::{SolverKind, TransitionCache};
 use mpt_units::{Celsius, Seconds, Watts};
 use mpt_workloads::benchmarks::{
     BasicMathLarge, BurstyCompute, Nenamark, SteadyCompute, ThreeDMark,
@@ -40,6 +41,43 @@ impl PlatformSpec {
         match self {
             PlatformSpec::Snapdragon810 => platforms::snapdragon_810(),
             PlatformSpec::Exynos5422 => platforms::exynos_5422(),
+        }
+    }
+}
+
+/// Which thermal solver integrates the RC network.
+///
+/// The scenario-level mirror of [`mpt_thermal::SolverKind`]: the exact
+/// LTI discretization is the default; forward Euler is kept for
+/// bit-exact reproduction of pre-solver-layer results and as the
+/// accuracy reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum SolverSpec {
+    /// Exact discretization `T[k+1] = Ad·T[k] + Bd·P[k]` with cached
+    /// transition matrices (the default).
+    #[default]
+    ExactLti,
+    /// Explicit sub-stepped forward Euler (the historical integrator).
+    ForwardEuler,
+}
+
+impl SolverSpec {
+    /// The equivalent engine solver kind.
+    #[must_use]
+    pub fn to_kind(self) -> SolverKind {
+        match self {
+            SolverSpec::ExactLti => SolverKind::ExactLti,
+            SolverSpec::ForwardEuler => SolverKind::ForwardEuler,
+        }
+    }
+}
+
+impl From<SolverKind> for SolverSpec {
+    fn from(kind: SolverKind) -> Self {
+        match kind {
+            SolverKind::ExactLti => SolverSpec::ExactLti,
+            SolverKind::ForwardEuler => SolverSpec::ForwardEuler,
         }
     }
 }
@@ -356,6 +394,9 @@ pub struct ScenarioSpec {
     /// Alert rules evaluated online against the run.
     #[serde(default)]
     pub alerts: Vec<AlertRuleSpec>,
+    /// The thermal solver (defaults to the exact LTI discretization).
+    #[serde(default)]
+    pub solver: SolverSpec,
     /// Workloads to attach.
     pub workloads: Vec<WorkloadSpec>,
 }
@@ -628,6 +669,22 @@ pub fn build_scenario_with(
     spec: &ScenarioSpec,
     recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
 ) -> Result<(Simulator, Option<std::sync::Arc<GovernorStats>>)> {
+    build_scenario_cached(spec, recorder, None)
+}
+
+/// [`build_scenario_with`] sharing a transition-matrix cache — the
+/// campaign runner passes one cache so cells sweeping the same platform
+/// and tick factor each discretization exactly once. Only the exact-LTI
+/// solver consults it.
+///
+/// # Errors
+///
+/// As [`build_scenario`].
+pub fn build_scenario_cached(
+    spec: &ScenarioSpec,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+    solver_cache: Option<std::sync::Arc<TransitionCache>>,
+) -> Result<(Simulator, Option<std::sync::Arc<GovernorStats>>)> {
     if spec.duration_s <= 0.0 {
         return Err(invalid("duration must be positive".into()));
     }
@@ -635,7 +692,10 @@ pub fn build_scenario_with(
         return Err(invalid("a scenario needs at least one workload".into()));
     }
     let platform = spec.platform.build();
-    let mut builder = SimBuilder::new(platform.clone());
+    let mut builder = SimBuilder::new(platform.clone()).thermal_solver(spec.solver.to_kind());
+    if let Some(cache) = solver_cache {
+        builder = builder.solver_cache(cache);
+    }
     if let Some(rec) = recorder {
         builder = builder.recorder(rec);
     }
@@ -778,7 +838,21 @@ pub fn run_scenario_analyzed(
     spec: &ScenarioSpec,
     recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
 ) -> Result<(ScenarioOutcome, crate::report::SessionAnalysis)> {
-    let (mut sim, stats) = build_scenario_with(spec, recorder)?;
+    run_scenario_analyzed_cached(spec, recorder, None)
+}
+
+/// [`run_scenario_analyzed`] sharing a transition-matrix cache across
+/// runs (see [`build_scenario_cached`]).
+///
+/// # Errors
+///
+/// As [`run_scenario`].
+pub fn run_scenario_analyzed_cached(
+    spec: &ScenarioSpec,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+    solver_cache: Option<std::sync::Arc<TransitionCache>>,
+) -> Result<(ScenarioOutcome, crate::report::SessionAnalysis)> {
+    let (mut sim, stats) = build_scenario_cached(spec, recorder, solver_cache)?;
     sim.run_for(Seconds::new(spec.duration_s))?;
     let analysis = crate::report::SessionAnalysis::from_sim(&sim);
     let workloads = spec
@@ -844,6 +918,7 @@ mod tests {
             thermal: ThermalPolicySpec::Disabled,
             app_aware: None,
             alerts: Vec::new(),
+            solver: SolverSpec::default(),
             workloads: vec![WorkloadSpec {
                 kind: WorkloadKind::BasicMath,
                 cluster: ClusterSpec::Big,
@@ -910,6 +985,43 @@ mod tests {
         assert!(run_scenario(&spec).is_err());
 
         assert!(run_scenario_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn solver_field_defaults_and_parses() {
+        // Absent field → exact LTI (the default solver).
+        let spec = bml_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.solver, SolverSpec::ExactLti);
+
+        let json = r#"{
+            "platform": "exynos5422",
+            "duration_s": 1.0,
+            "solver": "forward_euler",
+            "workloads": [ { "kind": "basic_math" } ]
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.solver, SolverSpec::ForwardEuler);
+        assert_eq!(spec.solver.to_kind(), SolverKind::ForwardEuler);
+
+        let bad = json.replace("forward_euler", "magic");
+        assert!(serde_json::from_str::<ScenarioSpec>(&bad).is_err());
+    }
+
+    #[test]
+    fn solvers_agree_on_scenario_outcome() {
+        let exact = run_scenario(&bml_spec()).unwrap();
+        let mut spec = bml_spec();
+        spec.solver = SolverSpec::ForwardEuler;
+        let euler = run_scenario(&spec).unwrap();
+        assert!(
+            (exact.peak_temperature_c - euler.peak_temperature_c).abs() < 0.1,
+            "exact {} vs euler {}",
+            exact.peak_temperature_c,
+            euler.peak_temperature_c
+        );
+        assert!((exact.average_power_w - euler.average_power_w).abs() < 0.05);
     }
 
     #[test]

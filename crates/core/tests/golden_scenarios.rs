@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use mpt_core::campaign::{run_cells, run_cells_observed};
 use mpt_core::report::SessionReport;
-use mpt_core::scenario::{run_scenario, run_scenario_analyzed, CampaignSpec, ScenarioSpec};
+use mpt_core::scenario::{
+    run_scenario, run_scenario_analyzed, CampaignSpec, ScenarioSpec, SolverSpec,
+};
 use mpt_obs::{Counter, Recorder};
 
 /// The repo-level `scenarios/` directory, relative to this crate.
@@ -74,6 +76,30 @@ fn scenario_runs_are_bit_identical_across_repeats() {
     }
 }
 
+/// The pre-solver-layer integrator is still selectable: every shipped
+/// scenario runs under `"solver": "forward_euler"`, bit-identically
+/// across repeats, and lands within the exact solver's tolerance.
+#[test]
+fn forward_euler_solver_still_runs_shipped_scenarios() {
+    for path in scenario_files().iter().filter(|p| !is_campaign(p)) {
+        let json = std::fs::read_to_string(path).expect("readable file");
+        let mut spec: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+        spec.duration_s = 2.0;
+        let exact = run_scenario(&spec).expect("runs");
+        spec.solver = SolverSpec::ForwardEuler;
+        let euler_a = run_scenario(&spec).expect("runs");
+        let euler_b = run_scenario(&spec).expect("runs");
+        assert_eq!(euler_a, euler_b, "{}", path.display());
+        assert!(
+            (exact.peak_temperature_c - euler_a.peak_temperature_c).abs() < 0.1,
+            "{}: exact {} vs euler {}",
+            path.display(),
+            exact.peak_temperature_c,
+            euler_a.peak_temperature_c
+        );
+    }
+}
+
 #[test]
 fn campaign_cells_are_identical_between_one_and_eight_workers() {
     let path = scenarios_dir().join("odroid_policy_sweep.campaign.json");
@@ -130,6 +156,9 @@ fn metric_names_and_histogram_registry_are_stable() {
         "mpt_spans_dropped_total",
         "mpt_alerts_fired_total",
         "mpt_track_samples_dropped_total",
+        "mpt_solver_cache_hits_total",
+        "mpt_solver_cache_builds_total",
+        "mpt_solver_substeps_avoided_total",
     ];
     let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
     assert_eq!(names, expected);

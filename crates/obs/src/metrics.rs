@@ -45,11 +45,21 @@ pub enum Counter {
     AlertsFired,
     /// Counter-track samples dropped because a track hit its cap.
     TrackSamplesDropped,
+    /// Thermal-solver transition-matrix cache hits (a simulator reused a
+    /// discretization another cell already built).
+    SolverCacheHits,
+    /// Thermal-solver transition-matrix cache builds (discretizations
+    /// actually factored).
+    SolverCacheBuilds,
+    /// Forward-Euler substeps the exact-LTI solver made unnecessary
+    /// (what the stability bound would have forced, minus the one
+    /// mat-vec actually taken).
+    SolverSubstepsAvoided,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 16] = [
         Counter::Ticks,
         Counter::StageRuns,
         Counter::ThrottleEvents,
@@ -63,6 +73,9 @@ impl Counter {
         Counter::SpansDropped,
         Counter::AlertsFired,
         Counter::TrackSamplesDropped,
+        Counter::SolverCacheHits,
+        Counter::SolverCacheBuilds,
+        Counter::SolverSubstepsAvoided,
     ];
 
     /// Number of counter slots.
@@ -91,6 +104,9 @@ impl Counter {
             Counter::SpansDropped => "mpt_spans_dropped_total",
             Counter::AlertsFired => "mpt_alerts_fired_total",
             Counter::TrackSamplesDropped => "mpt_track_samples_dropped_total",
+            Counter::SolverCacheHits => "mpt_solver_cache_hits_total",
+            Counter::SolverCacheBuilds => "mpt_solver_cache_builds_total",
+            Counter::SolverSubstepsAvoided => "mpt_solver_substeps_avoided_total",
         }
     }
 
@@ -115,6 +131,11 @@ impl Counter {
             Counter::SpansDropped => "Spans dropped at the span-buffer cap.",
             Counter::AlertsFired => "Alert-rule firings recorded by the analyze stage.",
             Counter::TrackSamplesDropped => "Counter-track samples dropped at the track cap.",
+            Counter::SolverCacheHits => "Thermal-solver transition-matrix cache hits.",
+            Counter::SolverCacheBuilds => "Thermal-solver transition-matrix cache builds.",
+            Counter::SolverSubstepsAvoided => {
+                "Forward-Euler substeps avoided by the exact-LTI solver."
+            }
         }
     }
 

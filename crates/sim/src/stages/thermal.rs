@@ -1,5 +1,6 @@
 //! Thermal integration: heat flows for one tick.
 
+use mpt_obs::Counter;
 use mpt_units::Watts;
 
 use crate::engine::SimCore;
@@ -26,7 +27,17 @@ impl SimStage for ThermalStage {
                 .expect("validated at platform build");
             node_powers[node] += breakdown.total();
         }
-        core.network.step(ctx.dt, &node_powers)?;
+        let stats = core.network.step(ctx.dt, &node_powers)?;
+        if stats.cache_hit {
+            core.recorder.incr(Counter::SolverCacheHits);
+        }
+        if stats.cache_build {
+            core.recorder.incr(Counter::SolverCacheBuilds);
+        }
+        core.recorder.add(
+            Counter::SolverSubstepsAvoided,
+            u64::from(stats.substeps_avoided),
+        );
         Ok(())
     }
 }

@@ -48,7 +48,7 @@ pub use opp::{OperatingPoint, OppTable};
 pub use platform::{Platform, PlatformBuilder};
 pub use power::{LeakageParams, PowerBreakdown, PowerParams};
 pub use sensors::{PowerRail, TemperatureSensor};
-pub use thermal_spec::{ThermalCoupling, ThermalNodeSpec, ThermalSpec};
+pub use thermal_spec::{ThermalCoupling, ThermalLti, ThermalNodeSpec, ThermalSpec};
 
 /// Result alias for SoC model operations.
 pub type Result<T> = std::result::Result<T, SocError>;

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mpt_units::Celsius;
+use mpt_units::{Celsius, Kelvin};
 
 use crate::{ComponentId, Result, SocError};
 
@@ -60,6 +60,85 @@ pub struct ThermalSpec {
     pub couplings: Vec<ThermalCoupling>,
     /// Ambient temperature.
     pub ambient: Celsius,
+}
+
+/// The validated LTI state-space form of a [`ThermalSpec`].
+///
+/// The heat equation `C·dT/dt = P − G·T` becomes, in deviation
+/// coordinates `x = T − T_amb·1`,
+///
+/// ```text
+/// dx/dt = A·x + B·P,   A = −C⁻¹·G,   B = diag(1/C_i)
+/// ```
+///
+/// This struct is the **single** network→state-space derivation in the
+/// workspace: `mpt-thermal` solvers integrate it (forward Euler or exact
+/// discretization) and `mpt-core`'s stability analysis consumes the same
+/// matrices through [`RcNetwork::lti`], so there is exactly one place
+/// where the conductance matrix is assembled.
+///
+/// [`RcNetwork::lti`]: https://docs.rs/mpt-thermal
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalLti {
+    /// Per-node heat capacity `C_i` in J/K.
+    pub heat_capacity: Vec<f64>,
+    /// Symmetric pairwise conductance matrix in W/K; diagonal unused.
+    /// Kept alongside the assembled forms so the forward-Euler reference
+    /// solver can reproduce the historical per-pair arithmetic exactly.
+    pub conductance: Vec<Vec<f64>>,
+    /// Per-node conductance to ambient in W/K.
+    pub ambient_conductance: Vec<f64>,
+    /// Ambient temperature.
+    pub ambient: Kelvin,
+    /// Full conductance matrix `G`: row `i` has `Σ_j g_ij + G_a,i` on the
+    /// diagonal and `−g_ij` off it, so `G·T` is the net outflow at each
+    /// node when ambient is at zero deviation.
+    pub g_full: Vec<Vec<f64>>,
+    /// State matrix `A = −C⁻¹·G` (1/s).
+    pub a: Vec<Vec<f64>>,
+    /// Input matrix diagonal `B_ii = 1/C_i` (K/J).
+    pub b_diag: Vec<f64>,
+    /// Largest stable explicit-Euler step in seconds:
+    /// `min_i 0.5·C_i/(Σ_j g_ij + G_a,i)`.
+    pub euler_max_step: f64,
+}
+
+impl ThermalLti {
+    /// Number of nodes (states).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heat_capacity.len()
+    }
+
+    /// Whether the system has no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heat_capacity.is_empty()
+    }
+
+    /// How many explicit-Euler substeps a step of `dt` seconds needs to
+    /// stay inside the stability bound.
+    #[must_use]
+    pub fn euler_substeps(&self, dt: f64) -> usize {
+        if dt <= 0.0 {
+            return 0;
+        }
+        (dt / self.euler_max_step).ceil().max(1.0) as usize
+    }
+
+    /// A stable fingerprint of `(A, B)` as raw bit patterns, used as the
+    /// topology half of transition-cache keys. Two specs with bit-equal
+    /// dynamics share cached discretizations (the ambient offset does not
+    /// enter `A` or `B`, so it is deliberately excluded).
+    #[must_use]
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut bits = Vec::with_capacity(self.len() * (self.len() + 1));
+        for row in &self.a {
+            bits.extend(row.iter().map(|v| v.to_bits()));
+        }
+        bits.extend(self.b_diag.iter().map(|v| v.to_bits()));
+        bits
+    }
 }
 
 impl ThermalSpec {
@@ -123,6 +202,60 @@ impl ThermalSpec {
             });
         }
         Ok(())
+    }
+
+    /// Validates the spec and assembles its LTI state-space form.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::InvalidThermalSpec`] if validation fails.
+    pub fn lti(&self) -> Result<ThermalLti> {
+        self.validate()?;
+        let n = self.nodes.len();
+        let mut conductance = vec![vec![0.0; n]; n];
+        for c in &self.couplings {
+            conductance[c.a][c.b] += c.conductance;
+            conductance[c.b][c.a] += c.conductance;
+        }
+        let heat_capacity: Vec<f64> = self.nodes.iter().map(|n| n.heat_capacity).collect();
+        let ambient_conductance: Vec<f64> =
+            self.nodes.iter().map(|n| n.ambient_conductance).collect();
+        // Full conductance matrix: the same assembly steady-state and
+        // time-constant analyses historically performed inline.
+        let mut g_full = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            let mut diag = ambient_conductance[i];
+            for j in 0..n {
+                let g = conductance[i][j];
+                if g > 0.0 {
+                    diag += g;
+                    g_full[i][j] -= g;
+                }
+            }
+            g_full[i][i] += diag;
+        }
+        let a = (0..n)
+            .map(|i| (0..n).map(|j| -g_full[i][j] / heat_capacity[i]).collect())
+            .collect();
+        let b_diag: Vec<f64> = heat_capacity.iter().map(|c| 1.0 / c).collect();
+        // Stability bound for forward Euler: dt < C_i / (Σ_j G_ij + G_a,i).
+        let mut euler_max_step = f64::INFINITY;
+        for i in 0..n {
+            let g_total: f64 = conductance[i].iter().sum::<f64>() + ambient_conductance[i];
+            if g_total > 0.0 {
+                euler_max_step = euler_max_step.min(0.5 * heat_capacity[i] / g_total);
+            }
+        }
+        Ok(ThermalLti {
+            heat_capacity,
+            conductance,
+            ambient_conductance,
+            ambient: self.ambient.to_kelvin(),
+            g_full,
+            a,
+            b_diag,
+            euler_max_step,
+        })
     }
 }
 
@@ -203,6 +336,43 @@ mod tests {
         let mut s = spec();
         s.nodes[1].name = "big".into();
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn lti_assembles_state_space_form() {
+        let lti = spec().lti().unwrap();
+        assert_eq!(lti.len(), 2);
+        // G row 0: diag = g01, off-diag = -g01 (no ambient path at node 0).
+        assert_eq!(lti.g_full[0], vec![0.4, -0.4]);
+        assert_eq!(lti.g_full[1], vec![-0.4, 0.4 + 0.07]);
+        // A = -C^-1 G, B = diag(1/C).
+        assert!((lti.a[0][0] - (-0.4 / 2.0)).abs() < 1e-15);
+        assert!((lti.a[1][0] - (0.4 / 5.0)).abs() < 1e-15);
+        assert!((lti.b_diag[0] - 0.5).abs() < 1e-15);
+        // Euler bound: min(0.5*2/0.4, 0.5*5/0.47).
+        let expected = (0.5 * 2.0 / 0.4_f64).min(0.5 * 5.0 / 0.47);
+        assert!((lti.euler_max_step - expected).abs() < 1e-12);
+        assert_eq!(lti.euler_substeps(0.1), 1);
+        assert_eq!(lti.euler_substeps(10.0), 4);
+        assert_eq!(lti.euler_substeps(0.0), 0);
+    }
+
+    #[test]
+    fn lti_fingerprint_tracks_dynamics_not_ambient() {
+        let base = spec().lti().unwrap();
+        let mut warm = spec();
+        warm.ambient = Celsius::new(40.0);
+        assert_eq!(base.fingerprint(), warm.lti().unwrap().fingerprint());
+        let mut stiffer = spec();
+        stiffer.couplings[0].conductance = 0.5;
+        assert_ne!(base.fingerprint(), stiffer.lti().unwrap().fingerprint());
+    }
+
+    #[test]
+    fn lti_rejects_invalid_specs() {
+        let mut s = spec();
+        s.nodes[0].heat_capacity = -1.0;
+        assert!(s.lti().is_err());
     }
 
     #[test]

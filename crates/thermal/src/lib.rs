@@ -27,6 +27,15 @@
 //!    attracting stable fixed point; the roots merge at the **critical
 //!    power**, beyond which the system has no fixed point and runs away.
 //!
+//! Integration itself is pluggable: [`RcNetwork`] delegates stepping to a
+//! [`ThermalSolver`] — [`ExactLti`] (the default) discretizes the network
+//! once per `(dynamics, dt)` as `T[k+1] = Ad·T[k] + Bd·P[k]` with
+//! `Ad = exp(A·dt)` and advances each tick with one cached mat-vec, while
+//! [`ForwardEuler`] keeps the historical sub-stepping integrator as the
+//! bit-exact reference. Discretizations are shared through a
+//! [`TransitionCache`] so campaign sweeps factor each network exactly
+//! once.
+//!
 //! The [`reduce`](RcNetwork::reduce) method connects the layers: it
 //! collapses the network to the lumped parameters seen from the hottest
 //! node under the current power distribution, which is how the
@@ -50,10 +59,14 @@ mod error;
 mod linalg;
 mod lumped;
 mod network;
+mod solver;
 
 pub use error::ThermalError;
 pub use lumped::{FixedPoints, LumpedModel, Stability};
 pub use network::RcNetwork;
+pub use solver::{
+    Discretization, ExactLti, ForwardEuler, SolverKind, StepStats, ThermalSolver, TransitionCache,
+};
 
 /// Result alias for thermal operations.
 pub type Result<T> = std::result::Result<T, ThermalError>;

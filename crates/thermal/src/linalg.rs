@@ -47,6 +47,133 @@ pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     Some(x)
 }
 
+/// Solves `A·X = B` for a matrix right-hand side (column-by-column
+/// semantics, implemented as one elimination over all columns).
+///
+/// Returns `None` if the matrix is (numerically) singular.
+#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+pub(crate) fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    debug_assert!(b.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            for k in 0..b[row].len() {
+                b[row][k] -= factor * b[col][k];
+            }
+        }
+    }
+    let width = b.first().map_or(0, Vec::len);
+    let mut x = vec![vec![0.0; width]; n];
+    for row in (0..n).rev() {
+        for k in 0..width {
+            let mut acc = b[row][k];
+            for col in (row + 1)..n {
+                acc -= a[row][col] * x[col][k];
+            }
+            x[row][k] = acc / a[row][row];
+        }
+    }
+    Some(x)
+}
+
+/// The `n×n` identity matrix.
+pub(crate) fn identity(n: usize) -> Vec<Vec<f64>> {
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+/// Dense matrix product `A·B`.
+#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+pub(crate) fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// The matrix exponential `exp(A)` by scaling-and-squaring.
+///
+/// `A` is scaled down by `2^s` until its infinity norm is at most 1/4,
+/// the exponential of the scaled matrix is taken as a Taylor series
+/// (which converges rapidly at that norm), and the result is squared `s`
+/// times. Thermal-network state matrices are tiny (a handful of nodes)
+/// and well-conditioned — all eigenvalues are real and negative — so
+/// this classic scheme is accurate to near machine precision here.
+#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+pub(crate) fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let norm = a
+        .iter()
+        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max);
+    let squarings = if norm > 0.25 {
+        (norm / 0.25).log2().ceil().max(0.0) as u32
+    } else {
+        0
+    };
+    let scale = (0.5_f64).powi(squarings as i32);
+    let scaled: Vec<Vec<f64>> = a
+        .iter()
+        .map(|row| row.iter().map(|v| v * scale).collect())
+        .collect();
+    // Taylor series of the scaled matrix: converges in ~a dozen terms at
+    // ‖M‖ ≤ 1/4.
+    let mut result = identity(n);
+    let mut term = identity(n);
+    for k in 1..=30 {
+        term = mat_mul(&term, &scaled);
+        let inv_k = 1.0 / f64::from(k);
+        let mut term_norm = 0.0_f64;
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                term[i][j] *= inv_k;
+                result[i][j] += term[i][j];
+                row_sum += term[i][j].abs();
+            }
+            term_norm = term_norm.max(row_sum);
+        }
+        if term_norm < 1e-18 {
+            break;
+        }
+    }
+    for _ in 0..squarings {
+        result = mat_mul(&result, &result);
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +208,56 @@ mod tests {
         let x = solve(a, vec![7.0, 9.0]).unwrap();
         assert!((x[0] - 9.0).abs() < 1e-12);
         assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = vec![vec![0.0; 3]; 3];
+        assert_eq!(expm(&z), identity(3));
+    }
+
+    #[test]
+    fn expm_matches_scalar_exponential_on_diagonal() {
+        let a = vec![vec![-0.5, 0.0], vec![0.0, -3.0]];
+        let e = expm(&a);
+        assert!((e[0][0] - (-0.5_f64).exp()).abs() < 1e-12);
+        assert!((e[1][1] - (-3.0_f64).exp()).abs() < 1e-12);
+        assert!(e[0][1].abs() < 1e-15 && e[1][0].abs() < 1e-15);
+    }
+
+    #[test]
+    fn expm_satisfies_semigroup_property() {
+        // exp(A) · exp(A) == exp(2A) for a non-diagonal stable matrix.
+        let a = vec![vec![-2.0, 1.5], vec![0.7, -1.2]];
+        let two_a = vec![vec![-4.0, 3.0], vec![1.4, -2.4]];
+        let e1 = expm(&a);
+        let e2 = expm(&two_a);
+        let prod = mat_mul(&e1, &e1);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((prod[i][j] - e2[i][j]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_matches_columnwise_solve() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![vec![5.0, 1.0], vec![1.0, 2.0]];
+        let x = solve_multi(a.clone(), b.clone()).unwrap();
+        for col in 0..2 {
+            let rhs: Vec<f64> = (0..2).map(|row| b[row][col]).collect();
+            let xc = solve(a.clone(), rhs).unwrap();
+            for row in 0..2 {
+                assert!((x[row][col] - xc[row]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_multi(a, vec![vec![1.0], vec![2.0]]).is_none());
     }
 
     proptest! {

@@ -1,10 +1,13 @@
 //! Multi-node RC thermal network.
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the matrix math
 
+use std::sync::Arc;
+
 use mpt_units::{Celsius, Kelvin, Seconds, Watts};
 
-use mpt_soc::ThermalSpec;
+use mpt_soc::{ThermalLti, ThermalSpec};
 
+use crate::solver::{SolverKind, StepStats, ThermalSolver, TransitionCache};
 use crate::{linalg, LumpedModel, Result, ThermalError};
 
 /// A simulatable RC thermal network.
@@ -16,11 +19,19 @@ use crate::{linalg, LumpedModel, Result, ThermalError};
 /// C_i · dT_i/dt = P_i − Σ_j G_ij (T_i − T_j) − G_a,i (T_i − T_amb)
 /// ```
 ///
-/// with forward-Euler sub-stepping sized for numerical stability. Power is
-/// injected per node each step; the caller is responsible for including
-/// leakage in the injected power (the simulation loop computes leakage
-/// from the previous step's temperatures, closing the power–temperature
-/// feedback loop with one tick of latency).
+/// Integration is delegated to a pluggable
+/// [`ThermalSolver`](crate::ThermalSolver): by default the exact LTI
+/// discretization ([`SolverKind::ExactLti`]), with the historical
+/// forward-Euler sub-stepping available as [`SolverKind::ForwardEuler`].
+/// Power is injected per node each step; the caller is responsible for
+/// including leakage in the injected power (the simulation loop computes
+/// leakage from the previous step's temperatures, closing the
+/// power–temperature feedback loop with one tick of latency).
+///
+/// The network's LTI state-space form is assembled exactly once (by
+/// [`ThermalSpec::lti`]) and exposed via [`lti`](RcNetwork::lti) — the
+/// steady-state, time-constant and lumped-model analyses below all
+/// consume the same matrices the solver integrates.
 ///
 /// # Examples
 ///
@@ -42,53 +53,58 @@ use crate::{linalg, LumpedModel, Result, ThermalError};
 #[derive(Debug, Clone)]
 pub struct RcNetwork {
     names: Vec<String>,
-    heat_capacity: Vec<f64>,
-    /// Symmetric conductance matrix between nodes (W/K); diagonal unused.
-    conductance: Vec<Vec<f64>>,
-    /// Per-node conductance to ambient (W/K).
-    ambient_conductance: Vec<f64>,
-    ambient: Kelvin,
+    lti: ThermalLti,
     temperatures: Vec<Kelvin>,
-    /// Largest stable Euler step (s).
-    max_step: f64,
+    solver: Box<dyn ThermalSolver>,
 }
 
 impl RcNetwork {
     /// Builds a network from a platform spec, with all nodes initially at
-    /// ambient temperature.
+    /// ambient temperature and the default solver
+    /// ([`SolverKind::ExactLti`] with a private transition cache).
     ///
     /// # Errors
     ///
     /// [`ThermalError::InvalidSpec`] if the spec fails validation.
     pub fn from_spec(spec: &ThermalSpec) -> Result<Self> {
-        spec.validate()?;
-        let n = spec.nodes.len();
-        let mut conductance = vec![vec![0.0; n]; n];
-        for c in &spec.couplings {
-            conductance[c.a][c.b] += c.conductance;
-            conductance[c.b][c.a] += c.conductance;
-        }
-        let ambient: Kelvin = spec.ambient.to_kelvin();
-        let heat_capacity: Vec<f64> = spec.nodes.iter().map(|n| n.heat_capacity).collect();
-        let ambient_conductance: Vec<f64> =
-            spec.nodes.iter().map(|n| n.ambient_conductance).collect();
-        // Stability bound for forward Euler: dt < C_i / (Σ_j G_ij + G_a,i).
-        let mut max_step = f64::INFINITY;
-        for i in 0..n {
-            let g_total: f64 = conductance[i].iter().sum::<f64>() + ambient_conductance[i];
-            if g_total > 0.0 {
-                max_step = max_step.min(0.5 * heat_capacity[i] / g_total);
-            }
-        }
+        Self::with_solver(spec, SolverKind::default(), None)
+    }
+
+    /// Builds a network with an explicit solver, optionally drawing
+    /// exact-LTI discretizations from a shared [`TransitionCache`] (the
+    /// campaign runner passes one cache to every cell so a sweep factors
+    /// each `(platform, dt)` exactly once).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidSpec`] if the spec fails validation.
+    pub fn with_solver(
+        spec: &ThermalSpec,
+        kind: SolverKind,
+        cache: Option<Arc<TransitionCache>>,
+    ) -> Result<Self> {
+        let lti = spec.lti()?;
+        let ambient = lti.ambient;
+        let n = lti.len();
         Ok(Self {
             names: spec.nodes.iter().map(|n| n.name.clone()).collect(),
-            heat_capacity,
-            conductance,
-            ambient_conductance,
-            ambient,
+            lti,
             temperatures: vec![ambient; n],
-            max_step,
+            solver: kind.build(cache),
         })
+    }
+
+    /// The network's LTI state-space form — the single source of the
+    /// `(A, B)` matrices for both integration and stability analysis.
+    #[must_use]
+    pub fn lti(&self) -> &ThermalLti {
+        &self.lti
+    }
+
+    /// The stable name of the configured solver.
+    #[must_use]
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
     }
 
     /// Number of nodes.
@@ -119,7 +135,7 @@ impl RcNetwork {
     /// The ambient temperature.
     #[must_use]
     pub fn ambient(&self) -> Kelvin {
-        self.ambient
+        self.lti.ambient
     }
 
     /// Current temperature of node `i`.
@@ -173,48 +189,31 @@ impl RcNetwork {
         self.temperatures.iter_mut().for_each(|x| *x = t);
     }
 
-    /// Advances the network by `dt` with per-node injected power.
+    /// Advances the network by `dt` with per-node injected power, using
+    /// the configured solver. Any `dt > 0` is safe: the exact solver is
+    /// unconditionally stable and the Euler solver sub-steps to stay
+    /// within its stability bound.
     ///
-    /// Internally sub-steps to stay within the explicit-Euler stability
-    /// bound, so any `dt` is safe.
+    /// Returns the step's [`StepStats`] (substeps, cache traffic) for
+    /// observability counters.
     ///
     /// # Errors
     ///
     /// [`ThermalError::PowerLengthMismatch`] if `powers` has the wrong
-    /// length.
-    pub fn step(&mut self, dt: Seconds, powers: &[Watts]) -> Result<()> {
+    /// length; [`ThermalError::SingularNetwork`] if a discretization
+    /// cannot be factored.
+    pub fn step(&mut self, dt: Seconds, powers: &[Watts]) -> Result<StepStats> {
         if powers.len() != self.len() {
             return Err(ThermalError::PowerLengthMismatch {
                 expected: self.len(),
                 actual: powers.len(),
             });
         }
-        let total = dt.value();
-        if total <= 0.0 {
-            return Ok(());
+        if dt.value() <= 0.0 {
+            return Ok(StepStats::default());
         }
-        let substeps = (total / self.max_step).ceil().max(1.0) as usize;
-        let h = total / substeps as f64;
-        let n = self.len();
-        for _ in 0..substeps {
-            let mut deriv = vec![0.0; n];
-            for i in 0..n {
-                let ti = self.temperatures[i].value();
-                let mut flow = powers[i].value();
-                for j in 0..n {
-                    let g = self.conductance[i][j];
-                    if g > 0.0 {
-                        flow -= g * (ti - self.temperatures[j].value());
-                    }
-                }
-                flow -= self.ambient_conductance[i] * (ti - self.ambient.value());
-                deriv[i] = flow / self.heat_capacity[i];
-            }
-            for i in 0..n {
-                self.temperatures[i] = Kelvin::new(self.temperatures[i].value() + h * deriv[i]);
-            }
-        }
-        Ok(())
+        self.solver
+            .step(&self.lti, &mut self.temperatures, dt, powers)
     }
 
     /// The steady-state temperatures for a fixed power injection (linear
@@ -232,22 +231,13 @@ impl RcNetwork {
                 actual: powers.len(),
             });
         }
+        // Solve G·T = P + G_a·T_amb against the LTI form's assembled
+        // conductance matrix — no inline re-derivation.
         let n = self.len();
-        let mut a = vec![vec![0.0; n]; n];
-        let mut b = vec![0.0; n];
-        for i in 0..n {
-            let mut diag = self.ambient_conductance[i];
-            for j in 0..n {
-                let g = self.conductance[i][j];
-                if g > 0.0 {
-                    diag += g;
-                    a[i][j] -= g;
-                }
-            }
-            a[i][i] += diag;
-            b[i] = powers[i].value() + self.ambient_conductance[i] * self.ambient.value();
-        }
-        let t = linalg::solve(a, b).ok_or(ThermalError::SingularNetwork)?;
+        let b: Vec<f64> = (0..n)
+            .map(|i| powers[i].value() + self.lti.ambient_conductance[i] * self.lti.ambient.value())
+            .collect();
+        let t = linalg::solve(self.lti.g_full.clone(), b).ok_or(ThermalError::SingularNetwork)?;
         Ok(t.into_iter().map(Kelvin::new).collect())
     }
 
@@ -274,24 +264,13 @@ impl RcNetwork {
     /// [`ThermalError::SingularNetwork`].
     pub fn dominant_time_constant(&self) -> Result<Seconds> {
         let n = self.len();
-        // Build the full conductance matrix (same as steady_state).
-        let mut g = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            let mut diag = self.ambient_conductance[i];
-            for j in 0..n {
-                let c = self.conductance[i][j];
-                if c > 0.0 {
-                    diag += c;
-                    g[i][j] -= c;
-                }
-            }
-            g[i][i] += diag;
-        }
-        // Power iteration on G⁻¹C: dominant eigenvalue = slowest τ.
+        // Power iteration on G⁻¹C (the LTI form's assembled conductance
+        // matrix): dominant eigenvalue = slowest τ.
+        let g = &self.lti.g_full;
         let mut x = vec![1.0; n];
         let mut tau = 0.0;
         for _ in 0..200 {
-            let cx: Vec<f64> = (0..n).map(|i| self.heat_capacity[i] * x[i]).collect();
+            let cx: Vec<f64> = (0..n).map(|i| self.lti.heat_capacity[i] * x[i]).collect();
             let y = linalg::solve(g.clone(), cx).ok_or(ThermalError::SingularNetwork)?;
             let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
             if norm < 1e-300 {
@@ -344,7 +323,7 @@ impl RcNetwork {
             r_eq = self.gain(hot_node, hot_node)?;
         }
         let tau = self.dominant_time_constant()?;
-        LumpedModel::new(self.ambient, r_eq, beta, leak_gain, tau)
+        LumpedModel::new(self.lti.ambient, r_eq, beta, leak_gain, tau)
     }
 
     /// Convenience: current temperature of a named node.
@@ -378,6 +357,125 @@ mod tests {
 
     fn odroid_network() -> RcNetwork {
         RcNetwork::from_spec(platforms::exynos_5422().thermal_spec()).unwrap()
+    }
+
+    fn odroid_euler() -> RcNetwork {
+        RcNetwork::with_solver(
+            platforms::exynos_5422().thermal_spec(),
+            SolverKind::ForwardEuler,
+            None,
+        )
+        .unwrap()
+    }
+
+    /// Verbatim copy of the pre-solver-layer `RcNetwork::step` loop — the
+    /// golden reference that `"solver": "forward_euler"` must reproduce
+    /// bit-for-bit.
+    fn prerefactor_euler_step(net: &RcNetwork, temps: &mut [Kelvin], dt: f64, powers: &[Watts]) {
+        let substeps = (dt / net.lti.euler_max_step).ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
+        let n = temps.len();
+        for _ in 0..substeps {
+            let mut deriv = vec![0.0; n];
+            for i in 0..n {
+                let ti = temps[i].value();
+                let mut flow = powers[i].value();
+                for j in 0..n {
+                    let g = net.lti.conductance[i][j];
+                    if g > 0.0 {
+                        flow -= g * (ti - temps[j].value());
+                    }
+                }
+                flow -= net.lti.ambient_conductance[i] * (ti - net.lti.ambient.value());
+                deriv[i] = flow / net.lti.heat_capacity[i];
+            }
+            for i in 0..n {
+                temps[i] = Kelvin::new(temps[i].value() + h * deriv[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn default_solver_is_exact_lti() {
+        assert_eq!(odroid_network().solver_name(), "exact_lti");
+        assert_eq!(odroid_euler().solver_name(), "forward_euler");
+    }
+
+    #[test]
+    fn forward_euler_reproduces_prerefactor_trajectory_exactly() {
+        // The refactor's compatibility contract: the ForwardEuler solver
+        // is the pre-solver-layer integrator, bit for bit, including
+        // through a varying-power trajectory with mixed step sizes.
+        let mut net = odroid_euler();
+        let mut reference = net.temperatures().to_vec();
+        let mut powers = vec![Watts::ZERO; net.len()];
+        for k in 0..500 {
+            powers[1] = Watts::new(2.0 + f64::from(k % 7) * 0.3);
+            powers[2] = Watts::new(f64::from(k % 3) * 0.8);
+            let dt = [0.01, 0.1, 1.0, 7.3][k as usize % 4];
+            prerefactor_euler_step(&net, &mut reference, dt, &powers);
+            let stats = net.step(Seconds::new(dt), &powers).unwrap();
+            assert!(stats.substeps >= 1 && !stats.cache_hit && !stats.cache_build);
+            assert_eq!(net.temperatures(), &reference[..], "step {k}");
+        }
+    }
+
+    #[test]
+    fn exact_and_euler_agree_on_long_odroid_run() {
+        let mut exact = odroid_network();
+        let mut euler = odroid_euler();
+        let big = exact.node_index("big").unwrap();
+        let mut powers = vec![Watts::ZERO; exact.len()];
+        powers[big] = Watts::new(2.5);
+        for _ in 0..600 {
+            exact.step(Seconds::from_millis(100.0), &powers).unwrap();
+        }
+        for _ in 0..60_000 {
+            euler.step(Seconds::from_millis(1.0), &powers).unwrap();
+        }
+        for i in 0..exact.len() {
+            let gap = (exact.temperature(i).value() - euler.temperature(i).value()).abs();
+            assert!(gap < 0.1, "node {i}: gap {gap} K");
+        }
+    }
+
+    #[test]
+    fn exact_solver_reports_cache_traffic_once() {
+        let mut net = odroid_network();
+        let powers = vec![Watts::ZERO; net.len()];
+        let first = net.step(Seconds::from_millis(100.0), &powers).unwrap();
+        assert!(first.cache_build && !first.cache_hit);
+        let second = net.step(Seconds::from_millis(100.0), &powers).unwrap();
+        assert!(!second.cache_build && !second.cache_hit);
+        assert_eq!(second.substeps, 1);
+    }
+
+    #[test]
+    fn networks_share_a_transition_cache() {
+        let platform = platforms::exynos_5422();
+        let spec = platform.thermal_spec();
+        let cache = std::sync::Arc::new(TransitionCache::new());
+        let powers = vec![Watts::ZERO; spec.nodes.len()];
+        for expect_build in [true, false, false] {
+            let mut net =
+                RcNetwork::with_solver(spec, SolverKind::ExactLti, Some(Arc::clone(&cache)))
+                    .unwrap();
+            let stats = net.step(Seconds::from_millis(100.0), &powers).unwrap();
+            assert_eq!(stats.cache_build, expect_build);
+            assert_eq!(stats.cache_hit, !expect_build);
+        }
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn zero_dt_step_is_a_no_op() {
+        let mut net = odroid_network();
+        let powers = vec![Watts::new(5.0); net.len()];
+        let before = net.temperatures().to_vec();
+        let stats = net.step(Seconds::ZERO, &powers).unwrap();
+        assert_eq!(stats, StepStats::default());
+        assert_eq!(net.temperatures(), &before[..]);
     }
 
     #[test]
@@ -598,6 +696,46 @@ mod tests {
             let ss = net.steady_state(&powers).unwrap();
             for t in ss {
                 prop_assert!(t.value() >= net.ambient().value() - 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_exact_lti_tracks_fine_euler_within_a_tenth_of_a_degree(
+            dt in 0.001_f64..1.0,
+            platform_pick in 0_u8..2,
+            p1 in 0.5_f64..2.5,
+            p2 in 0.0_f64..1.5,
+        ) {
+            // The satellite acceptance bound: over a 60 s trajectory the
+            // exact solver (stepping at a random 1 ms–1 s dt) and a
+            // fine-step forward-Euler reference (1 ms substeps) agree
+            // within 0.1 °C on every node, for both platform networks.
+            let platform = if platform_pick == 1 {
+                platforms::snapdragon_810()
+            } else {
+                platforms::exynos_5422()
+            };
+            let spec = platform.thermal_spec();
+            let mut exact = RcNetwork::from_spec(spec).unwrap();
+            let mut euler =
+                RcNetwork::with_solver(spec, SolverKind::ForwardEuler, None).unwrap();
+            let mut powers = vec![Watts::ZERO; exact.len()];
+            powers[1] = Watts::new(p1);
+            powers[2] = Watts::new(p2);
+            let mut t = 0.0;
+            while t < 60.0 {
+                let step = dt.min(60.0 - t);
+                exact.step(Seconds::new(step), &powers).unwrap();
+                t += step;
+            }
+            let fine = Seconds::from_millis(1.0);
+            for _ in 0..60_000 {
+                euler.step(fine, &powers).unwrap();
+            }
+            for i in 0..exact.len() {
+                let gap =
+                    (exact.temperature(i).value() - euler.temperature(i).value()).abs();
+                prop_assert!(gap < 0.1, "node {i}: gap {gap} K");
             }
         }
 

@@ -1,0 +1,606 @@
+//! Pluggable thermal-step solvers.
+//!
+//! The RC network's heat equation is linear time-invariant, so a step of
+//! fixed `dt` is an affine map of the state. Two interchangeable
+//! [`ThermalSolver`]s exploit that to different degrees:
+//!
+//! - [`ForwardEuler`] — the historical explicit integrator, sub-stepping
+//!   to stay inside the stability bound. Kept verbatim as the reference:
+//!   its arithmetic is bit-identical to the pre-solver-layer
+//!   `RcNetwork::step`.
+//! - [`ExactLti`] — discretizes the system once per `(dynamics, dt)` as
+//!   `x[k+1] = Ad·x[k] + Bd·P[k]` with `Ad = exp(A·dt)` and
+//!   `Bd = A⁻¹(Ad − I)B`, then advances every tick with a single cached
+//!   mat-vec, exact for piecewise-constant power regardless of stiffness
+//!   or step size.
+//!
+//! Discretizations live in a [`TransitionCache`] keyed by the network
+//! fingerprint and the step size, so a campaign sweeping twelve cells of
+//! the same platform factors the network exactly once and shares the
+//! immutable `Ad`/`Bd` across worker threads.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mpt_soc::ThermalLti;
+use mpt_units::{Kelvin, Seconds, Watts};
+
+use crate::{linalg, Result, ThermalError};
+
+/// What one solver step did, for observability counters.
+///
+/// Every field is driven by simulated inputs only (never wall-clock), so
+/// totals aggregated over a run are bit-identical across repeats and
+/// worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepStats {
+    /// Integration substeps actually executed.
+    pub substeps: u32,
+    /// Explicit-Euler substeps the step would have needed but did not
+    /// execute (0 for [`ForwardEuler`] itself).
+    pub substeps_avoided: u32,
+    /// Whether the step found its discretization in the shared cache.
+    pub cache_hit: bool,
+    /// Whether the step built and inserted a new discretization.
+    pub cache_build: bool,
+}
+
+/// A strategy for advancing an RC network by one step.
+///
+/// Implementations own any per-network scratch state (memoized
+/// discretizations, work buffers); the immutable system description is
+/// passed in as a [`ThermalLti`] each call.
+pub trait ThermalSolver: fmt::Debug + Send {
+    /// The solver's stable name (matches [`SolverKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Advances `temperatures` by `dt` under per-node injected `powers`.
+    ///
+    /// The caller guarantees `dt > 0` and matching slice lengths.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::SingularNetwork`] if a discretization cannot be
+    /// factored (a node with no path to ambient).
+    fn step(
+        &mut self,
+        lti: &ThermalLti,
+        temperatures: &mut [Kelvin],
+        dt: Seconds,
+        powers: &[Watts],
+    ) -> Result<StepStats>;
+
+    /// Clones the solver behind a fresh box (scratch state included).
+    fn box_clone(&self) -> Box<dyn ThermalSolver>;
+}
+
+impl Clone for Box<dyn ThermalSolver> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// The reference explicit integrator with stability sub-stepping.
+///
+/// The inner loop is kept byte-for-byte equivalent to the pre-solver
+/// `RcNetwork::step`, so `"solver": "forward_euler"` reproduces historical
+/// trajectories exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardEuler;
+
+impl ThermalSolver for ForwardEuler {
+    fn name(&self) -> &'static str {
+        SolverKind::ForwardEuler.name()
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror the matrix math
+    fn step(
+        &mut self,
+        lti: &ThermalLti,
+        temperatures: &mut [Kelvin],
+        dt: Seconds,
+        powers: &[Watts],
+    ) -> Result<StepStats> {
+        let total = dt.value();
+        let substeps = (total / lti.euler_max_step).ceil().max(1.0) as usize;
+        let h = total / substeps as f64;
+        let n = temperatures.len();
+        for _ in 0..substeps {
+            let mut deriv = vec![0.0; n];
+            for i in 0..n {
+                let ti = temperatures[i].value();
+                let mut flow = powers[i].value();
+                for j in 0..n {
+                    let g = lti.conductance[i][j];
+                    if g > 0.0 {
+                        flow -= g * (ti - temperatures[j].value());
+                    }
+                }
+                flow -= lti.ambient_conductance[i] * (ti - lti.ambient.value());
+                deriv[i] = flow / lti.heat_capacity[i];
+            }
+            for i in 0..n {
+                temperatures[i] = Kelvin::new(temperatures[i].value() + h * deriv[i]);
+            }
+        }
+        Ok(StepStats {
+            substeps: substeps as u32,
+            ..StepStats::default()
+        })
+    }
+
+    fn box_clone(&self) -> Box<dyn ThermalSolver> {
+        Box::new(*self)
+    }
+}
+
+/// One exact discretization `T[k+1] = Ad·T[k] + Bd·P[k]` (in deviation
+/// coordinates around ambient). `Ad` is flat row-major for the mat-vec;
+/// `Bd` is stored *column*-major so the step can skip whole columns for
+/// nodes injecting no power (most nodes, most ticks).
+#[derive(Debug)]
+pub struct Discretization {
+    n: usize,
+    ad: Vec<f64>,
+    bd_cols: Vec<f64>,
+}
+
+impl Discretization {
+    /// Discretizes `dx/dt = A·x + B·P` exactly at step `dt`:
+    /// `Ad = exp(A·dt)` by scaling-and-squaring and
+    /// `Bd = A⁻¹(Ad − I)B` by an LU solve with matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::SingularNetwork`] if `A` cannot be factored.
+    pub fn build(lti: &ThermalLti, dt: f64) -> Result<Self> {
+        let n = lti.len();
+        let a_dt: Vec<Vec<f64>> = lti
+            .a
+            .iter()
+            .map(|row| row.iter().map(|v| v * dt).collect())
+            .collect();
+        let ad = linalg::expm(&a_dt);
+        let mut ad_minus_i = ad.clone();
+        for (i, row) in ad_minus_i.iter_mut().enumerate() {
+            row[i] -= 1.0;
+        }
+        let phi =
+            linalg::solve_multi(lti.a.clone(), ad_minus_i).ok_or(ThermalError::SingularNetwork)?;
+        let mut ad_flat = Vec::with_capacity(n * n);
+        for row in &ad {
+            ad_flat.extend_from_slice(row);
+        }
+        // Bd[i][j] = phi[i][j] · b_diag[j], laid out by column j.
+        let mut bd_cols = Vec::with_capacity(n * n);
+        for j in 0..n {
+            let b = lti.b_diag[j];
+            bd_cols.extend(phi.iter().map(|row| row[j] * b));
+        }
+        Ok(Self {
+            n,
+            ad: ad_flat,
+            bd_cols,
+        })
+    }
+
+    /// The state dimension.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the discretization has no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Key of one cached discretization: the step size plus the network's
+/// dynamics fingerprint, both as exact bit patterns — lookups are rare
+/// (once per simulator), so exact keys beat hashing and can never alias.
+#[derive(Debug)]
+struct CacheEntry {
+    dt_bits: u64,
+    fingerprint: Vec<u64>,
+    disc: Arc<Discretization>,
+}
+
+/// A shared, immutable-once-built store of [`Discretization`]s.
+///
+/// The campaign runner hands one cache to every cell, so a sweep over one
+/// platform factors the network exactly once however many worker threads
+/// run it. Builds happen *while holding the lock*: a concurrent lookup is
+/// atomically a hit or a build, which keeps the hit/build counter totals
+/// deterministic across worker counts (the determinism goldens compare
+/// them).
+#[derive(Debug, Default)]
+pub struct TransitionCache {
+    entries: Mutex<Vec<CacheEntry>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl TransitionCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the discretization for `(lti, dt)`, building and caching
+    /// it on first use. The boolean is `true` for a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::SingularNetwork`] from [`Discretization::build`].
+    pub fn lookup_or_build(
+        &self,
+        lti: &ThermalLti,
+        dt: f64,
+    ) -> Result<(Arc<Discretization>, bool)> {
+        let dt_bits = dt.to_bits();
+        let fingerprint = lti.fingerprint();
+        let mut entries = self.entries.lock().expect("cache mutex is never poisoned");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.dt_bits == dt_bits && e.fingerprint == fingerprint)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(&e.disc), true));
+        }
+        let disc = Arc::new(Discretization::build(lti, dt)?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        entries.push(CacheEntry {
+            dt_bits,
+            fingerprint,
+            disc: Arc::clone(&disc),
+        });
+        Ok((disc, false))
+    }
+
+    /// Total lookups that found an existing discretization.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total discretizations built and inserted.
+    #[must_use]
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(dynamics, dt)` entries currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache mutex is never poisoned")
+            .len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Memoized per-`dt` state: the discretization plus the pre-computed
+/// avoided-substep count, so the steady path repeats neither the cache
+/// lookup nor the stability-bound division.
+#[derive(Debug, Clone)]
+struct StepMemo {
+    dt_bits: u64,
+    substeps_avoided: u32,
+    disc: Arc<Discretization>,
+}
+
+/// The exact LTI solver: one cached mat-vec per step.
+///
+/// Holds an `Arc` to a (possibly shared) [`TransitionCache`] plus a
+/// one-entry memo so the steady per-tick path never touches the cache
+/// lock, and preallocated scratch so the hot step allocates nothing.
+#[derive(Debug)]
+pub struct ExactLti {
+    cache: Arc<TransitionCache>,
+    /// The last step's `dt` resolution. The owning network's dynamics are
+    /// fixed after construction, so `dt` alone keys the memo.
+    memo: Option<StepMemo>,
+    x: Vec<f64>,
+}
+
+impl ExactLti {
+    /// A solver with its own private cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_cache(Arc::new(TransitionCache::new()))
+    }
+
+    /// A solver drawing from a shared cache (what the campaign runner
+    /// wires through every cell).
+    #[must_use]
+    pub fn with_cache(cache: Arc<TransitionCache>) -> Self {
+        Self {
+            cache,
+            memo: None,
+            x: Vec::new(),
+        }
+    }
+}
+
+impl Default for ExactLti {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThermalSolver for ExactLti {
+    fn name(&self) -> &'static str {
+        SolverKind::ExactLti.name()
+    }
+
+    fn step(
+        &mut self,
+        lti: &ThermalLti,
+        temperatures: &mut [Kelvin],
+        dt: Seconds,
+        powers: &[Watts],
+    ) -> Result<StepStats> {
+        let Self { cache, memo, x } = self;
+        let dt_bits = dt.value().to_bits();
+        let mut stats = StepStats {
+            substeps: 1,
+            ..StepStats::default()
+        };
+        let m = match memo {
+            Some(m) if m.dt_bits == dt_bits => m,
+            _ => {
+                let (disc, hit) = cache.lookup_or_build(lti, dt.value())?;
+                stats.cache_hit = hit;
+                stats.cache_build = !hit;
+                memo.insert(StepMemo {
+                    dt_bits,
+                    substeps_avoided: (lti.euler_substeps(dt.value()).saturating_sub(1)) as u32,
+                    disc,
+                })
+            }
+        };
+        stats.substeps_avoided = m.substeps_avoided;
+        let disc = &*m.disc;
+        let n = temperatures.len();
+        let t_amb = lti.ambient.value();
+        x.clear();
+        x.extend(temperatures.iter().map(|t| t.value() - t_amb));
+        for (i, t) in temperatures.iter_mut().enumerate() {
+            let ad_row = &disc.ad[i * n..(i + 1) * n];
+            let mut acc = 0.0;
+            for (a, xv) in ad_row.iter().zip(x.iter()) {
+                acc += a * xv;
+            }
+            *t = Kelvin::new(acc + t_amb);
+        }
+        // Bd is column-major: each powered node scatters one column, so
+        // unpowered nodes (the common case) cost nothing.
+        for (j, p) in powers.iter().enumerate() {
+            let pv = p.value();
+            if pv != 0.0 {
+                let col = &disc.bd_cols[j * n..(j + 1) * n];
+                for (t, b) in temperatures.iter_mut().zip(col) {
+                    *t = Kelvin::new(t.value() + b * pv);
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    fn box_clone(&self) -> Box<dyn ThermalSolver> {
+        Box::new(Self {
+            cache: Arc::clone(&self.cache),
+            memo: self.memo.clone(),
+            x: Vec::new(),
+        })
+    }
+}
+
+/// Which solver steps a network — the configuration surface used by the
+/// sim builder, scenario JSON (`"solver": ...`) and the `--solver` CLI
+/// flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// The reference explicit integrator.
+    ForwardEuler,
+    /// Exact discretization with cached transition matrices (default).
+    #[default]
+    ExactLti,
+}
+
+impl SolverKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [SolverKind; 2] = [SolverKind::ForwardEuler, SolverKind::ExactLti];
+
+    /// The kind's stable snake_case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::ForwardEuler => "forward_euler",
+            SolverKind::ExactLti => "exact_lti",
+        }
+    }
+
+    /// Constructs the solver, drawing exact-LTI discretizations from
+    /// `cache` when one is supplied (otherwise a private cache).
+    #[must_use]
+    pub fn build(self, cache: Option<Arc<TransitionCache>>) -> Box<dyn ThermalSolver> {
+        match self {
+            SolverKind::ForwardEuler => Box::new(ForwardEuler),
+            SolverKind::ExactLti => Box::new(match cache {
+                Some(cache) => ExactLti::with_cache(cache),
+                None => ExactLti::new(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SolverKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        SolverKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown solver {s:?} (valid: {})",
+                    SolverKind::ALL.map(SolverKind::name).join(", ")
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_soc::platforms;
+
+    fn odroid_lti() -> ThermalLti {
+        platforms::exynos_5422().thermal_spec().lti().unwrap()
+    }
+
+    #[test]
+    fn solver_kind_round_trips_names() {
+        for kind in SolverKind::ALL {
+            assert_eq!(kind.name().parse::<SolverKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        let err = "rk4".parse::<SolverKind>().unwrap_err();
+        assert!(err.contains("forward_euler") && err.contains("exact_lti"));
+        assert_eq!(SolverKind::default(), SolverKind::ExactLti);
+    }
+
+    #[test]
+    fn exact_step_matches_steady_state_at_convergence() {
+        let lti = odroid_lti();
+        let mut solver = ExactLti::new();
+        let mut temps = vec![lti.ambient; lti.len()];
+        let mut powers = vec![Watts::ZERO; lti.len()];
+        powers[1] = Watts::new(2.0);
+        for _ in 0..40 {
+            solver
+                .step(&lti, &mut temps, Seconds::new(60.0), &powers)
+                .unwrap();
+        }
+        // 2400 s ≫ every time constant: must sit on the steady state
+        // G·(T − T_amb) = P to near machine precision.
+        let n = lti.len();
+        for (i, p) in powers.iter().enumerate() {
+            let outflow: f64 = (0..n)
+                .map(|j| lti.g_full[i][j] * (temps[j].value() - lti.ambient.value()))
+                .sum();
+            assert!(
+                (outflow - p.value()).abs() < 1e-9,
+                "node {i}: outflow {outflow}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_step_is_invariant_to_substep_count() {
+        // Exactness: one 10 s step equals ten 1 s steps to fp accuracy.
+        let lti = odroid_lti();
+        let mut powers = vec![Watts::ZERO; lti.len()];
+        powers[2] = Watts::new(1.5);
+        let mut one = ExactLti::new();
+        let mut many = ExactLti::new();
+        let mut t_one = vec![lti.ambient; lti.len()];
+        let mut t_many = vec![lti.ambient; lti.len()];
+        one.step(&lti, &mut t_one, Seconds::new(10.0), &powers)
+            .unwrap();
+        for _ in 0..10 {
+            many.step(&lti, &mut t_many, Seconds::new(1.0), &powers)
+                .unwrap();
+        }
+        for (a, b) in t_one.iter().zip(&t_many) {
+            assert!((a.value() - b.value()).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cache_is_shared_and_counts_hits() {
+        let lti = odroid_lti();
+        let cache = Arc::new(TransitionCache::new());
+        let dt = Seconds::from_millis(100.0);
+        let powers = vec![Watts::ZERO; lti.len()];
+        let mut stats = Vec::new();
+        for _ in 0..3 {
+            let mut solver = ExactLti::with_cache(Arc::clone(&cache));
+            let mut temps = vec![lti.ambient; lti.len()];
+            stats.push(solver.step(&lti, &mut temps, dt, &powers).unwrap());
+            // Second step of the same solver memo-hits: no cache access.
+            let memo = solver.step(&lti, &mut temps, dt, &powers).unwrap();
+            assert!(!memo.cache_hit && !memo.cache_build);
+        }
+        assert!(stats[0].cache_build && !stats[0].cache_hit);
+        assert!(stats[1].cache_hit && !stats[1].cache_build);
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+        // A different dt is a distinct entry.
+        let mut solver = ExactLti::with_cache(Arc::clone(&cache));
+        let mut temps = vec![lti.ambient; lti.len()];
+        solver
+            .step(&lti, &mut temps, Seconds::from_millis(10.0), &powers)
+            .unwrap();
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn substeps_avoided_reflects_euler_bound() {
+        let lti = odroid_lti();
+        let mut solver = ExactLti::new();
+        let mut temps = vec![lti.ambient; lti.len()];
+        let powers = vec![Watts::ZERO; lti.len()];
+        let stats = solver
+            .step(&lti, &mut temps, Seconds::new(10.0), &powers)
+            .unwrap();
+        assert_eq!(stats.substeps, 1);
+        assert_eq!(
+            stats.substeps_avoided as usize,
+            lti.euler_substeps(10.0) - 1
+        );
+        assert!(stats.substeps_avoided >= 1, "10 s is beyond one Euler step");
+    }
+
+    #[test]
+    fn box_clone_preserves_behaviour() {
+        let lti = odroid_lti();
+        let mut powers = vec![Watts::ZERO; lti.len()];
+        powers[1] = Watts::new(3.0);
+        let mut original: Box<dyn ThermalSolver> = Box::new(ExactLti::new());
+        let mut temps_a = vec![lti.ambient; lti.len()];
+        original
+            .step(&lti, &mut temps_a, Seconds::new(0.1), &powers)
+            .unwrap();
+        let mut cloned = original.clone();
+        let mut temps_b = temps_a.clone();
+        original
+            .step(&lti, &mut temps_a, Seconds::new(0.1), &powers)
+            .unwrap();
+        cloned
+            .step(&lti, &mut temps_b, Seconds::new(0.1), &powers)
+            .unwrap();
+        assert_eq!(temps_a, temps_b);
+        assert_eq!(original.name(), "exact_lti");
+    }
+}

@@ -74,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             thermal: ThermalPolicySpec::Disabled,
             app_aware: None,
             alerts: Vec::new(),
+            solver: Default::default(),
             workloads: base_workloads(),
         },
         sweep: SweepAxes {
@@ -123,6 +124,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cap_instead_of_migrate: false,
         }),
         alerts: Vec::new(),
+        solver: Default::default(),
         workloads: base_workloads(),
     };
     let (gt1, gt2, peak, power) = run(&spec)?;
