@@ -3,7 +3,8 @@
 //! easy to spot.
 
 use std::process::Command;
-use std::time::Instant;
+
+use mpt_obs::clock;
 
 fn main() {
     let bins = [
@@ -24,17 +25,17 @@ fn main() {
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("exe dir");
     let mut timings = Vec::with_capacity(bins.len());
-    let total = Instant::now();
+    let total = clock::now();
     for bin in bins {
         println!("\n=============== {bin} ===============");
-        let start = Instant::now();
+        let start = clock::now();
         let status = Command::new(dir.join(bin))
             .status()
             .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
-        timings.push((bin, start.elapsed().as_secs_f64()));
+        timings.push((bin, clock::elapsed(start).as_secs_f64()));
     }
-    let total = total.elapsed().as_secs_f64();
+    let total = clock::elapsed(total).as_secs_f64();
     println!("\n=============== wall time ===============");
     for (bin, secs) in &timings {
         println!("{bin:<16} {secs:>8.2} s  ({:>4.1}%)", secs / total * 100.0);

@@ -14,12 +14,11 @@
 
 use std::io::{Read, Write};
 use std::sync::Arc;
-use std::time::Instant;
 
 use mpt_core::campaign::run_campaign_observed;
 use mpt_core::report::SessionReport;
 use mpt_core::scenario::{run_scenario_analyzed, AlertRuleSpec, CampaignSpec, ScenarioSpec};
-use mpt_obs::{trace::chrome_trace_json_full, Recorder};
+use mpt_obs::{clock, trace::chrome_trace_json_full, Counter, Recorder};
 use mpt_thermal::SolverKind;
 
 fn usage() -> ! {
@@ -164,9 +163,46 @@ fn load_extra_alerts(args: &Args) -> Result<Vec<AlertRuleSpec>, Box<dyn std::err
     }
 }
 
+/// Fail-fast static analysis before tick 0: the same MPT1xx checks
+/// `mpt_lint` runs, over the scenario/campaign JSON and any `--alerts`
+/// file. Findings print to stderr; error severity refuses to simulate
+/// (exit 1) with the identical diagnostic the linter would give.
+fn lint_gate(
+    json: &str,
+    args: &Args,
+    campaign: bool,
+    recorder: &Recorder,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let _span = recorder.span("lint", "config");
+    let origin = args.path.as_deref().unwrap_or("stdin");
+    let mut report = if campaign {
+        mpt_lint::config::check_campaign_json(json, origin)
+    } else {
+        mpt_lint::config::check_scenario_json(json, origin)
+    };
+    if let Some(path) = &args.alerts {
+        let text = std::fs::read_to_string(path)?;
+        report.merge(mpt_lint::config::check_alerts_json(&text, path));
+    }
+    recorder.add(Counter::LintChecksRun, report.checks_run);
+    recorder.add(Counter::LintDiagnostics, report.diagnostics.len() as u64);
+    for d in &report.diagnostics {
+        eprintln!("{}", d.render_text());
+    }
+    if report.errors() > 0 {
+        eprintln!(
+            "run_scenario: {} static-analysis error(s); nothing was simulated",
+            report.errors()
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let recorder = Arc::new(Recorder::new());
-    let start = Instant::now();
+    lint_gate(json, args, false, &recorder)?;
+    let start = clock::now();
     let mut spec: ScenarioSpec =
         serde_json::from_str(json).map_err(|e| format!("bad scenario json: {e}"))?;
     spec.alerts.extend(load_extra_alerts(args)?);
@@ -175,7 +211,10 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     }
     let (outcome, analysis) = run_scenario_analyzed(&spec, Some(Arc::clone(&recorder)))?;
     if args.progress {
-        eprintln!("scenario done in {:.2} s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "scenario done in {:.2} s",
+            clock::elapsed(start).as_secs_f64()
+        );
     }
     println!("peak temperature : {:.1} C", outcome.peak_temperature_c);
     println!("average power    : {:.2} W", outcome.average_power_w);
@@ -234,9 +273,10 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
 
 fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let recorder = Arc::new(Recorder::new());
-    let start = Instant::now();
+    lint_gate(json, args, true, &recorder)?;
+    let start = clock::now();
     let progress = |done: usize, total: usize| {
-        let elapsed = start.elapsed().as_secs_f64();
+        let elapsed = clock::elapsed(start).as_secs_f64();
         let eta = if done > 0 {
             elapsed / done as f64 * (total - done) as f64
         } else {

@@ -22,12 +22,12 @@ fn run(args: &[&str], stdin: &str) -> (i32, String, String) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
+    // A usage error exits before reading stdin; ignore the broken pipe.
+    let _ = child
         .stdin
         .take()
         .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("stdin writable");
+        .write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("binary runs");
     (
         out.status.code().unwrap_or(-1),
@@ -73,4 +73,56 @@ fn solver_flag_requires_a_value() {
     let (code, _, stderr) = run(&["--solver"], "");
     assert_eq!(code, 2);
     assert!(stderr.contains("usage:"), "expected usage text: {stderr}");
+}
+
+#[test]
+fn dangling_control_sensor_is_refused_before_tick_zero() {
+    let scenario = r#"{
+        "platform": "exynos5422",
+        "duration_s": 1.0,
+        "control_sensor": "skin_xyz",
+        "workloads": [ { "kind": "basic_math", "cluster": "big" } ]
+    }"#;
+    let (code, stdout, stderr) = run(&[], scenario);
+    assert_eq!(code, 1, "lint gate must refuse: {stderr}");
+    assert!(
+        stderr.contains("MPT104") && stderr.contains("skin_xyz"),
+        "stderr should carry the lint diagnostic: {stderr}"
+    );
+    assert!(
+        stderr.contains("nothing was simulated"),
+        "refusal must come before tick 0: {stderr}"
+    );
+    assert!(
+        !stdout.contains("peak temperature"),
+        "no outcome may be printed: {stdout}"
+    );
+}
+
+#[test]
+fn unknown_solver_in_file_gets_mpt106_from_the_lint_gate() {
+    let scenario = r#"{
+        "platform": "exynos5422",
+        "duration_s": 1.0,
+        "solver": "magic",
+        "workloads": [ { "kind": "basic_math" } ]
+    }"#;
+    let (code, _, stderr) = run(&[], scenario);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("MPT106"), "expected MPT106: {stderr}");
+}
+
+#[test]
+fn bad_alerts_file_is_linted_too() {
+    let dir = std::env::temp_dir().join("mpt_lint_cli_alerts_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("rules.json");
+    std::fs::write(
+        &path,
+        r#"[ { "rule": "throttle_storm", "events": 0, "window_s": 30.0 } ]"#,
+    )
+    .expect("write rules");
+    let (code, _, stderr) = run(&["--alerts", path.to_str().expect("utf-8")], TINY_SCENARIO);
+    assert_eq!(code, 1, "invalid alert params must refuse: {stderr}");
+    assert!(stderr.contains("MPT107"), "expected MPT107: {stderr}");
 }

@@ -23,6 +23,7 @@
 //!         app_aware: None,
 //!         alerts: Vec::new(),
 //!         solver: SolverSpec::default(),
+//!         control_sensor: None,
 //!         workloads: vec![WorkloadSpec {
 //!             kind: WorkloadKind::BasicMath,
 //!             cluster: ClusterSpec::Big,
@@ -349,7 +350,7 @@ pub fn run_cells_observed(
     recorder: &Arc<Recorder>,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> Result<CampaignReport> {
-    let start = std::time::Instant::now();
+    let start = mpt_obs::clock::now();
     let cell_hist = recorder.register_histogram("cell");
     let done = AtomicUsize::new(0);
     // One immutable transition-matrix cache for the whole campaign:
@@ -359,7 +360,7 @@ pub fn run_cells_observed(
     // independent of the worker count.
     let solver_cache = Arc::new(mpt_thermal::TransitionCache::new());
     let results = run_parallel_workers(cells.len(), jobs, |i, worker| {
-        let cell_start = std::time::Instant::now();
+        let cell_start = mpt_obs::clock::now();
         let result = {
             let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
             scenario::run_scenario_analyzed_cached(
@@ -372,7 +373,11 @@ pub fn run_cells_observed(
         if let Some(cb) = progress {
             cb(done.fetch_add(1, Ordering::Relaxed) + 1, cells.len());
         }
-        (result, cell_start.elapsed().as_secs_f64(), worker)
+        (
+            result,
+            mpt_obs::clock::elapsed(cell_start).as_secs_f64(),
+            worker,
+        )
     });
     let workers = effective_jobs(jobs).min(cells.len().max(1));
     let mut worker_busy_s = vec![0.0; workers];
@@ -402,7 +407,7 @@ pub fn run_cells_observed(
         peak_temperature_c: metric(|o| o.peak_temperature_c),
         average_power_w: metric(|o| o.average_power_w),
         energy_j: metric(|o| o.energy_j),
-        wall_clock_s: start.elapsed().as_secs_f64(),
+        wall_clock_s: mpt_obs::clock::elapsed(start).as_secs_f64(),
         workers,
         timings,
         worker_busy_s,
@@ -462,6 +467,7 @@ mod tests {
                 app_aware: None,
                 alerts: Vec::new(),
                 solver: SolverSpec::default(),
+                control_sensor: None,
                 workloads: vec![WorkloadSpec {
                     kind: WorkloadKind::BasicMath,
                     cluster: ClusterSpec::Big,

@@ -37,7 +37,9 @@ pub enum PlatformSpec {
 }
 
 impl PlatformSpec {
-    fn build(self) -> Platform {
+    /// Constructs the builtin platform this spec names.
+    #[must_use]
+    pub fn build(self) -> Platform {
         match self {
             PlatformSpec::Snapdragon810 => platforms::snapdragon_810(),
             PlatformSpec::Exynos5422 => platforms::exynos_5422(),
@@ -163,7 +165,13 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    fn build(&self) -> std::result::Result<Box<dyn Workload>, String> {
+    /// Instantiates the workload, or explains why the spec is invalid.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown app names or non-positive
+    /// durations/rates (also surfaced by `mpt_lint` as MPT103).
+    pub fn build(&self) -> std::result::Result<Box<dyn Workload>, String> {
         Ok(match &self.kind {
             WorkloadKind::App { name } => {
                 let app = match name.as_str() {
@@ -397,6 +405,10 @@ pub struct ScenarioSpec {
     /// The thermal solver (defaults to the exact LTI discretization).
     #[serde(default)]
     pub solver: SolverSpec,
+    /// The sensor governors and alerts read, by platform sensor name
+    /// (defaults to the platform's hottest-reading control sensor).
+    #[serde(default)]
+    pub control_sensor: Option<String>,
     /// Workloads to attach.
     pub workloads: Vec<WorkloadSpec>,
 }
@@ -702,6 +714,9 @@ pub fn build_scenario_cached(
     if let Some(t0) = spec.initial_temperature_c {
         builder = builder.initial_temperature(Celsius::new(t0));
     }
+    if let Some(sensor) = &spec.control_sensor {
+        builder = builder.control_sensor(sensor.clone());
+    }
     match &spec.thermal {
         ThermalPolicySpec::Disabled => {}
         ThermalPolicySpec::StepWise { trips_c, period_s } => {
@@ -919,6 +934,7 @@ mod tests {
             app_aware: None,
             alerts: Vec::new(),
             solver: SolverSpec::default(),
+            control_sensor: None,
             workloads: vec![WorkloadSpec {
                 kind: WorkloadKind::BasicMath,
                 cluster: ClusterSpec::Big,
@@ -985,6 +1001,19 @@ mod tests {
         assert!(run_scenario(&spec).is_err());
 
         assert!(run_scenario_json("{ not json").is_err());
+
+        let mut spec = bml_spec();
+        spec.control_sensor = Some("skin_xyz".into());
+        assert!(run_scenario(&spec).is_err());
+    }
+
+    #[test]
+    fn control_sensor_field_selects_a_platform_sensor() {
+        let mut spec = bml_spec();
+        spec.duration_s = 1.0;
+        spec.control_sensor = Some("gpu".into());
+        let outcome = run_scenario(&spec).unwrap();
+        assert!(outcome.peak_temperature_c.is_finite());
     }
 
     #[test]

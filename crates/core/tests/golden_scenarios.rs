@@ -159,6 +159,8 @@ fn metric_names_and_histogram_registry_are_stable() {
         "mpt_solver_cache_hits_total",
         "mpt_solver_cache_builds_total",
         "mpt_solver_substeps_avoided_total",
+        "mpt_lint_checks_total",
+        "mpt_lint_diagnostics_total",
     ];
     let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
     assert_eq!(names, expected);

@@ -1,0 +1,665 @@
+//! Config analysis: scenarios, campaigns and alert files (MPT1xx).
+//!
+//! These are cross-reference checks the serde layer cannot express:
+//! sensor names must resolve against the scenario's platform, trip
+//! points must lie inside the sensor's plausible range, alert rules must
+//! reference observables the configured mechanisms actually emit, and
+//! sweep axes must be non-empty, duplicate-free and compatible with the
+//! base policy. `run_scenario` runs the same checks as a fail-fast phase
+//! before tick 0, so a dangling reference refuses to simulate with the
+//! same `MPTxxx` diagnostic the linter prints.
+//!
+//! Checking is two-stage: a few fields (notably `solver`) are inspected
+//! on the raw JSON value *before* the typed parse, so a misspelled
+//! solver gets the specific MPT106 rather than a generic MPT101.
+
+use mpt_core::scenario::{
+    AlertRuleSpec, CampaignSpec, ScenarioSpec, SweepAxes, ThermalPolicySpec, WorkloadKind,
+};
+
+use crate::diag::{Code, Diagnostic, Report, Severity};
+use crate::model::MAX_SANE_TEMP_C;
+
+/// Solver names accepted by scenario JSON, mirroring `SolverSpec`.
+pub const KNOWN_SOLVERS: [&str; 2] = ["exact_lti", "forward_euler"];
+
+/// What the scenario's mechanisms can observably emit; alert rules are
+/// checked against this.
+struct AlertContext {
+    ambient_c: f64,
+    /// A foreground workload that reports frames exists.
+    foreground_fps: bool,
+    /// Some throttling mechanism (baseline policy or app-aware governor)
+    /// can generate cap-change events.
+    throttling: bool,
+}
+
+/// Lints a scenario JSON document.
+#[must_use]
+pub fn check_scenario_json(json: &str, path: &str) -> Report {
+    let mut r = Report::default();
+    r.checks_run += 1;
+    let Some(value) = parse_value(json, path, &mut r) else {
+        return r;
+    };
+    if let Some(obj) = value.as_object() {
+        if !solver_name_ok(serde::__find(obj, "solver"), path, &mut r) {
+            return r;
+        }
+    }
+    match serde_json::from_str::<ScenarioSpec>(json) {
+        Ok(spec) => r.merge(check_scenario(&spec, path)),
+        Err(e) => r.diagnostics.push(Diagnostic::new(
+            Code::ParseFailure,
+            path,
+            format!("scenario does not parse: {e}"),
+        )),
+    }
+    r
+}
+
+/// Lints a campaign JSON document.
+#[must_use]
+pub fn check_campaign_json(json: &str, path: &str) -> Report {
+    let mut r = Report::default();
+    r.checks_run += 1;
+    let Some(value) = parse_value(json, path, &mut r) else {
+        return r;
+    };
+    let base_solver = value
+        .as_object()
+        .and_then(|obj| serde::__find(obj, "base"))
+        .and_then(serde::Value::as_object)
+        .and_then(|base| serde::__find(base, "solver"));
+    if !solver_name_ok(base_solver, path, &mut r) {
+        return r;
+    }
+    match serde_json::from_str::<CampaignSpec>(json) {
+        Ok(spec) => r.merge(check_campaign(&spec, path)),
+        Err(e) => r.diagnostics.push(Diagnostic::new(
+            Code::ParseFailure,
+            path,
+            format!("campaign does not parse: {e}"),
+        )),
+    }
+    r
+}
+
+/// Lints a standalone alert-rules file (a JSON array of rules, as passed
+/// to `run_scenario --alerts`). Without a scenario there is no platform
+/// or mechanism context, so only rule parameters are checked.
+#[must_use]
+pub fn check_alerts_json(json: &str, path: &str) -> Report {
+    let mut r = Report::default();
+    r.checks_run += 1;
+    match serde_json::from_str::<Vec<AlertRuleSpec>>(json) {
+        Ok(rules) => check_alert_rules(&rules, None, path, &mut r),
+        Err(e) => r.diagnostics.push(Diagnostic::new(
+            Code::ParseFailure,
+            path,
+            format!("alert rules do not parse: {e}"),
+        )),
+    }
+    r
+}
+
+/// Full cross-reference check of a parsed scenario.
+#[must_use]
+pub fn check_scenario(spec: &ScenarioSpec, path: &str) -> Report {
+    let mut r = Report::default();
+    r.checks_run += 1;
+    let platform = spec.platform.build();
+    let ambient_c = platform.thermal_spec().ambient.value();
+    if !spec.duration_s.is_finite() || spec.duration_s <= 0.0 {
+        r.diagnostics.push(Diagnostic::new(
+            Code::ScenarioShape,
+            path,
+            format!("duration_s = {} must be finite and > 0", spec.duration_s),
+        ));
+    }
+    if spec.workloads.is_empty() {
+        r.diagnostics.push(Diagnostic::new(
+            Code::ScenarioShape,
+            path,
+            "scenario attaches no workloads; nothing would draw power",
+        ));
+    }
+    for (i, w) in spec.workloads.iter().enumerate() {
+        r.checks_run += 1;
+        if let Err(msg) = w.build() {
+            r.diagnostics.push(Diagnostic::new(
+                Code::InvalidWorkload,
+                path,
+                format!("workloads[{i}]: {msg}"),
+            ));
+        }
+    }
+    if let Some(sensor) = &spec.control_sensor {
+        r.checks_run += 1;
+        if !platform
+            .temperature_sensors()
+            .iter()
+            .any(|s| s.name() == sensor)
+        {
+            let known: Vec<&str> = platform
+                .temperature_sensors()
+                .iter()
+                .map(mpt_soc::TemperatureSensor::name)
+                .collect();
+            r.diagnostics.push(Diagnostic::new(
+                Code::DanglingControlSensor,
+                path,
+                format!(
+                    "control_sensor {sensor:?} names no sensor on {} (available: {})",
+                    platform.name(),
+                    known.join(", ")
+                ),
+            ));
+        }
+    }
+    if let Some(t0) = spec.initial_temperature_c {
+        if !t0.is_finite() || !(-40.0..=MAX_SANE_TEMP_C).contains(&t0) {
+            r.diagnostics.push(Diagnostic::new(
+                Code::ParameterOutOfRange,
+                path,
+                format!("initial_temperature_c = {t0} outside [-40, {MAX_SANE_TEMP_C}] C"),
+            ));
+        }
+    }
+    check_policy(&spec.thermal, ambient_c, path, &mut r);
+    if let Some(aa) = &spec.app_aware {
+        r.checks_run += 1;
+        if !temp_in_range(aa.limit_c, ambient_c) {
+            r.diagnostics.push(Diagnostic::new(
+                Code::ParameterOutOfRange,
+                path,
+                format!(
+                    "app_aware limit_c = {} outside ({ambient_c}, {MAX_SANE_TEMP_C}] C",
+                    aa.limit_c
+                ),
+            ));
+        }
+        if !aa.horizon_s.is_finite() || aa.horizon_s <= 0.0 {
+            r.diagnostics.push(Diagnostic::new(
+                Code::ParameterOutOfRange,
+                path,
+                format!(
+                    "app_aware horizon_s = {} must be finite and > 0",
+                    aa.horizon_s
+                ),
+            ));
+        }
+    }
+    let context = AlertContext {
+        ambient_c,
+        foreground_fps: spec.workloads.iter().any(|w| {
+            w.foreground
+                && matches!(
+                    w.kind,
+                    WorkloadKind::App { .. }
+                        | WorkloadKind::ThreeDMark { .. }
+                        | WorkloadKind::Nenamark
+                )
+        }),
+        throttling: spec.thermal != ThermalPolicySpec::Disabled || spec.app_aware.is_some(),
+    };
+    check_alert_rules(&spec.alerts, Some(&context), path, &mut r);
+    r
+}
+
+/// Full check of a parsed campaign: the base scenario plus every sweep
+/// axis (MPT108) and axis-policy compatibility.
+#[must_use]
+pub fn check_campaign(spec: &CampaignSpec, path: &str) -> Report {
+    let mut r = check_scenario(&spec.base, path);
+    let ambient_c = spec.base.platform.build().thermal_spec().ambient.value();
+    check_sweep(&spec.sweep, &spec.base.thermal, ambient_c, path, &mut r);
+    r
+}
+
+fn check_sweep(
+    sweep: &SweepAxes,
+    base_policy: &ThermalPolicySpec,
+    ambient_c: f64,
+    path: &str,
+    r: &mut Report,
+) {
+    r.checks_run += 1;
+    check_axis_duplicates("platforms", &sweep.platforms, path, r);
+    check_axis_duplicates("thermal", &sweep.thermal, path, r);
+    check_axis_duplicates("workloads", &sweep.workloads, path, r);
+    check_axis_duplicates("trips_c", &sweep.trips_c, path, r);
+    check_axis_duplicates(
+        "initial_temperatures_c",
+        &sweep.initial_temperatures_c,
+        path,
+        r,
+    );
+    for (i, policy) in sweep.thermal.iter().enumerate() {
+        check_policy(policy, ambient_c, &format!("{path}#sweep.thermal[{i}]"), r);
+    }
+    for (i, set) in sweep.workloads.iter().enumerate() {
+        if set.is_empty() {
+            r.diagnostics.push(Diagnostic::new(
+                Code::InvalidSweepAxis,
+                path,
+                format!("sweep.workloads[{i}] is empty; every cell needs a workload"),
+            ));
+        }
+        for (j, w) in set.iter().enumerate() {
+            if let Err(msg) = w.build() {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::InvalidWorkload,
+                    path,
+                    format!("sweep.workloads[{i}][{j}]: {msg}"),
+                ));
+            }
+        }
+    }
+    for (i, trips) in sweep.trips_c.iter().enumerate() {
+        if trips.is_empty() {
+            r.diagnostics.push(Diagnostic::new(
+                Code::InvalidSweepAxis,
+                path,
+                format!("sweep.trips_c[{i}] is empty; a step_wise ladder needs trips"),
+            ));
+        }
+        check_trips(trips, ambient_c, &format!("{path}#sweep.trips_c[{i}]"), r);
+    }
+    if !sweep.trips_c.is_empty() {
+        let policies: Vec<&ThermalPolicySpec> = if sweep.thermal.is_empty() {
+            vec![base_policy]
+        } else {
+            sweep.thermal.iter().collect()
+        };
+        for policy in policies {
+            if !matches!(policy, ThermalPolicySpec::StepWise { .. }) {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::InvalidSweepAxis,
+                    path,
+                    "trips_c sweep combined with a non-step_wise policy; expansion would fail",
+                ));
+                break;
+            }
+        }
+    }
+    for (i, &t0) in sweep.initial_temperatures_c.iter().enumerate() {
+        if !t0.is_finite() || !(-40.0..=MAX_SANE_TEMP_C).contains(&t0) {
+            r.diagnostics.push(Diagnostic::new(
+                Code::ParameterOutOfRange,
+                path,
+                format!(
+                    "sweep.initial_temperatures_c[{i}] = {t0} outside [-40, {MAX_SANE_TEMP_C}] C"
+                ),
+            ));
+        }
+    }
+}
+
+fn check_axis_duplicates<T: std::fmt::Debug>(name: &str, axis: &[T], path: &str, r: &mut Report) {
+    for (i, entry) in axis.iter().enumerate() {
+        let key = format!("{entry:?}");
+        if axis[..i].iter().any(|e| format!("{e:?}") == key) {
+            r.diagnostics.push(Diagnostic::new(
+                Code::InvalidSweepAxis,
+                path,
+                format!("sweep.{name}[{i}] duplicates an earlier entry; cells would repeat"),
+            ));
+        }
+    }
+}
+
+fn check_policy(policy: &ThermalPolicySpec, ambient_c: f64, path: &str, r: &mut Report) {
+    r.checks_run += 1;
+    match policy {
+        ThermalPolicySpec::Disabled => {}
+        ThermalPolicySpec::StepWise { trips_c, period_s } => {
+            if trips_c.is_empty() {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::ParameterOutOfRange,
+                    path,
+                    "step_wise policy needs at least one trip temperature",
+                ));
+            }
+            check_trips(trips_c, ambient_c, path, r);
+            if !period_s.is_finite() || *period_s <= 0.0 {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::ParameterOutOfRange,
+                    path,
+                    format!("step_wise period_s = {period_s} must be finite and > 0"),
+                ));
+            }
+        }
+        ThermalPolicySpec::Ipa {
+            control_c,
+            sustainable_w,
+            gpu_weight,
+        } => {
+            if !temp_in_range(*control_c, ambient_c) {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::ParameterOutOfRange,
+                    path,
+                    format!(
+                        "ipa control_c = {control_c} outside ({ambient_c}, {MAX_SANE_TEMP_C}] C"
+                    ),
+                ));
+            }
+            if !sustainable_w.is_finite() || *sustainable_w <= 0.0 {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::ParameterOutOfRange,
+                    path,
+                    format!("ipa sustainable_w = {sustainable_w} must be finite and > 0"),
+                ));
+            }
+            if !gpu_weight.is_finite() || *gpu_weight <= 0.0 {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::ParameterOutOfRange,
+                    path,
+                    format!("ipa gpu_weight = {gpu_weight} must be finite and > 0"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_trips(trips_c: &[f64], ambient_c: f64, path: &str, r: &mut Report) {
+    for (i, &trip) in trips_c.iter().enumerate() {
+        if !temp_in_range(trip, ambient_c) {
+            r.diagnostics.push(Diagnostic::new(
+                Code::ParameterOutOfRange,
+                path,
+                format!(
+                    "trip point {trip} C outside the sensor range ({ambient_c}, \
+                     {MAX_SANE_TEMP_C}] C"
+                ),
+            ));
+        }
+        if i > 0 && trip <= trips_c[i - 1] {
+            r.diagnostics.push(Diagnostic::new(
+                Code::ParameterOutOfRange,
+                path,
+                format!(
+                    "trip points must be strictly ascending ({} then {trip})",
+                    trips_c[i - 1]
+                ),
+            ));
+        }
+    }
+}
+
+fn check_alert_rules(
+    rules: &[AlertRuleSpec],
+    context: Option<&AlertContext>,
+    path: &str,
+    r: &mut Report,
+) {
+    fn invalid(r: &mut Report, origin: &str, what: String) {
+        r.diagnostics.push(
+            Diagnostic::new(Code::UnreachableAlert, origin, what).with_severity(Severity::Error),
+        );
+    }
+    for (i, rule) in rules.iter().enumerate() {
+        r.checks_run += 1;
+        let origin = format!("{path}#alerts[{i}]");
+        match *rule {
+            AlertRuleSpec::TempAbove {
+                threshold_c,
+                sustain_s,
+            } => {
+                if let Some(ctx) = context {
+                    if !temp_in_range(threshold_c, ctx.ambient_c) {
+                        r.diagnostics.push(Diagnostic::new(
+                            Code::ParameterOutOfRange,
+                            &origin,
+                            format!(
+                                "temp_above threshold_c = {threshold_c} outside the sensor \
+                                 range ({}, {MAX_SANE_TEMP_C}] C",
+                                ctx.ambient_c
+                            ),
+                        ));
+                    }
+                }
+                if !sustain_s.is_finite() || sustain_s < 0.0 {
+                    invalid(
+                        r,
+                        &origin,
+                        format!("temp_above sustain_s = {sustain_s} must be >= 0"),
+                    );
+                }
+            }
+            AlertRuleSpec::FpsBelow { target, sustain_s } => {
+                if !target.is_finite() || target <= 0.0 {
+                    invalid(
+                        r,
+                        &origin,
+                        format!("fps_below target = {target} must be finite and > 0"),
+                    );
+                }
+                if !sustain_s.is_finite() || sustain_s < 0.0 {
+                    invalid(
+                        r,
+                        &origin,
+                        format!("fps_below sustain_s = {sustain_s} must be >= 0"),
+                    );
+                }
+                if let Some(ctx) = context {
+                    if !ctx.foreground_fps {
+                        invalid(
+                            r,
+                            &origin,
+                            "fps_below watches the foreground frame rate, but no foreground \
+                             workload reports frames"
+                                .to_owned(),
+                        );
+                    }
+                }
+            }
+            AlertRuleSpec::ThrottleStorm { events, window_s } => {
+                if events == 0 {
+                    invalid(r, &origin, "throttle_storm events must be >= 1".to_owned());
+                }
+                if !window_s.is_finite() || window_s <= 0.0 {
+                    invalid(
+                        r,
+                        &origin,
+                        format!("throttle_storm window_s = {window_s} must be > 0"),
+                    );
+                }
+                warn_if_no_throttling(context, "throttle_storm", &origin, r);
+            }
+            AlertRuleSpec::Runaway {
+                window_s,
+                slope_c_per_s,
+            } => {
+                if !window_s.is_finite() || window_s <= 0.0 {
+                    invalid(
+                        r,
+                        &origin,
+                        format!("runaway window_s = {window_s} must be > 0"),
+                    );
+                }
+                if !slope_c_per_s.is_finite() || slope_c_per_s <= 0.0 {
+                    invalid(
+                        r,
+                        &origin,
+                        format!("runaway slope_c_per_s = {slope_c_per_s} must be > 0"),
+                    );
+                }
+                warn_if_no_throttling(context, "runaway", &origin, r);
+            }
+        }
+    }
+}
+
+fn warn_if_no_throttling(context: Option<&AlertContext>, rule: &str, origin: &str, r: &mut Report) {
+    if let Some(ctx) = context {
+        if !ctx.throttling {
+            r.diagnostics.push(Diagnostic::new(
+                Code::UnreachableAlert,
+                origin,
+                format!(
+                    "{rule} watches throttle events, but no thermal policy or app-aware \
+                     governor is configured to emit any"
+                ),
+            ));
+        }
+    }
+}
+
+fn temp_in_range(t: f64, ambient_c: f64) -> bool {
+    t.is_finite() && t > ambient_c && t <= MAX_SANE_TEMP_C
+}
+
+fn parse_value(json: &str, path: &str, r: &mut Report) -> Option<serde::Value> {
+    match serde_json::value_from_str(json) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            r.diagnostics.push(Diagnostic::new(
+                Code::ParseFailure,
+                path,
+                format!("invalid JSON: {e}"),
+            ));
+            None
+        }
+    }
+}
+
+/// True when the raw `solver` value (if any) names a known solver; pushes
+/// MPT106 and returns false otherwise.
+fn solver_name_ok(solver: Option<&serde::Value>, path: &str, r: &mut Report) -> bool {
+    r.checks_run += 1;
+    let Some(value) = solver else {
+        return true;
+    };
+    match value.as_str() {
+        Some(name) if KNOWN_SOLVERS.contains(&name) => true,
+        Some(name) => {
+            r.diagnostics.push(Diagnostic::new(
+                Code::UnknownSolver,
+                path,
+                format!(
+                    "solver {name:?} is not registered (valid: {})",
+                    KNOWN_SOLVERS.join(", ")
+                ),
+            ));
+            false
+        }
+        None => {
+            r.diagnostics.push(Diagnostic::new(
+                Code::UnknownSolver,
+                path,
+                "solver must be a string naming a registered solver",
+            ));
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpt_core::scenario::PlatformSpec;
+
+    fn minimal() -> ScenarioSpec {
+        serde_json::from_str(
+            r#"{
+                "platform": "exynos5422",
+                "duration_s": 5.0,
+                "workloads": [ { "kind": "basic_math" } ]
+            }"#,
+        )
+        .expect("minimal scenario parses")
+    }
+
+    #[test]
+    fn minimal_scenario_is_clean() {
+        let report = check_scenario(&minimal(), "s");
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn dangling_control_sensor_fires_mpt104() {
+        let mut spec = minimal();
+        spec.control_sensor = Some("skin_xyz".to_owned());
+        let report = check_scenario(&spec, "s");
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::DanglingControlSensor]);
+    }
+
+    #[test]
+    fn unknown_solver_fires_mpt106_before_typed_parse() {
+        let report = check_scenario_json(
+            r#"{ "platform": "exynos5422", "duration_s": 1.0, "solver": "magic",
+                 "workloads": [ { "kind": "basic_math" } ] }"#,
+            "s",
+        );
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::UnknownSolver]);
+    }
+
+    #[test]
+    fn unreachable_alerts_warn_but_invalid_params_error() {
+        let mut spec = minimal();
+        spec.alerts = vec![
+            AlertRuleSpec::ThrottleStorm {
+                events: 5,
+                window_s: 30.0,
+            },
+            AlertRuleSpec::FpsBelow {
+                target: 30.0,
+                sustain_s: 1.0,
+            },
+        ];
+        let report = check_scenario(&spec, "s");
+        assert_eq!(report.warnings(), 1, "{}", report.render_text());
+        assert_eq!(report.errors(), 1, "{}", report.render_text());
+    }
+
+    #[test]
+    fn bad_trips_and_policy_parameters_fire_mpt105() {
+        let mut spec = minimal();
+        spec.thermal = ThermalPolicySpec::StepWise {
+            trips_c: vec![90.0, 80.0, 200.0],
+            period_s: 0.0,
+        };
+        let report = check_scenario(&spec, "s");
+        assert!(report.errors() >= 3, "{}", report.render_text());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == Code::ParameterOutOfRange));
+    }
+
+    #[test]
+    fn campaign_axis_checks_fire_mpt108() {
+        let campaign = CampaignSpec {
+            base: minimal(),
+            sweep: SweepAxes {
+                platforms: vec![PlatformSpec::Exynos5422, PlatformSpec::Exynos5422],
+                trips_c: vec![vec![60.0, 70.0]],
+                ..SweepAxes::default()
+            },
+            seed: 0,
+        };
+        let report = check_campaign(&campaign, "c");
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        // Duplicate platform entry, plus trips_c against a non-step_wise
+        // base policy.
+        assert_eq!(
+            codes,
+            vec![Code::InvalidSweepAxis, Code::InvalidSweepAxis],
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn shipped_style_alerts_file_is_clean() {
+        let report = check_alerts_json(
+            r#"[ { "rule": "temp_above", "threshold_c": 43.0, "sustain_s": 5.0 },
+                 { "rule": "runaway" } ]"#,
+            "a",
+        );
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property test for the Hurwitz check (MPT008): both builtin platforms
+//! pass, and corrupting any single coupling to a sufficiently negative
+//! conductance flips the verdict.
+//!
+//! The negative magnitude is chosen as (total coupling + total ambient
+//! conductance + 1), which forces a negative diagonal in the symmetrized
+//! matrix `S` — and `λ_min(S)` is bounded above by the smallest diagonal
+//! entry, so the spectrum must go negative.
+
+use mpt_lint::model::{assemble_g_full, hurwitz_margin, BUILTINS};
+use proptest::prelude::*;
+
+/// `(heat capacities, couplings, ambient conductances)` of a builtin.
+type NetworkParts = (Vec<f64>, Vec<(usize, usize, f64)>, Vec<f64>);
+
+fn network_parts(builtin: usize) -> NetworkParts {
+    let platform = BUILTINS[builtin].1();
+    let ts = platform.thermal_spec();
+    (
+        ts.nodes.iter().map(|n| n.heat_capacity).collect(),
+        ts.couplings
+            .iter()
+            .map(|c| (c.a, c.b, c.conductance))
+            .collect(),
+        ts.nodes.iter().map(|n| n.ambient_conductance).collect(),
+    )
+}
+
+#[test]
+fn both_builtin_platforms_are_hurwitz() {
+    for (name, build) in BUILTINS {
+        let platform = build();
+        let ts = platform.thermal_spec();
+        let caps: Vec<f64> = ts.nodes.iter().map(|n| n.heat_capacity).collect();
+        let couplings: Vec<(usize, usize, f64)> = ts
+            .couplings
+            .iter()
+            .map(|c| (c.a, c.b, c.conductance))
+            .collect();
+        let ambient: Vec<f64> = ts.nodes.iter().map(|n| n.ambient_conductance).collect();
+        let g_full = assemble_g_full(caps.len(), &couplings, &ambient);
+        let margin = hurwitz_margin(&caps, &g_full);
+        assert!(margin > 0.0, "{name}: slowest mode {margin} must decay");
+    }
+}
+
+proptest! {
+    #[test]
+    fn negating_any_coupling_flips_the_verdict(builtin in 0usize..2, pick in 0usize..64) {
+        let (caps, mut couplings, ambient) = network_parts(builtin);
+        prop_assert!(!couplings.is_empty(), "builtins couple every node");
+        let k = pick % couplings.len();
+
+        let healthy = hurwitz_margin(&caps, &assemble_g_full(caps.len(), &couplings, &ambient));
+        prop_assert!(healthy > 0.0, "builtin {builtin} starts Hurwitz");
+
+        let total: f64 = couplings.iter().map(|&(_, _, g)| g).sum::<f64>()
+            + ambient.iter().sum::<f64>();
+        couplings[k].2 = -(total + 1.0);
+        let corrupted = hurwitz_margin(&caps, &assemble_g_full(caps.len(), &couplings, &ambient));
+        prop_assert!(
+            corrupted < 0.0,
+            "builtin {builtin}, coupling {k}: margin {corrupted} must flip negative"
+        );
+    }
+}

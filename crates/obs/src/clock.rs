@@ -1,0 +1,40 @@
+//! The workspace's single wall-clock authority.
+//!
+//! Simulation results must be a pure function of the scenario spec and
+//! seed — wall-clock time may only influence *observability* (span
+//! timestamps, campaign wall-time accounting, progress reporting). To
+//! keep that auditable, every wall-clock read in the workspace goes
+//! through this module, and the `mpt-lint` determinism scanner (MPT201)
+//! flags `Instant::now()` / `.elapsed()` anywhere else. This file is the
+//! only entry in the scanner's allowlist (`crates/lint/determinism.allow`).
+
+use std::time::{Duration, Instant};
+
+/// Reads the monotonic wall clock. The one sanctioned `Instant::now()`
+/// call site in the workspace.
+#[must_use]
+pub fn now() -> Instant {
+    #[allow(clippy::disallowed_methods)]
+    Instant::now()
+}
+
+/// Wall-clock time elapsed since `start`. Equivalent to
+/// `start.elapsed()`, routed through this module so the read shows up in
+/// the determinism audit.
+#[must_use]
+pub fn elapsed(start: Instant) -> Duration {
+    now().saturating_duration_since(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let start = now();
+        let a = elapsed(start);
+        let b = elapsed(start);
+        assert!(b >= a);
+    }
+}

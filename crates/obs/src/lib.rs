@@ -54,6 +54,7 @@
 //! ```
 
 pub mod analyze;
+pub mod clock;
 pub mod export;
 pub mod hist;
 pub mod metrics;

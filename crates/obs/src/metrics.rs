@@ -55,11 +55,16 @@ pub enum Counter {
     /// (what the stability bound would have forced, minus the one
     /// mat-vec actually taken).
     SolverSubstepsAvoided,
+    /// Static-analysis checks executed by `mpt-lint` (one per analysis
+    /// target: a platform model, a config file, a source file).
+    LintChecksRun,
+    /// Diagnostics emitted by `mpt-lint` (errors and warnings).
+    LintDiagnostics,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 18] = [
         Counter::Ticks,
         Counter::StageRuns,
         Counter::ThrottleEvents,
@@ -76,6 +81,8 @@ impl Counter {
         Counter::SolverCacheHits,
         Counter::SolverCacheBuilds,
         Counter::SolverSubstepsAvoided,
+        Counter::LintChecksRun,
+        Counter::LintDiagnostics,
     ];
 
     /// Number of counter slots.
@@ -107,6 +114,8 @@ impl Counter {
             Counter::SolverCacheHits => "mpt_solver_cache_hits_total",
             Counter::SolverCacheBuilds => "mpt_solver_cache_builds_total",
             Counter::SolverSubstepsAvoided => "mpt_solver_substeps_avoided_total",
+            Counter::LintChecksRun => "mpt_lint_checks_total",
+            Counter::LintDiagnostics => "mpt_lint_diagnostics_total",
         }
     }
 
@@ -136,6 +145,8 @@ impl Counter {
             Counter::SolverSubstepsAvoided => {
                 "Forward-Euler substeps avoided by the exact-LTI solver."
             }
+            Counter::LintChecksRun => "Static-analysis checks executed by mpt-lint.",
+            Counter::LintDiagnostics => "Diagnostics emitted by mpt-lint (errors and warnings).",
         }
     }
 

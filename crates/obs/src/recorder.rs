@@ -60,7 +60,7 @@ impl Recorder {
     fn with_enabled(enabled: bool) -> Self {
         Self {
             enabled,
-            epoch: Instant::now(),
+            epoch: crate::clock::now(),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| Histogram::new()),
             hist_names: Mutex::new(Vec::new()),

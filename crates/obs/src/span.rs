@@ -66,7 +66,7 @@ impl<'a> SpanGuard<'a> {
             name: Some(name),
             cat,
             hist,
-            start: Instant::now(),
+            start: crate::clock::now(),
         }
     }
 }
@@ -74,7 +74,7 @@ impl<'a> SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let Some(rec) = self.rec else { return };
-        let elapsed = self.start.elapsed();
+        let elapsed = crate::clock::elapsed(self.start);
         if let Some(hist) = self.hist {
             rec.record_duration(hist, elapsed);
         }

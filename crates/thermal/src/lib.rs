@@ -56,7 +56,7 @@
 //! ```
 
 mod error;
-mod linalg;
+pub mod linalg;
 mod lumped;
 mod network;
 mod solver;

@@ -2,13 +2,14 @@
 //!
 //! Thermal networks in this workspace have a handful of nodes, so a plain
 //! Gaussian elimination with partial pivoting is both sufficient and
-//! dependency-free.
+//! dependency-free. Public so model-validation tooling (`mpt-lint`'s
+//! Hurwitz check) reuses the exact arithmetic the solver runs on.
 
 /// Solves `A·x = b` in place for a small dense system.
 ///
 /// Returns `None` if the matrix is (numerically) singular.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
-pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
     for col in 0..n {
@@ -52,7 +53,7 @@ pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
 ///
 /// Returns `None` if the matrix is (numerically) singular.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
-pub(crate) fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Option<Vec<Vec<f64>>> {
+pub fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Option<Vec<Vec<f64>>> {
     let n = a.len();
     debug_assert!(b.len() == n && a.iter().all(|row| row.len() == n));
     for col in 0..n {
@@ -95,7 +96,8 @@ pub(crate) fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Option<
 }
 
 /// The `n×n` identity matrix.
-pub(crate) fn identity(n: usize) -> Vec<Vec<f64>> {
+#[must_use]
+pub fn identity(n: usize) -> Vec<Vec<f64>> {
     let mut m = vec![vec![0.0; n]; n];
     for (i, row) in m.iter_mut().enumerate() {
         row[i] = 1.0;
@@ -105,7 +107,8 @@ pub(crate) fn identity(n: usize) -> Vec<Vec<f64>> {
 
 /// Dense matrix product `A·B`.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
-pub(crate) fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+#[must_use]
+pub fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = a.len();
     let mut out = vec![vec![0.0; n]; n];
     for i in 0..n {
@@ -131,7 +134,8 @@ pub(crate) fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// and well-conditioned — all eigenvalues are real and negative — so
 /// this classic scheme is accurate to near machine precision here.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
-pub(crate) fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+#[must_use]
+pub fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = a.len();
     let norm = a
         .iter()
@@ -172,6 +176,63 @@ pub(crate) fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
         result = mat_mul(&result, &result);
     }
     result
+}
+
+/// Eigenvalues of a symmetric matrix by cyclic Jacobi rotations, sorted
+/// ascending.
+///
+/// The caller must pass a symmetric matrix (the routine reads both
+/// triangles and rotates them together; asymmetry gives meaningless
+/// results — check symmetry first). Convergence is quadratic once
+/// off-diagonal mass is small; thermal networks are tiny, so the fixed
+/// sweep cap is never a binding limit in practice.
+///
+/// This powers the Hurwitz check on thermal state matrices: for a
+/// symmetric conductance matrix `G_full` and capacitance vector `C`, the
+/// state matrix `A = −C⁻¹·G_full` is similar to `−S` with
+/// `S_ij = G_full_ij / √(C_i·C_j)` symmetric, so `A` is Hurwitz iff every
+/// eigenvalue of `S` is strictly positive.
+#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+#[must_use]
+pub fn symmetric_eigenvalues(a: &[Vec<f64>]) -> Vec<f64> {
+    let n = a.len();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    for _sweep in 0..100 {
+        let off: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| m[i][j] * m[i][j])
+            .sum();
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating m[p][q].
+                let theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[k][p];
+                    let mkq = m[k][q];
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p][k];
+                    let mqk = m[q][k];
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+            }
+        }
+    }
+    let mut eigs: Vec<f64> = (0..n).map(|i| m[i][i]).collect();
+    eigs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    eigs
 }
 
 #[cfg(test)]
@@ -252,6 +313,39 @@ mod tests {
                 assert!((x[row][col] - xc[row]).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn symmetric_eigenvalues_of_diagonal_matrix() {
+        let a = vec![vec![3.0, 0.0], vec![0.0, -1.0]];
+        let eigs = symmetric_eigenvalues(&a);
+        assert!((eigs[0] - (-1.0)).abs() < 1e-12);
+        assert!((eigs[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_eigenvalues_of_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let eigs = symmetric_eigenvalues(&a);
+        assert!((eigs[0] - 1.0).abs() < 1e-12);
+        assert!((eigs[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_eigenvalues_preserve_trace_and_detect_indefiniteness() {
+        // Laplacian-like matrix plus a negative diagonal entry: trace is
+        // invariant under the rotations, and the smallest eigenvalue is
+        // bounded above by the smallest diagonal entry.
+        let a = vec![
+            vec![-0.5, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ];
+        let eigs = symmetric_eigenvalues(&a);
+        let trace: f64 = eigs.iter().sum();
+        assert!((trace - 6.5).abs() < 1e-10);
+        assert!(eigs[0] < -0.5 + 1e-12, "min eigenvalue {:?}", eigs);
     }
 
     #[test]

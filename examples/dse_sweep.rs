@@ -75,6 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             app_aware: None,
             alerts: Vec::new(),
             solver: Default::default(),
+            control_sensor: None,
             workloads: base_workloads(),
         },
         sweep: SweepAxes {
@@ -125,6 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
         alerts: Vec::new(),
         solver: Default::default(),
+        control_sensor: None,
         workloads: base_workloads(),
     };
     let (gt1, gt2, peak, power) = run(&spec)?;
