@@ -4,13 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use mpt_kernel::{allocate_max_min, Pid, ProcessClass};
-use mpt_sim::SimBuilder;
+use mpt_kernel::{allocate_max_min, GovernorKind, Pid, ProcessClass};
+use mpt_sim::{SimBuilder, SteppingMode};
 use mpt_soc::{platforms, ComponentId};
 use mpt_thermal::{LumpedModel, RcNetwork, SolverKind};
 use mpt_units::{Kelvin, Seconds, Watts};
 use mpt_workloads::apps;
-use mpt_workloads::benchmarks::BasicMathLarge;
+use mpt_workloads::benchmarks::{BasicMathLarge, SteadyCompute};
 use mpt_workloads::mibench;
 
 fn bench_stability_analysis(c: &mut Criterion) {
@@ -147,6 +147,49 @@ fn bench_simulator_tick(c: &mut Criterion) {
     group.finish();
 }
 
+/// Head-to-head stepping engines on the macro-step showcase recorded in
+/// `BENCH_events.json`: a steady workload with pinned governors — no
+/// poll-rate DVFS churn — simulated for 600 s at a 100 ms base tick. The
+/// fixed engine grinds 6000 passes; the event engine reaches quiescence
+/// in the first few passes and then jumps sample point to sample point,
+/// so each "iteration" is dominated by a handful of analytic solver
+/// calls.
+fn bench_stepping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    let build = |mode: SteppingMode| {
+        SimBuilder::new(platforms::snapdragon_810())
+            .stepping(mode)
+            .tick(Seconds::from_millis(100.0))
+            .telemetry_period(Seconds::new(30.0))
+            .governor(ComponentId::BigCluster, GovernorKind::Performance)
+            .governor(ComponentId::LittleCluster, GovernorKind::Performance)
+            .attach(
+                Box::new(SteadyCompute::new("load", 2.0e9, 2.0)),
+                ProcessClass::Background,
+                ComponentId::BigCluster,
+            )
+            .build()
+            .expect("valid sim")
+    };
+    for (label, mode) in [
+        ("fixed_100ms_x600s", SteppingMode::FixedDt),
+        ("event_100ms_x600s", SteppingMode::EventDriven),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || build(mode),
+                |mut sim| {
+                    sim.run_for(Seconds::new(600.0)).expect("run");
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 /// Measures what the always-on recorder costs the hot loop against the
 /// `Recorder::null()` path (the acceptance bound is ~2% on these).
 fn bench_recorder_overhead(c: &mut Criterion) {
@@ -214,6 +257,7 @@ criterion_group!(
     bench_solvers,
     bench_scheduler,
     bench_simulator_tick,
+    bench_stepping,
     bench_recorder_overhead,
     bench_mibench
 );

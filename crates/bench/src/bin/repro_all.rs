@@ -1,10 +1,40 @@
 //! Runs every experiment regenerator in sequence (the full paper) and
 //! closes with a per-binary wall-time summary so slow regenerators are
-//! easy to spot.
+//! easy to spot, plus a per-engine wall-time line pitting the fixed-dt
+//! stepper against the event-driven macro-stepper on a steady scenario.
 
 use std::process::Command;
 
+use mpt_kernel::{GovernorKind, ProcessClass};
 use mpt_obs::clock;
+use mpt_sim::{SimBuilder, SteppingMode};
+use mpt_soc::{platforms, ComponentId};
+use mpt_units::Seconds;
+use mpt_workloads::benchmarks::SteadyCompute;
+
+/// Simulates the BENCH_events showcase (steady load, pinned governors,
+/// 100 ms base tick) for 600 s under `mode`, returning
+/// `(wall seconds, simulated-seconds-per-wall-second)`.
+fn time_engine(mode: SteppingMode) -> (f64, f64) {
+    const SIM_SPAN_S: f64 = 600.0;
+    let mut sim = SimBuilder::new(platforms::snapdragon_810())
+        .stepping(mode)
+        .tick(Seconds::from_millis(100.0))
+        .telemetry_period(Seconds::new(30.0))
+        .governor(ComponentId::BigCluster, GovernorKind::Performance)
+        .governor(ComponentId::LittleCluster, GovernorKind::Performance)
+        .attach(
+            Box::new(SteadyCompute::new("load", 2.0e9, 2.0)),
+            ProcessClass::Background,
+            ComponentId::BigCluster,
+        )
+        .build()
+        .expect("valid sim");
+    let start = clock::now();
+    sim.run_for(Seconds::new(SIM_SPAN_S)).expect("run");
+    let wall = clock::elapsed(start).as_secs_f64();
+    (wall, SIM_SPAN_S / wall)
+}
 
 fn main() {
     let bins = [
@@ -41,4 +71,13 @@ fn main() {
         println!("{bin:<16} {secs:>8.2} s  ({:>4.1}%)", secs / total * 100.0);
     }
     println!("{:<16} {total:>8.2} s", "total");
+
+    println!("\n=============== per-engine wall time (600 simulated s) ===============");
+    for (name, mode) in [
+        ("fixed", SteppingMode::FixedDt),
+        ("event", SteppingMode::EventDriven),
+    ] {
+        let (wall, throughput) = time_engine(mode);
+        println!("{name:<16} {wall:>8.4} s  ({throughput:>10.0} sim-s/wall-s)");
+    }
 }

@@ -19,11 +19,12 @@ use mpt_core::campaign::run_campaign_observed;
 use mpt_core::report::SessionReport;
 use mpt_core::scenario::{run_scenario_analyzed, AlertRuleSpec, CampaignSpec, ScenarioSpec};
 use mpt_obs::{clock, trace::chrome_trace_json_full, Counter, Recorder};
+use mpt_sim::SteppingMode;
 use mpt_thermal::SolverKind;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -37,6 +38,7 @@ struct Args {
     report_out: Option<String>,
     alerts: Option<String>,
     solver: Option<SolverKind>,
+    engine: Option<SteppingMode>,
     progress: bool,
 }
 
@@ -50,6 +52,7 @@ fn parse_args() -> Args {
         report_out: None,
         alerts: None,
         solver: None,
+        engine: None,
         progress: false,
     };
     let mut it = std::env::args().skip(1);
@@ -82,6 +85,16 @@ fn parse_args() -> Args {
                 let Some(name) = it.next() else { usage() };
                 match name.parse() {
                     Ok(kind) => args.solver = Some(kind),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--engine" => {
+                let Some(name) = it.next() else { usage() };
+                match name.parse() {
+                    Ok(mode) => args.engine = Some(mode),
                     Err(e) => {
                         eprintln!("error: {e}");
                         std::process::exit(2);
@@ -209,6 +222,9 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     if let Some(kind) = args.solver {
         spec.solver = kind.into();
     }
+    if let Some(mode) = args.engine {
+        spec.engine = mode.into();
+    }
     let (outcome, analysis) = run_scenario_analyzed(&spec, Some(Arc::clone(&recorder)))?;
     if args.progress {
         eprintln!(
@@ -298,6 +314,9 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     spec.base.alerts.extend(load_extra_alerts(args)?);
     if let Some(kind) = args.solver {
         spec.base.solver = kind.into();
+    }
+    if let Some(mode) = args.engine {
+        spec.base.engine = mode.into();
     }
     let report = run_campaign_observed(&spec, args.jobs, &recorder, progress_cb)?;
     println!(

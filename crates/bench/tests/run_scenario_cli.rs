@@ -69,6 +69,31 @@ fn unknown_solver_is_a_usage_error() {
 }
 
 #[test]
+fn engine_override_accepts_both_engines_and_agrees() {
+    let (code, fixed_out, _) = run(&["--engine", "fixed"], TINY_SCENARIO);
+    assert_eq!(code, 0, "fixed run failed:\n{fixed_out}");
+    let (code, event_out, _) = run(&["--engine", "event"], TINY_SCENARIO);
+    assert_eq!(code, 0, "event run failed:\n{event_out}");
+    // An app-style benchmark workload makes no phase promise, so the
+    // event engine steps every tick and the outcomes are bit-identical.
+    assert_eq!(peak_line(&fixed_out), peak_line(&event_out));
+}
+
+#[test]
+fn unknown_engine_is_a_usage_error() {
+    let (code, _, stderr) = run(&["--engine", "warp"], TINY_SCENARIO);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("unknown engine") && stderr.contains("warp"),
+        "stderr should name the bad engine: {stderr}"
+    );
+    assert!(
+        stderr.contains("fixed") && stderr.contains("event"),
+        "stderr should list the valid engines: {stderr}"
+    );
+}
+
+#[test]
 fn solver_flag_requires_a_value() {
     let (code, _, stderr) = run(&["--solver"], "");
     assert_eq!(code, 2);

@@ -10,8 +10,8 @@
 //! ```
 //! use mpt_core::campaign::run_campaign;
 //! use mpt_core::scenario::{
-//!     CampaignSpec, ClusterSpec, PlatformSpec, ScenarioSpec, SolverSpec,
-//!     SweepAxes, ThermalPolicySpec, WorkloadKind, WorkloadSpec,
+//!     CampaignSpec, ClusterSpec, EngineSpec, PlatformSpec, ScenarioSpec,
+//!     SolverSpec, SweepAxes, ThermalPolicySpec, WorkloadKind, WorkloadSpec,
 //! };
 //!
 //! let spec = CampaignSpec {
@@ -23,6 +23,7 @@
 //!         app_aware: None,
 //!         alerts: Vec::new(),
 //!         solver: SolverSpec::default(),
+//!         engine: EngineSpec::default(),
 //!         control_sensor: None,
 //!         workloads: vec![WorkloadSpec {
 //!             kind: WorkloadKind::BasicMath,
@@ -453,8 +454,8 @@ pub fn run_campaign_json_observed(
 mod tests {
     use super::*;
     use crate::scenario::{
-        ClusterSpec, PlatformSpec, ScenarioSpec, SolverSpec, SweepAxes, ThermalPolicySpec,
-        WorkloadKind, WorkloadSpec,
+        ClusterSpec, EngineSpec, PlatformSpec, ScenarioSpec, SolverSpec, SweepAxes,
+        ThermalPolicySpec, WorkloadKind, WorkloadSpec,
     };
 
     fn small_campaign() -> CampaignSpec {
@@ -467,6 +468,7 @@ mod tests {
                 app_aware: None,
                 alerts: Vec::new(),
                 solver: SolverSpec::default(),
+                engine: EngineSpec::default(),
                 control_sensor: None,
                 workloads: vec![WorkloadSpec {
                     kind: WorkloadKind::BasicMath,
@@ -549,6 +551,20 @@ mod tests {
         assert_eq!(serial.cells.len(), 4);
         assert!(serial.peak_temperature_c.max >= serial.peak_temperature_c.min);
         assert!(serial.average_power_w.mean > 0.0);
+    }
+
+    #[test]
+    fn event_engine_report_is_identical_across_worker_counts() {
+        // Event-mode macro-stepping depends only on simulated time, so
+        // the campaign report stays bit-identical whatever the worker
+        // count, exactly as in fixed-dt mode.
+        let mut spec = small_campaign();
+        spec.base.engine = EngineSpec::Event;
+        let serial = run_campaign(&spec, 1).unwrap();
+        let parallel = run_campaign(&spec, 8).unwrap();
+        assert_eq!(serial.cells, parallel.cells);
+        assert_eq!(serial.analysis, parallel.analysis);
+        assert_eq!(serial.peak_temperature_c, parallel.peak_temperature_c);
     }
 
     #[test]

@@ -14,12 +14,12 @@
 use serde::{Deserialize, Serialize};
 
 use mpt_kernel::{IpaConfig, IpaGovernor, ProcessClass, StepWiseGovernor, TripPoint};
-use mpt_sim::{Result, SimBuilder, SimError, Simulator};
+use mpt_sim::{Result, SimBuilder, SimError, Simulator, SteppingMode};
 use mpt_soc::{platforms, ComponentId, Platform};
 use mpt_thermal::{SolverKind, TransitionCache};
 use mpt_units::{Celsius, Seconds, Watts};
 use mpt_workloads::benchmarks::{
-    BasicMathLarge, BurstyCompute, Nenamark, SteadyCompute, ThreeDMark,
+    BasicMathLarge, BurstyCompute, ComputePhase, Nenamark, PhasedCompute, SteadyCompute, ThreeDMark,
 };
 use mpt_workloads::Workload;
 
@@ -84,6 +84,43 @@ impl From<SolverKind> for SolverSpec {
     }
 }
 
+/// Which stepping engine advances the simulation.
+///
+/// The scenario-level mirror of [`mpt_sim::SteppingMode`]: fixed-dt
+/// ticking is the default; the event-driven macro-stepper jumps
+/// analytically between scheduled wake points (governor polls, workload
+/// phase changes, alert deadlines, sample points, predicted trip
+/// crossings) when every stage is quiescent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum EngineSpec {
+    /// One pass per base tick (the historical loop, and the default).
+    #[default]
+    Fixed,
+    /// Event-driven macro-stepping over the base-dt grid.
+    Event,
+}
+
+impl EngineSpec {
+    /// The equivalent simulator stepping mode.
+    #[must_use]
+    pub fn to_mode(self) -> SteppingMode {
+        match self {
+            EngineSpec::Fixed => SteppingMode::FixedDt,
+            EngineSpec::Event => SteppingMode::EventDriven,
+        }
+    }
+}
+
+impl From<SteppingMode> for EngineSpec {
+    fn from(mode: SteppingMode) -> Self {
+        match mode {
+            SteppingMode::FixedDt => EngineSpec::Fixed,
+            SteppingMode::EventDriven => EngineSpec::Event,
+        }
+    }
+}
+
 /// Which CPU cluster a workload starts on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 #[serde(rename_all = "snake_case")]
@@ -141,6 +178,31 @@ pub enum WorkloadKind {
         /// Idle gap in seconds.
         idle_s: f64,
     },
+    /// A piecewise-constant CPU load with an explicit phase schedule —
+    /// the canonical event-engine workload, since every rate change is a
+    /// declared wake point.
+    Phased {
+        /// Process name.
+        name: String,
+        /// The schedule, in strictly increasing `until_s` order.
+        phases: Vec<PhaseSpec>,
+    },
+}
+
+/// One phase of a [`WorkloadKind::Phased`] schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Absolute end time of the phase (exclusive), seconds.
+    pub until_s: f64,
+    /// Big-equivalent cycles demanded per second (zero = idle phase).
+    pub rate: f64,
+    /// Parallelism during the phase.
+    #[serde(default = "default_phase_threads")]
+    pub threads: f64,
+}
+
+fn default_phase_threads() -> f64 {
+    1.0
 }
 
 /// One workload attachment.
@@ -219,6 +281,17 @@ impl WorkloadSpec {
                     Seconds::new(*idle_s),
                 ))
             }
+            WorkloadKind::Phased { name, phases } => {
+                let schedule = phases
+                    .iter()
+                    .map(|p| ComputePhase {
+                        until_s: p.until_s,
+                        rate: p.rate,
+                        threads: p.threads,
+                    })
+                    .collect();
+                Box::new(PhasedCompute::new(name.clone(), schedule)?)
+            }
         })
     }
 
@@ -235,7 +308,9 @@ impl WorkloadSpec {
             WorkloadKind::ThreeDMark { .. } => "3DMark".to_owned(),
             WorkloadKind::Nenamark => "Nenamark".to_owned(),
             WorkloadKind::BasicMath => "basicmath_large".to_owned(),
-            WorkloadKind::Steady { name, .. } | WorkloadKind::Bursty { name, .. } => name.clone(),
+            WorkloadKind::Steady { name, .. }
+            | WorkloadKind::Bursty { name, .. }
+            | WorkloadKind::Phased { name, .. } => name.clone(),
         }
     }
 }
@@ -405,6 +480,9 @@ pub struct ScenarioSpec {
     /// The thermal solver (defaults to the exact LTI discretization).
     #[serde(default)]
     pub solver: SolverSpec,
+    /// The stepping engine (defaults to fixed-dt ticking).
+    #[serde(default)]
+    pub engine: EngineSpec,
     /// The sensor governors and alerts read, by platform sensor name
     /// (defaults to the platform's hottest-reading control sensor).
     #[serde(default)]
@@ -704,7 +782,9 @@ pub fn build_scenario_cached(
         return Err(invalid("a scenario needs at least one workload".into()));
     }
     let platform = spec.platform.build();
-    let mut builder = SimBuilder::new(platform.clone()).thermal_solver(spec.solver.to_kind());
+    let mut builder = SimBuilder::new(platform.clone())
+        .thermal_solver(spec.solver.to_kind())
+        .stepping(spec.engine.to_mode());
     if let Some(cache) = solver_cache {
         builder = builder.solver_cache(cache);
     }
@@ -934,6 +1014,7 @@ mod tests {
             app_aware: None,
             alerts: Vec::new(),
             solver: SolverSpec::default(),
+            engine: EngineSpec::default(),
             control_sensor: None,
             workloads: vec![WorkloadSpec {
                 kind: WorkloadKind::BasicMath,
@@ -1036,6 +1117,94 @@ mod tests {
 
         let bad = json.replace("forward_euler", "magic");
         assert!(serde_json::from_str::<ScenarioSpec>(&bad).is_err());
+    }
+
+    #[test]
+    fn engine_field_defaults_and_parses() {
+        // Absent field → fixed-dt (the historical loop).
+        let spec = bml_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.engine, EngineSpec::Fixed);
+
+        let json = r#"{
+            "platform": "exynos5422",
+            "duration_s": 1.0,
+            "engine": "event",
+            "workloads": [ { "kind": "basic_math" } ]
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.engine, EngineSpec::Event);
+        assert_eq!(spec.engine.to_mode(), SteppingMode::EventDriven);
+
+        let bad = json.replace("\"event\"", "\"warp\"");
+        assert!(serde_json::from_str::<ScenarioSpec>(&bad).is_err());
+    }
+
+    #[test]
+    fn engines_agree_on_scenario_outcome() {
+        // BasicMath makes no phase promise, so the event engine stays on
+        // the every-tick path and the runs are bit-identical.
+        let fixed = run_scenario(&bml_spec()).unwrap();
+        let mut spec = bml_spec();
+        spec.engine = EngineSpec::Event;
+        let event = run_scenario(&spec).unwrap();
+        assert_eq!(fixed.peak_temperature_c, event.peak_temperature_c);
+        assert_eq!(fixed.average_power_w, event.average_power_w);
+        assert_eq!(fixed.events, event.events);
+    }
+
+    #[test]
+    fn phased_workload_runs_under_both_engines() {
+        let phases = vec![
+            PhaseSpec {
+                until_s: 2.0,
+                rate: 2.0e9,
+                threads: 2.0,
+            },
+            PhaseSpec {
+                until_s: 5.0,
+                rate: 0.2e9,
+                threads: 1.0,
+            },
+        ];
+        let mut spec = bml_spec();
+        spec.workloads[0].kind = WorkloadKind::Phased {
+            name: "install".into(),
+            phases: phases.clone(),
+        };
+        let fixed = run_scenario(&spec).unwrap();
+        spec.engine = EngineSpec::Event;
+        let event = run_scenario(&spec).unwrap();
+        assert!(
+            (fixed.peak_temperature_c - event.peak_temperature_c).abs() < 0.1,
+            "fixed {} vs event {}",
+            fixed.peak_temperature_c,
+            event.peak_temperature_c
+        );
+        assert_eq!(fixed.workloads[0].name, "install");
+    }
+
+    #[test]
+    fn phased_schedule_must_be_monotonic() {
+        let mut spec = bml_spec();
+        spec.workloads[0].kind = WorkloadKind::Phased {
+            name: "broken".into(),
+            phases: vec![
+                PhaseSpec {
+                    until_s: 5.0,
+                    rate: 1.0e9,
+                    threads: 1.0,
+                },
+                PhaseSpec {
+                    until_s: 3.0,
+                    rate: 1.0e9,
+                    threads: 1.0,
+                },
+            ],
+        };
+        let err = run_scenario(&spec).unwrap_err();
+        assert!(err.to_string().contains("phase"), "got {err}");
     }
 
     #[test]

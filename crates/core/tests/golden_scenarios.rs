@@ -8,7 +8,8 @@ use std::sync::Arc;
 use mpt_core::campaign::{run_cells, run_cells_observed};
 use mpt_core::report::SessionReport;
 use mpt_core::scenario::{
-    run_scenario, run_scenario_analyzed, CampaignSpec, ScenarioSpec, SolverSpec,
+    run_scenario, run_scenario_analyzed, CampaignSpec, EngineSpec, PlatformSpec, ScenarioSpec,
+    SolverSpec,
 };
 use mpt_obs::{Counter, Recorder};
 
@@ -96,6 +97,41 @@ fn forward_euler_solver_still_runs_shipped_scenarios() {
             path.display(),
             exact.peak_temperature_c,
             euler_a.peak_temperature_c
+        );
+    }
+}
+
+/// The acceptance bar for the event engine: on the throttled-game
+/// scenario the event engine matches fixed-dt within 0.1 C peak
+/// temperature and produces the identical alert firings and event-log
+/// ordering — on both builtin platforms. (The game's app workload makes
+/// no phase promise, so the event engine's every-tick path runs and the
+/// match is in fact bit-exact.)
+#[test]
+fn event_engine_matches_fixed_on_both_platforms() {
+    let path = scenarios_dir().join("nexus_throttled_game.json");
+    let json = std::fs::read_to_string(path).expect("readable file");
+    let base: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+    for platform in [PlatformSpec::Snapdragon810, PlatformSpec::Exynos5422] {
+        let mut spec = base.clone();
+        spec.platform = platform;
+        spec.duration_s = 30.0;
+        let (fixed, fixed_analysis) = run_scenario_analyzed(&spec, None).expect("runs");
+        spec.engine = EngineSpec::Event;
+        let (event, event_analysis) = run_scenario_analyzed(&spec, None).expect("runs");
+        assert!(
+            (fixed.peak_temperature_c - event.peak_temperature_c).abs() < 0.1,
+            "{platform:?}: fixed peak {} C vs event peak {} C",
+            fixed.peak_temperature_c,
+            event.peak_temperature_c
+        );
+        assert_eq!(
+            fixed_analysis.alerts, event_analysis.alerts,
+            "{platform:?}: alert firings must match"
+        );
+        assert_eq!(
+            fixed.events, event.events,
+            "{platform:?}: event-log ordering must match"
         );
     }
 }

@@ -35,6 +35,15 @@ pub trait FrequencyGovernor: fmt::Debug + Send {
 
     /// Picks a target frequency.
     fn target(&mut self, opps: &OppTable, current: Hertz, load: ClusterLoad, dt: Seconds) -> Hertz;
+
+    /// How long until this governor's *internal* state would change its
+    /// decision even under unchanged load, if ever — e.g. `interactive`'s
+    /// ramp-down hold expiring. `None` means the governor is memoryless
+    /// under constant load, so the event-driven engine need not wake for
+    /// it.
+    fn pending_wake(&self) -> Option<Seconds> {
+        None
+    }
 }
 
 /// Always runs at the maximum frequency.
@@ -221,6 +230,16 @@ impl FrequencyGovernor for Interactive {
             current
         }
     }
+
+    fn pending_wake(&self) -> Option<Seconds> {
+        // Mid ramp-down hold: the decision flips when the hold expires,
+        // even if the load stays exactly where it is.
+        if self.low_since > 0.0 && self.low_since < self.min_sample_time.value() {
+            Some(Seconds::new(self.min_sample_time.value() - self.low_since))
+        } else {
+            None
+        }
+    }
 }
 
 /// The modern `schedutil` governor: `f_next = C · f_max · util` with the
@@ -404,6 +423,13 @@ impl CpuFreqPolicy {
         let raw = self.governor.target(&self.opps, self.current, load, dt);
         self.current = self.clamp(raw);
         self.current
+    }
+
+    /// The governor's pending internal wake, if any — see
+    /// [`FrequencyGovernor::pending_wake`].
+    #[must_use]
+    pub fn pending_wake(&self) -> Option<Seconds> {
+        self.governor.pending_wake()
     }
 }
 

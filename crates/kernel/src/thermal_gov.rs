@@ -58,6 +58,13 @@ pub trait ThermalGovernor: fmt::Debug + Send {
         actors: &[ActorState],
         dt: Seconds,
     ) -> Vec<ThermalAction>;
+
+    /// Whether this governor can ever act. An inactive governor (the
+    /// [`DisabledGovernor`] baseline) imposes no periodic poll, so the
+    /// event-driven engine need not wake for it.
+    fn is_active(&self) -> bool {
+        true
+    }
 }
 
 /// A no-op governor, used to "disable the default temperature governor"
@@ -72,6 +79,10 @@ impl ThermalGovernor for DisabledGovernor {
 
     fn update(&mut self, _: Celsius, _: &[ActorState], _: Seconds) -> Vec<ThermalAction> {
         Vec::new()
+    }
+
+    fn is_active(&self) -> bool {
+        false
     }
 }
 

@@ -9,12 +9,14 @@
 //! before tick 0, so a dangling reference refuses to simulate with the
 //! same `MPTxxx` diagnostic the linter prints.
 //!
-//! Checking is two-stage: a few fields (notably `solver`) are inspected
-//! on the raw JSON value *before* the typed parse, so a misspelled
-//! solver gets the specific MPT106 rather than a generic MPT101.
+//! Checking is two-stage: a few fields (notably `solver` and `engine`)
+//! are inspected on the raw JSON value *before* the typed parse, so a
+//! misspelled solver gets the specific MPT106 (and a misspelled engine
+//! MPT301) rather than a generic MPT101.
 
 use mpt_core::scenario::{
-    AlertRuleSpec, CampaignSpec, ScenarioSpec, SweepAxes, ThermalPolicySpec, WorkloadKind,
+    AlertRuleSpec, CampaignSpec, EngineSpec, ScenarioSpec, SolverSpec, SweepAxes,
+    ThermalPolicySpec, WorkloadKind,
 };
 
 use crate::diag::{Code, Diagnostic, Report, Severity};
@@ -22,6 +24,9 @@ use crate::model::MAX_SANE_TEMP_C;
 
 /// Solver names accepted by scenario JSON, mirroring `SolverSpec`.
 pub const KNOWN_SOLVERS: [&str; 2] = ["exact_lti", "forward_euler"];
+
+/// Engine names accepted by scenario JSON, mirroring `EngineSpec`.
+pub const KNOWN_ENGINES: [&str; 2] = ["fixed", "event"];
 
 /// What the scenario's mechanisms can observably emit; alert rules are
 /// checked against this.
@@ -46,6 +51,9 @@ pub fn check_scenario_json(json: &str, path: &str) -> Report {
         if !solver_name_ok(serde::__find(obj, "solver"), path, &mut r) {
             return r;
         }
+        if !engine_name_ok(serde::__find(obj, "engine"), path, &mut r) {
+            return r;
+        }
     }
     match serde_json::from_str::<ScenarioSpec>(json) {
         Ok(spec) => r.merge(check_scenario(&spec, path)),
@@ -66,12 +74,14 @@ pub fn check_campaign_json(json: &str, path: &str) -> Report {
     let Some(value) = parse_value(json, path, &mut r) else {
         return r;
     };
-    let base_solver = value
+    let base = value
         .as_object()
         .and_then(|obj| serde::__find(obj, "base"))
-        .and_then(serde::Value::as_object)
-        .and_then(|base| serde::__find(base, "solver"));
-    if !solver_name_ok(base_solver, path, &mut r) {
+        .and_then(serde::Value::as_object);
+    if !solver_name_ok(base.and_then(|b| serde::__find(b, "solver")), path, &mut r) {
+        return r;
+    }
+    if !engine_name_ok(base.and_then(|b| serde::__find(b, "engine")), path, &mut r) {
         return r;
     }
     match serde_json::from_str::<CampaignSpec>(json) {
@@ -126,6 +136,18 @@ pub fn check_scenario(spec: &ScenarioSpec, path: &str) -> Report {
     }
     for (i, w) in spec.workloads.iter().enumerate() {
         r.checks_run += 1;
+        if let WorkloadKind::Phased { phases, .. } = &w.kind {
+            if let Some(msg) = phase_schedule_problem(phases) {
+                // The specific MPT302 beats the generic build failure the
+                // same schedule would also produce.
+                r.diagnostics.push(Diagnostic::new(
+                    Code::NonMonotonicPhases,
+                    path,
+                    format!("workloads[{i}]: {msg}"),
+                ));
+                continue;
+            }
+        }
         if let Err(msg) = w.build() {
             r.diagnostics.push(Diagnostic::new(
                 Code::InvalidWorkload,
@@ -133,6 +155,15 @@ pub fn check_scenario(spec: &ScenarioSpec, path: &str) -> Report {
                 format!("workloads[{i}]: {msg}"),
             ));
         }
+    }
+    r.checks_run += 1;
+    if spec.engine == EngineSpec::Event && spec.solver == SolverSpec::ForwardEuler {
+        r.diagnostics.push(Diagnostic::new(
+            Code::InvalidEngine,
+            path,
+            "engine \"event\" needs the exact_lti solver: forward_euler sub-steps at a fixed \
+             rate, so analytic macro jumps would change the integration",
+        ));
     }
     if let Some(sensor) = &spec.control_sensor {
         r.checks_run += 1;
@@ -510,6 +541,26 @@ fn temp_in_range(t: f64, ambient_c: f64) -> bool {
     t.is_finite() && t > ambient_c && t <= MAX_SANE_TEMP_C
 }
 
+/// The first ordering problem in a phased schedule, if any: end times
+/// must be finite, strictly increasing and start above zero. (Rate and
+/// thread validity stay with the generic workload build check, MPT103.)
+fn phase_schedule_problem(phases: &[mpt_core::scenario::PhaseSpec]) -> Option<String> {
+    if phases.is_empty() {
+        return Some("phased workload has no phases".to_owned());
+    }
+    let mut prev = 0.0;
+    for (i, p) in phases.iter().enumerate() {
+        if !p.until_s.is_finite() || p.until_s <= prev {
+            return Some(format!(
+                "phases[{i}].until_s = {} must be finite and strictly after {prev}",
+                p.until_s
+            ));
+        }
+        prev = p.until_s;
+    }
+    None
+}
+
 fn parse_value(json: &str, path: &str, r: &mut Report) -> Option<serde::Value> {
     match serde_json::value_from_str(json) {
         Ok(v) => Some(v),
@@ -549,6 +600,37 @@ fn solver_name_ok(solver: Option<&serde::Value>, path: &str, r: &mut Report) -> 
                 Code::UnknownSolver,
                 path,
                 "solver must be a string naming a registered solver",
+            ));
+            false
+        }
+    }
+}
+
+/// True when the raw `engine` value (if any) names a known stepping
+/// engine; pushes MPT301 and returns false otherwise.
+fn engine_name_ok(engine: Option<&serde::Value>, path: &str, r: &mut Report) -> bool {
+    r.checks_run += 1;
+    let Some(value) = engine else {
+        return true;
+    };
+    match value.as_str() {
+        Some(name) if KNOWN_ENGINES.contains(&name) => true,
+        Some(name) => {
+            r.diagnostics.push(Diagnostic::new(
+                Code::InvalidEngine,
+                path,
+                format!(
+                    "engine {name:?} is not registered (valid: {})",
+                    KNOWN_ENGINES.join(", ")
+                ),
+            ));
+            false
+        }
+        None => {
+            r.diagnostics.push(Diagnostic::new(
+                Code::InvalidEngine,
+                path,
+                "engine must be a string naming a stepping engine",
             ));
             false
         }
@@ -595,6 +677,58 @@ mod tests {
         );
         let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
         assert_eq!(codes, vec![Code::UnknownSolver]);
+    }
+
+    #[test]
+    fn unknown_engine_fires_mpt301_before_typed_parse() {
+        let report = check_scenario_json(
+            r#"{ "platform": "exynos5422", "duration_s": 1.0, "engine": "warp",
+                 "workloads": [ { "kind": "basic_math" } ] }"#,
+            "s",
+        );
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::InvalidEngine]);
+    }
+
+    #[test]
+    fn event_engine_with_forward_euler_fires_mpt301() {
+        let report = check_scenario_json(
+            r#"{ "platform": "exynos5422", "duration_s": 1.0,
+                 "engine": "event", "solver": "forward_euler",
+                 "workloads": [ { "kind": "basic_math" } ] }"#,
+            "s",
+        );
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::InvalidEngine]);
+        // The supported pairing stays clean.
+        let report = check_scenario_json(
+            r#"{ "platform": "exynos5422", "duration_s": 1.0, "engine": "event",
+                 "workloads": [ { "kind": "basic_math" } ] }"#,
+            "s",
+        );
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn non_monotonic_phases_fire_mpt302() {
+        let report = check_scenario_json(
+            r#"{ "platform": "exynos5422", "duration_s": 10.0,
+                 "workloads": [ { "kind": "phased", "name": "p", "phases": [
+                     { "until_s": 5.0, "rate": 1e9 },
+                     { "until_s": 3.0, "rate": 2e9 } ] } ] }"#,
+            "s",
+        );
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::NonMonotonicPhases]);
+        // A bad rate is still the generic workload-build failure.
+        let report = check_scenario_json(
+            r#"{ "platform": "exynos5422", "duration_s": 10.0,
+                 "workloads": [ { "kind": "phased", "name": "p", "phases": [
+                     { "until_s": 5.0, "rate": -1.0 } ] } ] }"#,
+            "s",
+        );
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::InvalidWorkload]);
     }
 
     #[test]

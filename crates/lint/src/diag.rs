@@ -7,7 +7,9 @@
 //!
 //! - `MPT0xx` — model analysis (platforms, OPP tables, thermal networks),
 //! - `MPT1xx` — config analysis (scenarios, campaigns, alert files),
-//! - `MPT2xx` — source analysis (determinism scan of the sim crates).
+//! - `MPT2xx` — source analysis (determinism scan of the sim crates),
+//! - `MPT3xx` — stepping-engine analysis (event-engine compatibility,
+//!   phase schedules).
 
 use std::fmt;
 
@@ -81,11 +83,16 @@ pub enum Code {
     NondeterministicRng,
     /// MPT203: iteration over an unordered container.
     UnorderedContainer,
+    /// MPT301: `engine` names no stepping engine, or the event engine is
+    /// combined with a feature it does not support.
+    InvalidEngine,
+    /// MPT302: a phased workload's schedule is not strictly increasing.
+    NonMonotonicPhases,
 }
 
 impl Code {
     /// Every code, in numeric order (used by `--list-codes`).
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 24] = [
         Code::OppFrequencyOrder,
         Code::OppVoltageMonotonicity,
         Code::OppPowerMonotonicity,
@@ -108,6 +115,8 @@ impl Code {
         Code::WallClockRead,
         Code::NondeterministicRng,
         Code::UnorderedContainer,
+        Code::InvalidEngine,
+        Code::NonMonotonicPhases,
     ];
 
     /// The stable `MPTxxx` identifier.
@@ -136,6 +145,8 @@ impl Code {
             Code::WallClockRead => "MPT201",
             Code::NondeterministicRng => "MPT202",
             Code::UnorderedContainer => "MPT203",
+            Code::InvalidEngine => "MPT301",
+            Code::NonMonotonicPhases => "MPT302",
         }
     }
 
@@ -182,6 +193,8 @@ impl Code {
             Code::WallClockRead => "wall-clock read outside mpt_obs::clock",
             Code::NondeterministicRng => "nondeterministically seeded RNG",
             Code::UnorderedContainer => "iteration-order-sensitive unordered container",
+            Code::InvalidEngine => "engine unknown or incompatible with the event stepper",
+            Code::NonMonotonicPhases => "phased workload schedule must be strictly increasing",
         }
     }
 
@@ -235,6 +248,10 @@ impl Code {
             }
             Code::NondeterministicRng => "seed RNGs from the scenario/campaign seed",
             Code::UnorderedContainer => "use BTreeMap/BTreeSet for deterministic iteration",
+            Code::InvalidEngine => "valid engines: fixed, event",
+            Code::NonMonotonicPhases => {
+                "order phases by until_s, strictly increasing and starting above zero"
+            }
         }
     }
 }

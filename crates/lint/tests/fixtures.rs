@@ -8,11 +8,13 @@ use std::process::Command;
 use mpt_lint::{check_file, diag::Code};
 
 /// `(fixture file, the one code it must fire)`.
-const EXPECTED: [(&str, Code); 4] = [
+const EXPECTED: [(&str, Code); 6] = [
     ("asymmetric_g.model.json", Code::InvalidConductance),
     ("non_monotonic_opp.model.json", Code::OppVoltageMonotonicity),
     ("dangling_sensor.json", Code::DanglingControlSensor),
     ("unknown_solver.json", Code::UnknownSolver),
+    ("event_engine_forward_euler.json", Code::InvalidEngine),
+    ("phased_nonmonotonic.json", Code::NonMonotonicPhases),
 ];
 
 fn workspace_root() -> PathBuf {

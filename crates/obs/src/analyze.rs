@@ -350,6 +350,47 @@ impl AlertEngine {
         self.rules.is_empty()
     }
 
+    /// Remaining simulated seconds until the earliest *armed* sustain
+    /// deadline would fire: a sustain rule is armed when its predicate
+    /// has held for part of an episode (`held_s > 0`) that has not fired
+    /// yet. `None` when no sustain rule is mid-episode — the event-driven
+    /// engine then has no alert deadline to schedule.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.rules
+            .iter()
+            .filter_map(|(rule, state)| {
+                let sustain_s = match rule {
+                    AlertRule::TempAbove { sustain_s, .. }
+                    | AlertRule::FpsBelow { sustain_s, .. } => *sustain_s,
+                    _ => return None,
+                };
+                match state {
+                    RuleState::Sustain { held_s, fired } if *held_s > 0.0 && !fired => {
+                        Some((sustain_s - held_s).max(0.0))
+                    }
+                    _ => None,
+                }
+            })
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |a| a.min(r)))
+            })
+    }
+
+    /// The temperature thresholds watched by `temp_above` rules — the
+    /// crossings the event-driven engine predicts from the LTI
+    /// trajectory so a macro step never glides past an arming boundary.
+    #[must_use]
+    pub fn temp_thresholds(&self) -> Vec<f64> {
+        self.rules
+            .iter()
+            .filter_map(|(rule, _)| match rule {
+                AlertRule::TempAbove { threshold_c, .. } => Some(*threshold_c),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Evaluates every rule against one tick; returns the alerts that
     /// fire on this tick (usually none).
     pub fn observe(&mut self, s: &TickSample) -> Vec<Alert> {

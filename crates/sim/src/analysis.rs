@@ -165,4 +165,33 @@ impl RunAnalysis {
     pub fn trip_c(&self) -> Option<f64> {
         self.tracker.trip_c()
     }
+
+    /// The next counter-track sample point: the first pass *ending* at
+    /// or after this time emits track samples. An event-engine wake
+    /// target.
+    #[must_use]
+    pub fn next_track_sample_s(&self) -> f64 {
+        self.next_sample_s
+    }
+
+    /// Remaining seconds until the earliest armed alert sustain deadline
+    /// (see [`AlertEngine::next_deadline`]); `None` when no sustain rule
+    /// is mid-episode.
+    #[must_use]
+    pub fn next_alert_deadline_s(&self) -> Option<f64> {
+        self.engine.next_deadline()
+    }
+
+    /// Every temperature threshold the analysis is watching: `temp_above`
+    /// rule thresholds plus the trip reference. The event engine
+    /// bisects the LTI trajectory against these so a macro step never
+    /// jumps across a crossing.
+    #[must_use]
+    pub fn temp_thresholds(&self) -> Vec<f64> {
+        let mut thresholds = self.engine.temp_thresholds();
+        if let Some(trip) = self.tracker.trip_c() {
+            thresholds.push(trip);
+        }
+        thresholds
+    }
 }

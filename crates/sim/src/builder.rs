@@ -14,7 +14,9 @@ use mpt_units::{Celsius, Seconds};
 use mpt_workloads::Workload;
 
 use crate::analysis::RunAnalysis;
-use crate::engine::{Attached, SimCore};
+use crate::clock::SimClock;
+use crate::engine::{Attached, SimCore, SteppingMode};
+use crate::queue::EventQueue;
 use crate::stages::default_pipeline;
 use crate::{EventLog, Result, SimError, Simulator, SystemPolicy, Telemetry};
 
@@ -41,6 +43,7 @@ pub struct SimBuilder {
     alert_rules: Vec<AlertRule>,
     solver: SolverKind,
     solver_cache: Option<Arc<TransitionCache>>,
+    stepping: SteppingMode,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -78,7 +81,18 @@ impl SimBuilder {
             alert_rules: Vec::new(),
             solver: SolverKind::default(),
             solver_cache: None,
+            stepping: SteppingMode::default(),
         }
+    }
+
+    /// Selects the stepping mode (default [`SteppingMode::FixedDt`]).
+    /// [`SteppingMode::EventDriven`] jumps between scheduled events —
+    /// see the `queue` module — and is equivalent to fixed-dt within the
+    /// documented tolerances.
+    #[must_use]
+    pub fn stepping(mut self, mode: SteppingMode) -> Self {
+        self.stepping = mode;
+        self
     }
 
     /// Selects the thermal solver (default [`SolverKind::ExactLti`]).
@@ -317,8 +331,7 @@ impl SimBuilder {
             policies,
             control_sensor: self.control_sensor,
             workloads: attached,
-            time: Seconds::ZERO,
-            dt: self.dt,
+            clock: SimClock::new(self.dt),
             telemetry: Telemetry::new(self.telemetry_period),
             sysfs: SysFs::new(),
             last_powers: BTreeMap::new(),
@@ -352,6 +365,10 @@ impl SimBuilder {
             stages,
             tick_hist,
             stage_hists,
+            stepping: self.stepping,
+            queue: EventQueue::new(),
+            last_fingerprint: None,
+            quiescent: false,
         })
     }
 }

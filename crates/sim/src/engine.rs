@@ -12,8 +12,55 @@ use mpt_units::{Celsius, Hertz, Kelvin, Seconds, Watts};
 use mpt_workloads::Workload;
 
 use crate::analysis::RunAnalysis;
-use crate::stages::{SimStage, StepContext};
+use crate::clock::SimClock;
+use crate::queue::{EventQueue, WakeKind};
+use crate::stages::{SimStage, StepContext, Wake};
 use crate::{Event, EventKind, EventLog, Result, Telemetry};
+
+/// How the simulator advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SteppingMode {
+    /// The classic loop: one pipeline pass per base tick, always.
+    #[default]
+    FixedDt,
+    /// The macro-stepper: between scheduled events (governor polls,
+    /// phase changes, sample points, alert deadlines, predicted trip
+    /// crossings) the thermal/power state jumps analytically in one
+    /// solver call over a multi-tick gap.
+    EventDriven,
+}
+
+impl SteppingMode {
+    /// Stable lowercase key (`"fixed"` / `"event"`), as accepted by
+    /// `--engine` and the scenario `"engine"` field.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            SteppingMode::FixedDt => "fixed",
+            SteppingMode::EventDriven => "event",
+        }
+    }
+}
+
+impl std::fmt::Display for SteppingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+impl std::str::FromStr for SteppingMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "fixed" => Ok(SteppingMode::FixedDt),
+            "event" => Ok(SteppingMode::EventDriven),
+            other => Err(format!(
+                "unknown engine {other:?}; use \"fixed\" or \"event\""
+            )),
+        }
+    }
+}
 
 pub(crate) struct Attached {
     pub(crate) pid: Pid,
@@ -57,8 +104,7 @@ pub struct SimCore {
     pub(crate) policies: BTreeMap<ComponentId, CpuFreqPolicy>,
     pub(crate) control_sensor: Option<String>,
     pub(crate) workloads: Vec<Attached>,
-    pub(crate) time: Seconds,
-    pub(crate) dt: Seconds,
+    pub(crate) clock: SimClock,
     pub(crate) telemetry: Telemetry,
     pub(crate) sysfs: SysFs,
     pub(crate) last_powers: BTreeMap<ComponentId, PowerBreakdown>,
@@ -107,6 +153,62 @@ impl SimCore {
             .iter()
             .map(|(_, c)| *c)
             .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Evaluates the control temperature `dt` ahead of the current state
+    /// under constant `node_powers`, without advancing the network — the
+    /// probe the event engine bisects on for trip-crossing prediction.
+    pub(crate) fn peek_control_temperature(
+        &mut self,
+        dt: Seconds,
+        node_powers: &[Watts],
+    ) -> Result<Celsius> {
+        let temps = self.network.peek(dt, node_powers)?;
+        let temp_of = |node: &str| -> Option<Celsius> {
+            self.network.node_index(node).map(|i| temps[i].to_celsius())
+        };
+        if let Some(sensor_name) = &self.control_sensor {
+            if let Some(sensor) = self
+                .platform
+                .temperature_sensors()
+                .iter()
+                .find(|s| s.name() == sensor_name.as_str())
+            {
+                if let Some(c) = temp_of(sensor.thermal_node()) {
+                    return Ok(c);
+                }
+            }
+        }
+        Ok(self
+            .platform
+            .temperature_sensors()
+            .iter()
+            .filter_map(|s| temp_of(s.thermal_node()))
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max))
+    }
+
+    /// Hash of the control state the macro-stepper must not jump across
+    /// a change of: per-policy frequency and cap, the interaction latch,
+    /// and each workload's cluster placement and completion flag. Demand
+    /// *rates* are deliberately absent — the
+    /// [`Workload::next_phase_change`](mpt_workloads::Workload) contract
+    /// covers those.
+    pub(crate) fn control_fingerprint(&self, interaction: bool) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (&id, policy) in &self.policies {
+            id.key().hash(&mut h);
+            policy.current().as_khz().hash(&mut h);
+            policy.max_cap().map(Hertz::as_khz).hash(&mut h);
+        }
+        interaction.hash(&mut h);
+        for a in &self.workloads {
+            if let Some(p) = self.scheduler.process(a.pid) {
+                p.cluster().key().hash(&mut h);
+            }
+            a.workload.is_finished().hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Writes a sysfs attribute on behalf of the simulator core, counting
@@ -312,7 +414,7 @@ impl SimCore {
                     &self.recorder,
                     &mut self.events,
                     Event {
-                        time: self.time,
+                        time: self.clock.now(),
                         kind: EventKind::CapChanged {
                             component: id,
                             cap: desired,
@@ -335,19 +437,61 @@ pub struct Simulator {
     pub(crate) tick_hist: HistId,
     /// Per-stage latency histogram ids, parallel to `stages`.
     pub(crate) stage_hists: Vec<HistId>,
+    /// How [`run_for`](Simulator::run_for) advances time.
+    pub(crate) stepping: SteppingMode,
+    /// The macro-stepper's wake queue, rebuilt each pass from the
+    /// stages' declared wakes.
+    pub(crate) queue: EventQueue,
+    /// Control-state fingerprint after the previous pass; a long jump is
+    /// only allowed once the fingerprint has been stable across two
+    /// consecutive passes.
+    pub(crate) last_fingerprint: Option<u64>,
+    pub(crate) quiescent: bool,
+}
+
+/// Number of whole base ticks (at least one) needed to reach `target`
+/// from `now` — the grid quantization that keeps every event-mode pass
+/// boundary on a fixed-mode tick boundary.
+fn grid_steps(now: Seconds, target: Seconds, base: Seconds) -> u64 {
+    let raw = (target.value() - now.value()) / base.value();
+    if !raw.is_finite() || raw <= 1.0 {
+        return 1;
+    }
+    // Quantize UP with a small tolerance so a target sitting exactly on
+    // the grid does not round to an extra tick.
+    let k = (raw - 1e-9).ceil();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    if k <= 1.0 {
+        1
+    } else {
+        k as u64
+    }
 }
 
 impl Simulator {
     /// Current simulation time.
     #[must_use]
     pub fn time(&self) -> Seconds {
-        self.core.time
+        self.core.clock.now()
     }
 
-    /// The simulation tick.
+    /// The base simulation tick.
     #[must_use]
     pub fn dt(&self) -> Seconds {
-        self.core.dt
+        self.core.clock.base_dt()
+    }
+
+    /// The shared time source: sim time, base tick, last pass length and
+    /// pass count.
+    #[must_use]
+    pub fn clock(&self) -> SimClock {
+        self.core.clock
+    }
+
+    /// The active stepping mode.
+    #[must_use]
+    pub fn stepping(&self) -> SteppingMode {
+        self.stepping
     }
 
     /// The platform under simulation.
@@ -470,16 +614,12 @@ impl Simulator {
         self.core.workloads.iter().all(|a| a.workload.is_finished())
     }
 
-    /// Advances the simulation by one tick: runs each pipeline stage in
-    /// order over the shared core, then advances the clock.
-    ///
-    /// # Errors
-    ///
-    /// Propagates thermal/scheduler/sysfs errors (none occur in a
-    /// correctly built simulator).
-    pub fn step(&mut self) -> Result<()> {
+    /// Runs one pipeline pass of length `dt` (any whole multiple of the
+    /// base tick) and advances the clock; returns whether any workload
+    /// reported a touch interaction during the pass.
+    fn pass(&mut self, dt: Seconds) -> Result<bool> {
         let recorder = Arc::clone(&self.core.recorder);
-        let mut ctx = StepContext::new(self.core.time, self.core.dt);
+        let mut ctx = StepContext::new(self.core.clock.now(), dt);
         {
             let _tick = recorder.span_with_hist("tick", "tick", self.tick_hist);
             for (stage, &hist) in self.stages.iter_mut().zip(&self.stage_hists) {
@@ -489,25 +629,114 @@ impl Simulator {
         }
         recorder.incr(Counter::Ticks);
         recorder.add(Counter::StageRuns, self.stages.len() as u64);
-        self.core.time += self.core.dt;
+        self.core.clock.advance(dt);
+        Ok(ctx.interaction)
+    }
+
+    /// Advances the simulation by one base tick: runs each pipeline
+    /// stage in order over the shared core, then advances the clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal/scheduler/sysfs errors (none occur in a
+    /// correctly built simulator).
+    pub fn step(&mut self) -> Result<()> {
+        let dt = self.core.clock.base_dt();
+        self.pass(dt)?;
         Ok(())
     }
 
-    /// Runs for a span of simulated time.
+    /// One event-driven macro step toward `end`: polls every stage for
+    /// its next wake, schedules the wakes (plus the run end) on the
+    /// event queue, pops the earliest, quantizes the gap up to the
+    /// base-tick grid, lets the thermal stage shorten it to a predicted
+    /// trip crossing, then runs a single pipeline pass covering the
+    /// whole gap.
+    ///
+    /// Two guards keep this equivalent to fixed-dt stepping: a stage
+    /// that answers [`Wake::EveryTick`] (frame-based workloads, pending
+    /// control writes) pins the pass to one base tick, and jumps are
+    /// only taken while the control-state fingerprint is stable across
+    /// consecutive passes.
+    fn event_step(&mut self, end: Seconds) -> Result<()> {
+        let now = self.core.clock.now();
+        let base = self.core.clock.base_dt();
+        self.queue.clear();
+        let mut every_tick = false;
+        for stage in &mut self.stages {
+            match stage.next_wake(&mut self.core, now) {
+                Wake::Never => {}
+                Wake::EveryTick => every_tick = true,
+                Wake::At { time, kind } => {
+                    if time.value() <= now.value() + 1e-12 {
+                        // Due immediately: the earliest legal pass end is
+                        // one base tick away.
+                        every_tick = true;
+                    } else if time.value().is_finite() {
+                        self.queue.schedule(time, kind);
+                    }
+                }
+            }
+        }
+        self.queue.schedule(end, WakeKind::RunEnd);
+
+        let mut steps: u64 = 1;
+        if !every_tick && self.quiescent {
+            if let Some(event) = self.queue.pop() {
+                steps = grid_steps(now, event.time, base);
+            }
+            if steps > 1 {
+                let target = now + Seconds::new(steps as f64 * base.value());
+                let mut refined = steps;
+                for stage in &mut self.stages {
+                    if let Some(t) = stage.refine_wake(&mut self.core, now, target) {
+                        refined = refined.min(grid_steps(now, t, base));
+                    }
+                }
+                steps = refined.max(1);
+            }
+        }
+
+        let dt = if steps <= 1 {
+            base
+        } else {
+            Seconds::new(steps as f64 * base.value())
+        };
+        let interaction = self.pass(dt)?;
+        let fingerprint = self.core.control_fingerprint(interaction);
+        self.quiescent = self.last_fingerprint == Some(fingerprint);
+        self.last_fingerprint = Some(fingerprint);
+        Ok(())
+    }
+
+    /// Runs for a span of simulated time, advancing tick by tick in
+    /// [`SteppingMode::FixedDt`] or event to event in
+    /// [`SteppingMode::EventDriven`].
     ///
     /// # Errors
     ///
     /// Propagates the first [`step`](Self::step) error.
     pub fn run_for(&mut self, span: Seconds) -> Result<()> {
-        let end = self.core.time + span;
-        while self.core.time < end {
-            self.step()?;
+        let end = self.core.clock.now() + span;
+        match self.stepping {
+            SteppingMode::FixedDt => {
+                while self.core.clock.now() < end {
+                    self.step()?;
+                }
+            }
+            SteppingMode::EventDriven => {
+                while self.core.clock.now() < end {
+                    self.event_step(end)?;
+                }
+            }
         }
         Ok(())
     }
 
     /// Runs until `predicate` returns true or `max` simulated time
-    /// elapses; returns whether the predicate fired.
+    /// elapses; returns whether the predicate fired. The predicate is
+    /// checked between passes, so in event mode its granularity is the
+    /// macro step, not the base tick.
     ///
     /// # Errors
     ///
@@ -517,12 +746,15 @@ impl Simulator {
         mut predicate: impl FnMut(&Simulator) -> bool,
         max: Seconds,
     ) -> Result<bool> {
-        let end = self.core.time + max;
-        while self.core.time < end {
+        let end = self.core.clock.now() + max;
+        while self.core.clock.now() < end {
             if predicate(self) {
                 return Ok(true);
             }
-            self.step()?;
+            match self.stepping {
+                SteppingMode::FixedDt => self.step()?,
+                SteppingMode::EventDriven => self.event_step(end)?,
+            }
         }
         Ok(predicate(self))
     }

@@ -47,20 +47,24 @@
 
 pub mod analysis;
 mod builder;
+mod clock;
 mod engine;
 mod error;
 pub mod events;
 mod policy;
+pub mod queue;
 pub mod stages;
 mod telemetry;
 
 pub use analysis::RunAnalysis;
 pub use builder::SimBuilder;
-pub use engine::{SimCore, Simulator};
+pub use clock::SimClock;
+pub use engine::{SimCore, Simulator, SteppingMode};
 pub use error::SimError;
 pub use events::{Event, EventKind, EventLog};
 pub use policy::{SystemPolicy, SystemView};
-pub use stages::{SimStage, StepContext};
+pub use queue::{EventId, EventQueue, ScheduledEvent, WakeKind};
+pub use stages::{SimStage, StepContext, Wake};
 pub use telemetry::Telemetry;
 
 /// Result alias for simulator operations.

@@ -5,9 +5,11 @@
 use mpt_kernel::CpuFreqPolicy;
 use mpt_obs::TickSample;
 use mpt_soc::ComponentId;
+use mpt_units::Seconds;
 
 use crate::engine::SimCore;
-use crate::stages::{SimStage, StepContext};
+use crate::queue::WakeKind;
+use crate::stages::{SimStage, StepContext, Wake};
 use crate::{EventKind, Result};
 
 /// Gathers the tick's domain signals (control temperature, total power,
@@ -66,5 +68,24 @@ impl SimStage for AnalyzeStage {
         } = *core;
         analysis.observe_tick(recorder, events, &sample, &freqs_mhz);
         Ok(())
+    }
+
+    fn next_wake(&mut self, core: &mut SimCore, now: Seconds) -> Wake {
+        // Counter tracks sample on the first pass *ending* at or after
+        // the sample point.
+        let mut wake = Wake::at(
+            Seconds::new(core.analysis.next_track_sample_s()),
+            WakeKind::SamplePoint,
+        );
+        // An armed sustain window fires (or resets) exactly when its
+        // deadline elapses; schedule the check so `held_s` accrues
+        // across macro steps just as it would tick by tick.
+        if let Some(remaining) = core.analysis.next_alert_deadline_s() {
+            wake = wake.earliest(Wake::at(
+                now + Seconds::new(remaining),
+                WakeKind::AlertDeadline,
+            ));
+        }
+        wake
     }
 }

@@ -1,7 +1,10 @@
 //! Demand collection: workloads express what they want this tick.
 
+use mpt_units::Seconds;
+
 use crate::engine::SimCore;
-use crate::stages::{SimStage, StepContext};
+use crate::queue::WakeKind;
+use crate::stages::{SimStage, StepContext, Wake};
 use crate::Result;
 
 /// Asks every attached workload for its per-tick demand (CPU cycles and
@@ -23,5 +26,25 @@ impl SimStage for DemandStage {
             ctx.demands.push((a.pid, d));
         }
         Ok(())
+    }
+
+    fn next_wake(&mut self, core: &mut SimCore, _now: Seconds) -> Wake {
+        let mut wake = Wake::Never;
+        for a in &core.workloads {
+            if a.workload.is_finished() {
+                continue;
+            }
+            match a.workload.next_phase_change(core.clock.now()) {
+                // No phase promise (frame-based apps/benchmarks): the
+                // demand rate can change any tick.
+                None => return Wake::EveryTick,
+                Some(t) if t.value().is_finite() => {
+                    wake = wake.earliest(Wake::at(t, WakeKind::PhaseChange));
+                }
+                // Constant forever: imposes nothing.
+                Some(_) => {}
+            }
+        }
+        wake
     }
 }

@@ -8,7 +8,8 @@ use mpt_soc::ComponentId;
 use mpt_units::{Ratio, Seconds};
 
 use crate::engine::SimCore;
-use crate::stages::{SimStage, StepContext};
+use crate::queue::WakeKind;
+use crate::stages::{SimStage, StepContext, Wake};
 use crate::{Result, SystemPolicy, SystemView};
 
 /// Applies external writes to the sysfs control plane — frequency caps
@@ -26,6 +27,21 @@ impl SimStage for SysfsControlStage {
     fn run(&mut self, core: &mut SimCore, _ctx: &mut StepContext) -> Result<()> {
         core.apply_sysfs_caps()?;
         core.apply_pending_migrations()
+    }
+
+    fn next_wake(&mut self, core: &mut SimCore, _now: Seconds) -> Wake {
+        // A queued cpuset migration must take effect one tick later,
+        // exactly as in fixed mode — don't jump across it.
+        let pending = !core
+            .pending_migrations
+            .lock()
+            .expect("queue mutex is never poisoned")
+            .is_empty();
+        if pending {
+            Wake::EveryTick
+        } else {
+            Wake::Never
+        }
     }
 }
 
@@ -145,5 +161,29 @@ impl SimStage for GovernStage {
             }
         }
         Ok(())
+    }
+
+    fn next_wake(&mut self, core: &mut SimCore, now: Seconds) -> Wake {
+        let mut wake = Wake::Never;
+        // The thermal governor's next poll boundary — only a real wake
+        // when the governor can act at all.
+        if self.thermal_governor.is_active() {
+            let remaining = (self.thermal_period - self.since_thermal).max(Seconds::ZERO);
+            wake = wake.earliest(Wake::at(now + remaining, WakeKind::GovernorPoll));
+        }
+        // The system policy's next poll boundary.
+        if let Some(policy) = &self.system_policy {
+            let remaining = (policy.period() - self.since_policy).max(Seconds::ZERO);
+            wake = wake.earliest(Wake::at(now + remaining, WakeKind::GovernorPoll));
+        }
+        // cpufreq governors with pending internal state (interactive's
+        // ramp-down hold): their decision flips even under constant
+        // load.
+        for policy in core.policies.values() {
+            if let Some(remaining) = policy.pending_wake() {
+                wake = wake.earliest(Wake::at(now + remaining, WakeKind::GovernorPoll));
+            }
+        }
+        wake
     }
 }

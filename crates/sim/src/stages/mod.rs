@@ -41,7 +41,49 @@ use mpt_units::Seconds;
 use mpt_workloads::Demand;
 
 use crate::engine::SimCore;
+use crate::queue::WakeKind;
 use crate::{Result, SystemPolicy};
+
+/// A stage's answer to "when must the pipeline run again?", used by the
+/// event-driven stepping mode to size macro steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Wake {
+    /// This stage imposes no wake of its own.
+    Never,
+    /// This stage cannot predict its next change — run every base tick
+    /// (frame-based workloads, pending external control writes).
+    EveryTick,
+    /// Run a pass ending at (or just after, once grid-quantized) `time`.
+    At {
+        /// Absolute simulated time of the wake.
+        time: Seconds,
+        /// Why the wake is needed.
+        kind: WakeKind,
+    },
+}
+
+impl Wake {
+    /// A wake at an absolute time.
+    #[must_use]
+    pub fn at(time: Seconds, kind: WakeKind) -> Self {
+        Wake::At { time, kind }
+    }
+
+    /// Combines two wake requests, keeping the more urgent one.
+    /// [`Wake::EveryTick`] dominates (it is the earliest possible wake);
+    /// [`Wake::Never`] is the identity.
+    #[must_use]
+    pub fn earliest(self, other: Wake) -> Wake {
+        match (self, other) {
+            (Wake::EveryTick, _) | (_, Wake::EveryTick) => Wake::EveryTick,
+            (Wake::Never, w) | (w, Wake::Never) => w,
+            (Wake::At { time: a, kind }, Wake::At { time: b, .. }) if a <= b => {
+                Wake::At { time: a, kind }
+            }
+            (Wake::At { .. }, w) => w,
+        }
+    }
+}
 
 /// Per-tick scratch state carried through the pipeline.
 ///
@@ -104,6 +146,30 @@ pub trait SimStage: std::fmt::Debug {
     /// Propagates simulator errors; the pipeline aborts on the first
     /// failing stage.
     fn run(&mut self, core: &mut SimCore, ctx: &mut StepContext) -> Result<()>;
+
+    /// Declares when this stage next needs the pipeline to run, as seen
+    /// from `now` (the end of the pass that just completed). Every stage
+    /// still runs on *every* pass — this only bounds how far the
+    /// event-driven engine may jump. The default imposes no wake.
+    fn next_wake(&mut self, core: &mut SimCore, now: Seconds) -> Wake {
+        let _ = (core, now);
+        Wake::Never
+    }
+
+    /// Given the tentatively chosen pass end `target`, returns an
+    /// earlier time the pass must stop at instead, if this stage can
+    /// predict one — the hook the thermal stage uses to report a
+    /// trip-point crossing bisected out of the LTI trajectory. The
+    /// default predicts nothing.
+    fn refine_wake(
+        &mut self,
+        core: &mut SimCore,
+        now: Seconds,
+        target: Seconds,
+    ) -> Option<Seconds> {
+        let _ = (core, now, target);
+        None
+    }
 }
 
 /// The standard pipeline, in tick order.

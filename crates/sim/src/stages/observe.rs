@@ -4,10 +4,11 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use mpt_kernel::Pid;
 use mpt_soc::ComponentId;
-use mpt_units::Hertz;
+use mpt_units::{Hertz, Seconds};
 
 use crate::engine::{log_event, SimCore};
-use crate::stages::{SimStage, StepContext};
+use crate::queue::WakeKind;
+use crate::stages::{SimStage, StepContext, Wake};
 use crate::{Event, EventKind, Result};
 
 /// Records the tick into the run telemetry (time series, residency,
@@ -32,6 +33,20 @@ impl SimStage for TelemetryStage {
             .record(ctx.now, ctx.dt, &sensor_temps, &freqs, &ctx.powers);
         core.last_powers = std::mem::take(&mut ctx.powers);
         Ok(())
+    }
+
+    fn next_wake(&mut self, core: &mut SimCore, now: Seconds) -> Wake {
+        // Telemetry samples on the first pass *starting* at or after the
+        // sample point, so the previous pass must end there.
+        let next = core.telemetry.next_sample_time();
+        let target = if next.value() <= now.value() + 1e-12 {
+            // The pass about to start records regardless of its length;
+            // the boundary to protect is one period on from its start.
+            now + core.telemetry.sample_period()
+        } else {
+            next
+        };
+        Wake::at(target, WakeKind::SamplePoint)
     }
 }
 

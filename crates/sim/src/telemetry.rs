@@ -104,6 +104,21 @@ impl Telemetry {
         Seconds::new(self.elapsed)
     }
 
+    /// The next time-series sample point: the first pass *starting* at
+    /// or after this time records a sample. The event-driven engine
+    /// wakes here so decimated series keep their cadence across macro
+    /// steps.
+    #[must_use]
+    pub fn next_sample_time(&self) -> Seconds {
+        Seconds::new(self.next_sample)
+    }
+
+    /// The configured time-series sampling period.
+    #[must_use]
+    pub fn sample_period(&self) -> Seconds {
+        Seconds::new(self.sample_period)
+    }
+
     /// The temperature trace of a named sensor.
     #[must_use]
     pub fn temperature(&self, sensor: &str) -> Option<&TimeSeries> {

@@ -216,6 +216,31 @@ impl RcNetwork {
             .step(&self.lti, &mut self.temperatures, dt, powers)
     }
 
+    /// Evaluates the trajectory `x(t) = Ad(dt)·x0 + ∫Bd·u` at `dt` ahead
+    /// of the current state *without* advancing the network — the probe
+    /// the event-driven engine bisects on to predict trip-point
+    /// crossings. Uses the configured solver (and so the shared
+    /// [`TransitionCache`](crate::TransitionCache) for exact-LTI, keyed
+    /// by the probed `dt`); only the solver's internal memo mutates,
+    /// which is why `&mut self` is required.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    pub fn peek(&mut self, dt: Seconds, powers: &[Watts]) -> Result<Vec<Kelvin>> {
+        if powers.len() != self.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.len(),
+                actual: powers.len(),
+            });
+        }
+        let mut temps = self.temperatures.clone();
+        if dt.value() > 0.0 {
+            self.solver.step(&self.lti, &mut temps, dt, powers)?;
+        }
+        Ok(temps)
+    }
+
     /// The steady-state temperatures for a fixed power injection (linear
     /// solve; leakage feedback is *not* iterated here — use the lumped
     /// analysis for that).

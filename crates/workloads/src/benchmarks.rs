@@ -472,6 +472,11 @@ impl Workload for SteadyCompute {
     fn deliver(&mut self, cpu_cycles: f64, _gpu_cycles: f64, _now: Seconds, _dt: Seconds) {
         self.delivered += cpu_cycles.max(0.0);
     }
+
+    fn next_phase_change(&self, _now: Seconds) -> Option<Seconds> {
+        // Demand rate is constant forever: never a phase boundary.
+        Some(Seconds::new(f64::INFINITY))
+    }
 }
 
 /// A bursty CPU task: alternates short heavy bursts with idle gaps.
@@ -569,6 +574,159 @@ impl Workload for BurstyCompute {
 
     fn deliver(&mut self, cpu_cycles: f64, _gpu_cycles: f64, _now: Seconds, _dt: Seconds) {
         self.delivered += cpu_cycles.max(0.0);
+    }
+
+    fn next_phase_change(&self, now: Seconds) -> Option<Seconds> {
+        // The demand rate flips at every burst/idle edge.
+        let period = self.burst + self.idle;
+        let pos = now.value().rem_euclid(period);
+        let remaining = if pos < self.burst {
+            self.burst - pos
+        } else {
+            period - pos
+        };
+        Some(Seconds::new(now.value() + remaining))
+    }
+}
+
+/// One phase of a [`PhasedCompute`] schedule: a constant demand rate
+/// that lasts until an absolute simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputePhase {
+    /// Absolute end time of the phase (exclusive), seconds.
+    pub until_s: f64,
+    /// Big-equivalent cycles demanded per second during the phase
+    /// (zero = idle phase).
+    pub rate: f64,
+    /// Parallelism during the phase.
+    pub threads: f64,
+}
+
+/// A piecewise-constant CPU task: an explicit schedule of (rate,
+/// threads) phases with absolute end times, finishing after the last
+/// phase. The canonical event-mode workload — every phase boundary is a
+/// declared wake, so the engine covers each phase in macro steps and
+/// never has to poll for a rate change.
+///
+/// # Examples
+///
+/// ```
+/// use mpt_workloads::benchmarks::{ComputePhase, PhasedCompute};
+/// use mpt_workloads::Workload;
+/// use mpt_units::Seconds;
+///
+/// let mut w = PhasedCompute::new("install-then-idle", vec![
+///     ComputePhase { until_s: 5.0, rate: 2.0e9, threads: 2.0 },
+///     ComputePhase { until_s: 20.0, rate: 0.1e9, threads: 1.0 },
+/// ]).unwrap();
+/// assert!(w.demand(Seconds::new(1.0), Seconds::from_millis(10.0)).cpu_cycles > 0.0);
+/// assert_eq!(w.next_phase_change(Seconds::new(1.0)), Some(Seconds::new(5.0)));
+/// ```
+#[derive(Debug)]
+pub struct PhasedCompute {
+    name: String,
+    phases: Vec<ComputePhase>,
+    delivered: f64,
+    finished: bool,
+}
+
+impl PhasedCompute {
+    /// Creates a phased task from a schedule of phases with strictly
+    /// increasing positive end times.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending phase when the schedule is empty,
+    /// an end time is not strictly after its predecessor (or not
+    /// positive/finite), a rate is negative, or a busy phase has
+    /// non-positive threads.
+    pub fn new(name: impl Into<String>, phases: Vec<ComputePhase>) -> Result<Self, String> {
+        if phases.is_empty() {
+            return Err("phased workload needs at least one phase".into());
+        }
+        let mut prev = 0.0;
+        for (i, p) in phases.iter().enumerate() {
+            if !p.until_s.is_finite() || p.until_s <= prev {
+                return Err(format!(
+                    "phase {i}: until_s {} must be finite and strictly after {}",
+                    p.until_s, prev
+                ));
+            }
+            if !p.rate.is_finite() || p.rate < 0.0 {
+                return Err(format!("phase {i}: rate {} must be non-negative", p.rate));
+            }
+            if p.rate > 0.0 && (!p.threads.is_finite() || p.threads <= 0.0) {
+                return Err(format!(
+                    "phase {i}: threads {} must be positive when the phase is busy",
+                    p.threads
+                ));
+            }
+            prev = p.until_s;
+        }
+        Ok(Self {
+            name: name.into(),
+            phases,
+            delivered: 0.0,
+            finished: false,
+        })
+    }
+
+    /// Total cycles delivered so far.
+    #[must_use]
+    pub fn delivered_cycles(&self) -> f64 {
+        self.delivered
+    }
+
+    fn phase_at(&self, now: Seconds) -> Option<&ComputePhase> {
+        self.phases.iter().find(|p| now.value() < p.until_s)
+    }
+}
+
+impl Workload for PhasedCompute {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn demand(&mut self, now: Seconds, dt: Seconds) -> Demand {
+        match self.phase_at(now) {
+            Some(p) => Demand {
+                cpu_cycles: p.rate * dt.value(),
+                cpu_threads: p.threads,
+                gpu_cycles: 0.0,
+                interaction: false,
+            },
+            None => {
+                self.finished = true;
+                Demand::IDLE
+            }
+        }
+    }
+
+    fn deliver(&mut self, cpu_cycles: f64, _gpu_cycles: f64, now: Seconds, dt: Seconds) {
+        self.delivered += cpu_cycles.max(0.0);
+        if (now + dt).value() >= self.phases.last().map_or(0.0, |p| p.until_s) {
+            self.finished = true;
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn next_phase_change(&self, now: Seconds) -> Option<Seconds> {
+        match self.phase_at(now) {
+            Some(p) => Some(Seconds::new(p.until_s)),
+            // Past the schedule: idle forever.
+            None => Some(Seconds::new(f64::INFINITY)),
+        }
     }
 }
 

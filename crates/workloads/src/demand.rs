@@ -75,6 +75,21 @@ pub trait Workload: fmt::Debug + Send + std::any::Any {
     fn current_fps(&self) -> Option<f64> {
         None
     }
+
+    /// The next simulated time at which this workload's demand *rate*
+    /// changes, as seen from `now` — the phase boundary the event-driven
+    /// engine schedules a wake for.
+    ///
+    /// The contract: `Some(t)` promises the demand per unit time is
+    /// constant on `[now, t)`, so the engine may cover that span in one
+    /// macro pass; `Some(Seconds::new(f64::INFINITY))` promises it never
+    /// changes again. `None` (the default) makes no promise at all —
+    /// frame-based apps and benchmarks whose demand varies tick to tick
+    /// return it, and the engine falls back to base-tick stepping.
+    fn next_phase_change(&self, now: Seconds) -> Option<Seconds> {
+        let _ = now;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             app_aware: None,
             alerts: Vec::new(),
             solver: Default::default(),
+            engine: Default::default(),
             control_sensor: None,
             workloads: base_workloads(),
         },
@@ -126,6 +127,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
         alerts: Vec::new(),
         solver: Default::default(),
+        engine: Default::default(),
         control_sensor: None,
         workloads: base_workloads(),
     };
