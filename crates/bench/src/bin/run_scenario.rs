@@ -15,16 +15,17 @@
 use std::io::{Read, Write};
 use std::sync::Arc;
 
-use mpt_core::campaign::run_campaign_observed;
+use mpt_core::campaign::run_campaign_framed;
 use mpt_core::report::SessionReport;
-use mpt_core::scenario::{run_scenario_analyzed, AlertRuleSpec, CampaignSpec, ScenarioSpec};
+use mpt_core::scenario::{run_scenario_framed_cached, AlertRuleSpec, CampaignSpec, ScenarioSpec};
+use mpt_daq::{ColumnFrame, Query, QueryError};
 use mpt_obs::{clock, trace::chrome_trace_json_full, Counter, Recorder};
 use mpt_sim::SteppingMode;
 use mpt_thermal::SolverKind;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --query EXPR       run a telemetry query (repeatable). Grammar:\n                     agg(channel) [by axis,...] [where axis=value ...]\n                     with agg one of min|max|mean|median|sum|count|p<N>.\n                     Scenarios query the session frame; campaigns query\n                     the per-cell metrics frame, falling back to the\n                     assembled per-cell telemetry for time channels.\n                     Spec-embedded `queries` run first, then these\n  --query-out FMT    query result format: csv (default) or json\n  --columnar-out F   write the columnar telemetry frame (scenario: the\n                     session frame; campaign: the per-cell metrics\n                     frame). Extension picks the format: .json, .arrow\n                     (needs --features arrow-ipc), anything else CSV\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -39,6 +40,9 @@ struct Args {
     alerts: Option<String>,
     solver: Option<SolverKind>,
     engine: Option<SteppingMode>,
+    queries: Vec<String>,
+    query_json: bool,
+    columnar_out: Option<String>,
     progress: bool,
 }
 
@@ -53,6 +57,9 @@ fn parse_args() -> Args {
         alerts: None,
         solver: None,
         engine: None,
+        queries: Vec::new(),
+        query_json: false,
+        columnar_out: None,
         progress: false,
     };
     let mut it = std::env::args().skip(1);
@@ -100,6 +107,22 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     }
                 }
+            }
+            "--query" => {
+                let Some(expr) = it.next() else { usage() };
+                args.queries.push(expr);
+            }
+            "--query-out" => {
+                let Some(fmt) = it.next() else { usage() };
+                match fmt.as_str() {
+                    "csv" => args.query_json = false,
+                    "json" => args.query_json = true,
+                    _ => usage(),
+                }
+            }
+            "--columnar-out" => {
+                let Some(path) = it.next() else { usage() };
+                args.columnar_out = Some(path);
             }
             "--progress" => args.progress = true,
             "--help" | "-h" => usage(),
@@ -212,6 +235,64 @@ fn lint_gate(
     Ok(())
 }
 
+/// Validates `--query` expressions against the spec's static schema
+/// with the same MPT401/402 diagnostics the linter gives embedded
+/// `queries` (which `lint_gate` already covered). Errors refuse to
+/// simulate.
+fn gate_cli_queries(queries: &[String], channels: &[String], axes: &[String]) {
+    let mut report = mpt_lint::diag::Report::default();
+    mpt_lint::config::check_queries(queries, channels, axes, "--query", &mut report);
+    for d in &report.diagnostics {
+        eprintln!("{}", d.render_text());
+    }
+    if report.errors() > 0 {
+        eprintln!(
+            "run_scenario: {} invalid --query expression(s); nothing was simulated",
+            report.errors()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Writes a columnar frame, dispatching the format on the extension:
+/// `.json`, `.arrow` (behind the `arrow-ipc` feature), else CSV.
+fn write_frame(path: &str, frame: &ColumnFrame) -> Result<(), Box<dyn std::error::Error>> {
+    if path.ends_with(".json") {
+        std::fs::write(path, frame.to_json())?;
+    } else if path.ends_with(".arrow") {
+        #[cfg(feature = "arrow-ipc")]
+        mpt_daq::arrow::write_file_to(std::path::Path::new(path), frame)?;
+        #[cfg(not(feature = "arrow-ipc"))]
+        {
+            eprintln!(
+                "run_scenario: .arrow output needs the arrow-ipc feature \
+                 (rebuild with `--features arrow-ipc`)"
+            );
+            std::process::exit(2);
+        }
+    } else {
+        std::fs::write(path, frame.to_csv())?;
+    }
+    eprintln!(
+        "columnar frame written to {path} ({} rows, {} channels)",
+        frame.rows(),
+        frame.channel_names().len()
+    );
+    Ok(())
+}
+
+/// Prints one query result to stdout in the selected format. CSV gets a
+/// `# <query>` banner so multiple results stay distinguishable; JSON
+/// results name their query inline.
+fn print_query_result(result: &mpt_daq::QueryResult, json: bool) {
+    if json {
+        println!("{}", result.to_json());
+    } else {
+        println!("# {}", result.query);
+        print!("{}", result.to_csv());
+    }
+}
+
 fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let recorder = Arc::new(Recorder::new());
     lint_gate(json, args, false, &recorder)?;
@@ -225,7 +306,10 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     if let Some(mode) = args.engine {
         spec.engine = mode.into();
     }
-    let (outcome, analysis) = run_scenario_analyzed(&spec, Some(Arc::clone(&recorder)))?;
+    let (channels, axes) = mpt_lint::config::scenario_query_schema(&spec);
+    gate_cli_queries(&args.queries, &channels, &axes);
+    let (outcome, analysis, frame) =
+        run_scenario_framed_cached(&spec, Some(Arc::clone(&recorder)), None)?;
     if args.progress {
         eprintln!(
             "scenario done in {:.2} s",
@@ -277,6 +361,16 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     if !outcome.events.is_empty() {
         println!("\nevents:\n{}", outcome.events.trim_end());
     }
+    if !spec.queries.is_empty() || !args.queries.is_empty() {
+        println!("\nqueries:");
+        for expr in spec.queries.iter().chain(&args.queries) {
+            let result = Query::parse(expr)?.run(&frame)?;
+            print_query_result(&result, args.query_json);
+        }
+    }
+    if let Some(path) = &args.columnar_out {
+        write_frame(path, &frame)?;
+    }
     if let Some(path) = &args.report_out {
         let input = args.path.as_deref().unwrap_or("stdin");
         let report = SessionReport::new(input, outcome, analysis);
@@ -318,7 +412,9 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     if let Some(mode) = args.engine {
         spec.base.engine = mode.into();
     }
-    let report = run_campaign_observed(&spec, args.jobs, &recorder, progress_cb)?;
+    let (channels, axes) = mpt_lint::config::campaign_query_schema(&spec);
+    gate_cli_queries(&args.queries, &channels, &axes);
+    let (report, frames) = run_campaign_framed(&spec, args.jobs, &recorder, progress_cb)?;
     println!(
         "{:<52} {:>9} {:>9} {:>9} {:>6}",
         "cell", "peak C", "avg W", "J", "migr"
@@ -379,6 +475,27 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
             busy,
             span
         );
+    }
+    let cells_frame = report.cells_frame();
+    if !spec.queries.is_empty() || !args.queries.is_empty() {
+        println!("\nqueries:");
+        for expr in spec.queries.iter().chain(&args.queries) {
+            let query = Query::parse(expr)?;
+            // Per-cell metric channels resolve on the metrics frame; a
+            // telemetry channel (absent there) falls back to the
+            // per-cell time-series assembled zero-copy from the frames.
+            let result = match query.run(&cells_frame) {
+                Ok(result) => result,
+                Err(QueryError::UnknownChannel { .. }) => {
+                    query.run_campaign(&frames.campaign_frame())?
+                }
+                Err(e) => return Err(e.into()),
+            };
+            print_query_result(&result, args.query_json);
+        }
+    }
+    if let Some(path) = &args.columnar_out {
+        write_frame(path, &cells_frame)?;
     }
     if let Some(path) = &args.report_out {
         std::fs::write(path, serde_json::to_string_pretty(&report)?)?;

@@ -138,6 +138,100 @@ fn unknown_solver_in_file_gets_mpt106_from_the_lint_gate() {
 }
 
 #[test]
+fn query_flag_prints_grouped_rollup() {
+    let (code, stdout, _) = run(
+        &[
+            "--query",
+            "p95(max_temp_c)",
+            "--query",
+            "mean(total_power_w)",
+        ],
+        TINY_SCENARIO,
+    );
+    assert_eq!(code, 0, "query run failed:\n{stdout}");
+    assert!(
+        stdout.contains("queries:"),
+        "missing queries section: {stdout}"
+    );
+    assert!(
+        stdout.contains("# p95(max_temp_c)") && stdout.contains("# mean(total_power_w)"),
+        "each query echoes its canonical form: {stdout}"
+    );
+    assert!(
+        stdout.contains("value,count"),
+        "results render as CSV with a header: {stdout}"
+    );
+}
+
+#[test]
+fn query_out_json_renders_machine_readable_rows() {
+    let (code, stdout, _) = run(
+        &["--query", "max(max_temp_c)", "--query-out", "json"],
+        TINY_SCENARIO,
+    );
+    assert_eq!(code, 0, "query run failed:\n{stdout}");
+    assert!(
+        stdout.contains("\"query\": \"max(max_temp_c)\"") && stdout.contains("\"rows\""),
+        "expected JSON query payload: {stdout}"
+    );
+}
+
+#[test]
+fn invalid_query_is_refused_before_tick_zero() {
+    let (code, stdout, stderr) = run(&["--query", "mean(power_npu_w)"], TINY_SCENARIO);
+    assert_eq!(code, 1, "unknown channel must refuse: {stderr}");
+    assert!(
+        stderr.contains("MPT401") && stderr.contains("power_npu_w"),
+        "stderr should carry the query diagnostic: {stderr}"
+    );
+    assert!(
+        stderr.contains("nothing was simulated"),
+        "refusal must come before tick 0: {stderr}"
+    );
+    assert!(
+        !stdout.contains("peak temperature"),
+        "no outcome may be printed: {stdout}"
+    );
+}
+
+#[test]
+fn session_group_by_is_refused_as_non_axis() {
+    let (code, _, stderr) = run(&["--query", "max(max_temp_c) by platform"], TINY_SCENARIO);
+    assert_eq!(code, 1);
+    assert!(
+        stderr.contains("MPT402"),
+        "session frames have no axes, so group-by must refuse: {stderr}"
+    );
+}
+
+#[test]
+fn columnar_out_writes_the_session_frame() {
+    let dir = std::env::temp_dir().join("mpt_columnar_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("session.csv");
+    let (code, _, stderr) = run(
+        &["--columnar-out", path.to_str().expect("utf-8")],
+        TINY_SCENARIO,
+    );
+    assert_eq!(code, 0, "columnar export failed: {stderr}");
+    assert!(
+        stderr.contains("columnar frame written"),
+        "stderr should confirm the export: {stderr}"
+    );
+    let csv = std::fs::read_to_string(&path).expect("frame file exists");
+    let header = csv.lines().next().expect("header line");
+    assert!(
+        header.starts_with("time_s,") && header.contains("max_temp_c"),
+        "frame CSV header should lead with time and carry channels: {header}"
+    );
+    // 1 s at the default 0.1 s sample period: header + ~10 sample rows.
+    assert!(
+        csv.lines().count() >= 10,
+        "expected ~10 sample rows, got:\n{csv}"
+    );
+}
+
+#[test]
 fn bad_alerts_file_is_linted_too() {
     let dir = std::env::temp_dir().join("mpt_lint_cli_alerts_test");
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -32,12 +32,14 @@
 //!             realtime: false,
 //!             seed: 0,
 //!         }],
+//!         queries: Vec::new(),
 //!     },
 //!     sweep: SweepAxes {
 //!         initial_temperatures_c: vec![35.0, 50.0],
 //!         ..SweepAxes::default()
 //!     },
 //!     seed: 0,
+//!     queries: Vec::new(),
 //! };
 //! let report = run_campaign(&spec, 2)?;
 //! assert_eq!(report.cells.len(), 2);
@@ -266,6 +268,43 @@ pub struct CellOutcome {
     pub outcome: ScenarioOutcome,
 }
 
+/// One cell's columnar telemetry: the expansion metadata plus the
+/// session [`ColumnFrame`](mpt_daq::ColumnFrame) its simulator recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFrame {
+    /// Position in the expansion order.
+    pub index: usize,
+    /// The cell's axis-value label.
+    pub label: String,
+    /// Sweep-axis pairs parsed from the label (see
+    /// [`CampaignCell::axes`]).
+    pub axes: Vec<(String, String)>,
+    /// The cell's decimated telemetry frame.
+    pub frame: mpt_daq::ColumnFrame,
+}
+
+/// Owned per-cell telemetry frames of one campaign run, in expansion
+/// order. Produced by [`run_cells_framed`]; lives *outside*
+/// [`CampaignReport`] so the serialized report surface is unchanged.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignFrames {
+    /// Every cell's frame, in expansion order.
+    pub cells: Vec<CellFrame>,
+}
+
+impl CampaignFrames {
+    /// Borrows the cells as a zero-copy
+    /// [`CampaignFrame`](mpt_daq::CampaignFrame) query target.
+    #[must_use]
+    pub fn campaign_frame(&self) -> mpt_daq::CampaignFrame<'_> {
+        let mut cf = mpt_daq::CampaignFrame::new();
+        for cell in &self.cells {
+            cf.push_cell(&cell.axes, &cell.frame);
+        }
+        cf
+    }
+}
+
 /// The results of a campaign: per-cell outcomes (in expansion order,
 /// independent of worker count) and aggregate statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -293,6 +332,52 @@ pub struct CampaignReport {
     pub worker_busy_s: Vec<f64>,
     /// Alert totals and derived-observable summaries across cells.
     pub analysis: CampaignAnalysis,
+}
+
+impl CampaignReport {
+    /// The per-cell metric channels of [`cells_frame`](Self::cells_frame),
+    /// in column order — the static schema campaign queries (and the
+    /// MPT401 lint) validate against.
+    pub const METRIC_CHANNELS: [&'static str; 7] = [
+        "cell",
+        "peak_temperature_c",
+        "average_power_w",
+        "energy_j",
+        "migrations",
+        "median_fps",
+        "alerts",
+    ];
+
+    /// Builds a one-row-per-cell metrics frame: the cell index, the
+    /// sweep-axis values as dictionary-encoded string columns, and the
+    /// headline outcome metrics. Rebuilt purely from the report, so a
+    /// deserialized report yields the identical frame — this is the
+    /// default target for campaign `--query` expressions (axis columns
+    /// make `by platform`-style group-bys work).
+    #[must_use]
+    pub fn cells_frame(&self) -> mpt_daq::ColumnFrame {
+        let mut frame = mpt_daq::ColumnFrame::new();
+        for (cell, alerts) in self.cells.iter().zip(&self.analysis.cell_alerts) {
+            frame.begin_row(cell.index as f64);
+            frame.set_u32("cell", u32::try_from(cell.index).unwrap_or(u32::MAX));
+            for (key, value) in scenario::label_axes(&cell.label) {
+                frame.set_str(&key, &value);
+            }
+            frame.set_f64("peak_temperature_c", cell.outcome.peak_temperature_c);
+            frame.set_f64("average_power_w", cell.outcome.average_power_w);
+            frame.set_f64("energy_j", cell.outcome.energy_j);
+            frame.set_u32(
+                "migrations",
+                u32::try_from(cell.outcome.migrations).unwrap_or(u32::MAX),
+            );
+            if let Some(fps) = cell.outcome.workloads.iter().find_map(|w| w.median_fps) {
+                frame.set_f64("median_fps", fps);
+            }
+            frame.set_u32("alerts", u32::try_from(alerts.total).unwrap_or(u32::MAX));
+            frame.end_row();
+        }
+        frame
+    }
 }
 
 /// Runs every expanded cell of a campaign on up to `jobs` worker threads
@@ -351,6 +436,41 @@ pub fn run_cells_observed(
     recorder: &Arc<Recorder>,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> Result<CampaignReport> {
+    run_cells_framed(cells, jobs, recorder, progress).map(|(report, _frames)| report)
+}
+
+/// [`run_campaign_observed`] returning the per-cell telemetry frames
+/// alongside the report — the entry point behind `run_scenario`'s
+/// `--query`/`--columnar-out` flags on campaigns.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_framed(
+    spec: &CampaignSpec,
+    jobs: usize,
+    recorder: &Arc<Recorder>,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<(CampaignReport, CampaignFrames)> {
+    run_cells_framed(&spec.expand()?, jobs, recorder, progress)
+}
+
+/// [`run_cells_observed`] returning the per-cell telemetry frames
+/// alongside the report. This is the primary runner — the frame-less
+/// entry points delegate here and drop the frames (they are decimated,
+/// so holding them transiently costs kilobytes per cell). Frames land
+/// in expansion order, so columnar campaign queries are bit-identical
+/// whatever the worker count.
+///
+/// # Errors
+///
+/// The first failing cell's error, by expansion order.
+pub fn run_cells_framed(
+    cells: &[CampaignCell],
+    jobs: usize,
+    recorder: &Arc<Recorder>,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<(CampaignReport, CampaignFrames)> {
     let start = mpt_obs::clock::now();
     let cell_hist = recorder.register_histogram("cell");
     let done = AtomicUsize::new(0);
@@ -364,7 +484,7 @@ pub fn run_cells_observed(
         let cell_start = mpt_obs::clock::now();
         let result = {
             let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
-            scenario::run_scenario_analyzed_cached(
+            scenario::run_scenario_framed_cached(
                 &cells[i].scenario,
                 Some(Arc::clone(recorder)),
                 Some(Arc::clone(&solver_cache)),
@@ -385,6 +505,7 @@ pub fn run_cells_observed(
     let mut timings = Vec::with_capacity(cells.len());
     let mut outcomes = Vec::with_capacity(cells.len());
     let mut analyses = Vec::with_capacity(cells.len());
+    let mut frames = Vec::with_capacity(cells.len());
     for (cell, (result, wall_clock_s, worker)) in cells.iter().zip(results) {
         worker_busy_s[worker] += wall_clock_s;
         timings.push(CellTiming {
@@ -392,7 +513,7 @@ pub fn run_cells_observed(
             worker,
             wall_clock_s,
         });
-        let (outcome, analysis) = result?;
+        let (outcome, analysis, frame) = result?;
         outcomes.push(CellOutcome {
             index: cell.index,
             label: cell.label.clone(),
@@ -400,21 +521,30 @@ pub fn run_cells_observed(
             outcome,
         });
         analyses.push(analysis);
+        frames.push(CellFrame {
+            index: cell.index,
+            label: cell.label.clone(),
+            axes: cell.axes(),
+            frame,
+        });
     }
     let metric = |f: fn(&ScenarioOutcome) -> f64| {
         SummaryStats::of(&outcomes.iter().map(|c| f(&c.outcome)).collect::<Vec<_>>())
     };
-    Ok(CampaignReport {
-        peak_temperature_c: metric(|o| o.peak_temperature_c),
-        average_power_w: metric(|o| o.average_power_w),
-        energy_j: metric(|o| o.energy_j),
-        wall_clock_s: mpt_obs::clock::elapsed(start).as_secs_f64(),
-        workers,
-        timings,
-        worker_busy_s,
-        analysis: CampaignAnalysis::of(&outcomes, &analyses),
-        cells: outcomes,
-    })
+    Ok((
+        CampaignReport {
+            peak_temperature_c: metric(|o| o.peak_temperature_c),
+            average_power_w: metric(|o| o.average_power_w),
+            energy_j: metric(|o| o.energy_j),
+            wall_clock_s: mpt_obs::clock::elapsed(start).as_secs_f64(),
+            workers,
+            timings,
+            worker_busy_s,
+            analysis: CampaignAnalysis::of(&outcomes, &analyses),
+            cells: outcomes,
+        },
+        CampaignFrames { cells: frames },
+    ))
 }
 
 /// Parses a JSON campaign and runs it.
@@ -477,6 +607,7 @@ mod tests {
                     realtime: false,
                     seed: 0,
                 }],
+                queries: Vec::new(),
             },
             sweep: SweepAxes {
                 platforms: vec![PlatformSpec::Exynos5422, PlatformSpec::Snapdragon810],
@@ -484,6 +615,7 @@ mod tests {
                 ..SweepAxes::default()
             },
             seed: 7,
+            queries: Vec::new(),
         }
     }
 
@@ -621,6 +753,48 @@ mod tests {
             );
             assert_eq!(recorder.counter(Counter::SolverCacheHits), 2, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn framed_run_exposes_queryable_frames() {
+        let spec = small_campaign();
+        let recorder = Arc::new(Recorder::new());
+        let (report, frames) = run_campaign_framed(&spec, 2, &recorder, None).unwrap();
+        assert_eq!(frames.cells.len(), 4);
+        assert!(frames.cells.iter().all(|c| !c.frame.is_empty()));
+        assert!(frames.cells[0].axes.iter().any(|(k, _)| k == "platform"));
+        // The per-cell metrics frame carries axis dictionary columns, so
+        // campaign group-bys work directly on it.
+        let cells = report.cells_frame();
+        assert_eq!(cells.rows(), 4);
+        for name in CampaignReport::METRIC_CHANNELS {
+            assert!(
+                cells.channel_names().iter().any(|n| n == name) || name == "median_fps",
+                "missing metric channel {name}"
+            );
+        }
+        let q = mpt_daq::Query::parse("max(peak_temperature_c) by platform").unwrap();
+        let by_platform = q.run(&cells).unwrap();
+        assert_eq!(by_platform.rows.len(), 2);
+        assert!(by_platform.rows.iter().all(|r| r.count == 2));
+        // Campaign time-channel queries aggregate every cell's samples.
+        let q = mpt_daq::Query::parse("mean(total_power_w) by platform").unwrap();
+        let over_time = q.run_campaign(&frames.campaign_frame()).unwrap();
+        assert_eq!(over_time.rows.len(), 2);
+        assert!(over_time.rows.iter().all(|r| r.count > 0));
+    }
+
+    #[test]
+    fn framed_queries_are_identical_across_worker_counts() {
+        let spec = small_campaign();
+        let (r1, f1) = run_campaign_framed(&spec, 1, &Arc::new(Recorder::new()), None).unwrap();
+        let (r8, f8) = run_campaign_framed(&spec, 8, &Arc::new(Recorder::new()), None).unwrap();
+        assert_eq!(f1, f8);
+        assert_eq!(r1.cells_frame(), r8.cells_frame());
+        let q = mpt_daq::Query::parse("p95(max_temp_c) by ambient").unwrap();
+        let serial = q.run_campaign(&f1.campaign_frame()).unwrap();
+        let parallel = q.run_campaign(&f8.campaign_frame()).unwrap();
+        assert_eq!(serial.to_csv(), parallel.to_csv());
     }
 
     #[test]

@@ -487,6 +487,11 @@ pub struct ScenarioSpec {
     /// (defaults to the platform's hottest-reading control sensor).
     #[serde(default)]
     pub control_sensor: Option<String>,
+    /// Canned query expressions (see [`mpt_daq::query::Query`]) run over
+    /// the session's telemetry frame after the run; validated statically
+    /// by the MPT401/402 lints.
+    #[serde(default)]
+    pub queries: Vec<String>,
     /// Workloads to attach.
     pub workloads: Vec<WorkloadSpec>,
 }
@@ -518,6 +523,30 @@ pub struct SweepAxes {
 }
 
 impl SweepAxes {
+    /// The axis keys cells of this sweep carry in their labels — the
+    /// group-by/filter vocabulary of campaign queries, validated by the
+    /// MPT402 lint.
+    #[must_use]
+    pub fn axis_keys(&self) -> Vec<&'static str> {
+        let mut keys = Vec::new();
+        if !self.platforms.is_empty() {
+            keys.push("platform");
+        }
+        if !self.thermal.is_empty() {
+            keys.push("thermal");
+        }
+        if !self.workloads.is_empty() {
+            keys.push("workloads");
+        }
+        if !self.trips_c.is_empty() {
+            keys.push("trips");
+        }
+        if !self.initial_temperatures_c.is_empty() {
+            keys.push("ambient");
+        }
+        keys
+    }
+
     /// How many cells these axes expand to (product of non-empty axes).
     #[must_use]
     pub fn cell_count(&self) -> usize {
@@ -557,6 +586,11 @@ pub struct CampaignSpec {
     /// worker threads execute the campaign.
     #[serde(default)]
     pub seed: u64,
+    /// Canned query expressions run over the campaign's frames after
+    /// every cell completes (e.g. `"p99(max_temp_c) by platform"`);
+    /// validated statically by the MPT401/402 lints.
+    #[serde(default)]
+    pub queries: Vec<String>,
 }
 
 /// One expanded cell of a campaign: a concrete scenario with its label
@@ -572,6 +606,29 @@ pub struct CampaignCell {
     pub seed: u64,
     /// The fully resolved scenario.
     pub scenario: ScenarioSpec,
+}
+
+impl CampaignCell {
+    /// The cell's sweep-axis values, parsed back out of its label:
+    /// `"platform=exynos5422 ambient=35C"` →
+    /// `[("platform", "exynos5422"), ("ambient", "35C")]`. Unswept
+    /// campaigns (`"cell 0"` labels) have no axes.
+    #[must_use]
+    pub fn axes(&self) -> Vec<(String, String)> {
+        label_axes(&self.label)
+    }
+}
+
+/// Parses a cell label's `key=value` parts into axis pairs — the inverse
+/// of the label construction in [`CampaignSpec::expand`]. Labels without
+/// `=` parts (e.g. `"cell 0"`) yield no axes.
+#[must_use]
+pub fn label_axes(label: &str) -> Vec<(String, String)> {
+    label
+        .split_whitespace()
+        .filter_map(|part| part.split_once('='))
+        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+        .collect()
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -947,6 +1004,28 @@ pub fn run_scenario_analyzed_cached(
     recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
     solver_cache: Option<std::sync::Arc<TransitionCache>>,
 ) -> Result<(ScenarioOutcome, crate::report::SessionAnalysis)> {
+    run_scenario_framed_cached(spec, recorder, solver_cache)
+        .map(|(outcome, analysis, _)| (outcome, analysis))
+}
+
+/// [`run_scenario_analyzed_cached`] additionally returning the session's
+/// columnar telemetry frame — the surface `--columnar-out`, `--query`
+/// and campaign-level aggregation read. Frame contents are a pure
+/// function of simulated time, so they share the bit-identical-across-
+/// workers guarantee of the outcome and analysis.
+///
+/// # Errors
+///
+/// As [`run_scenario`].
+pub fn run_scenario_framed_cached(
+    spec: &ScenarioSpec,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+    solver_cache: Option<std::sync::Arc<TransitionCache>>,
+) -> Result<(
+    ScenarioOutcome,
+    crate::report::SessionAnalysis,
+    mpt_daq::ColumnFrame,
+)> {
     let (mut sim, stats) = build_scenario_cached(spec, recorder, solver_cache)?;
     sim.run_for(Seconds::new(spec.duration_s))?;
     let analysis = crate::report::SessionAnalysis::from_sim(&sim);
@@ -973,7 +1052,8 @@ pub fn run_scenario_analyzed_cached(
         migrations: stats.map_or(0, |s| s.migrations()),
         events: sim.events().render(),
     };
-    Ok((outcome, analysis))
+    let frame = sim.telemetry().frame().clone();
+    Ok((outcome, analysis, frame))
 }
 
 /// Parses a JSON scenario and runs it.
@@ -1023,6 +1103,7 @@ mod tests {
                 realtime: false,
                 seed: 0,
             }],
+            queries: Vec::new(),
         }
     }
 

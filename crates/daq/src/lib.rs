@@ -18,14 +18,29 @@
 //!   `time_in_state` file behind the paper's residency histograms);
 //! - [`stats`] — medians and percentiles for the FPS tables;
 //! - [`chart`] — ASCII rendering so the bench harness can print the same
-//!   series the paper plots.
+//!   series the paper plots;
+//! - [`columnar`] — the column-major telemetry store ([`ColumnFrame`],
+//!   [`CampaignFrame`]) that exports and aggregate queries run over;
+//! - [`query`] — the typed query layer (`p99(max_temp_c) by platform`)
+//!   whose aggregates reuse the [`stats`] kernels;
+//! - [`fastfmt`] — Grisu2 shortest-round-trip float formatting, the
+//!   throughput behind CSV export;
+//! - `arrow` (behind the default-off `arrow-ipc` feature) — a zero-dep
+//!   Arrow-IPC file writer for frames.
 
+#[cfg(feature = "arrow-ipc")]
+pub mod arrow;
 pub mod chart;
+pub mod columnar;
+pub mod fastfmt;
+pub mod query;
 mod residency;
 mod sampler;
 pub mod stats;
 mod trace;
 
+pub use columnar::{CampaignFrame, ColumnFrame};
+pub use query::{Query, QueryError, QueryResult};
 pub use residency::Residency;
 pub use sampler::{NoiseModel, Sampler};
 pub use trace::TimeSeries;

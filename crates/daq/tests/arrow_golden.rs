@@ -1,0 +1,56 @@
+//! Byte-golden for the hand-rolled Arrow IPC writer: the exact file
+//! emitted for a small fixed frame is checked in, so any change to the
+//! flatbuffer layout, alignment padding or buffer ordering shows up as a
+//! diff against `tests/goldens/frame.arrow`. Regenerate deliberately
+//! with `MPT_UPDATE_GOLDENS=1 cargo test -p mpt-daq --features
+//! arrow-ipc --test arrow_golden`.
+#![cfg(feature = "arrow-ipc")]
+
+use std::path::PathBuf;
+
+use mpt_daq::{arrow, ColumnFrame};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/frame.arrow")
+}
+
+/// One frame exercising every column type: f64 with a NaN gap, u32, and
+/// a dictionary-encoded string column with two distinct values.
+fn fixture_frame() -> ColumnFrame {
+    let mut f = ColumnFrame::new();
+    for i in 0..4 {
+        f.begin_row(f64::from(i) * 0.25);
+        if i != 2 {
+            f.set_f64("temp_big_c", 40.5 + f64::from(i));
+        }
+        f.set_u32("migrations", u32::from(i % 2 == 0));
+        f.set_str("governor", if i < 2 { "interactive" } else { "powersave" });
+        f.end_row();
+    }
+    f
+}
+
+#[test]
+fn arrow_file_bytes_match_golden() {
+    let bytes = arrow::write_file(&fixture_frame());
+    let path = golden_path();
+    if std::env::var_os("MPT_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("goldens dir");
+        std::fs::write(&path, &bytes).expect("golden written");
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} — run with MPT_UPDATE_GOLDENS=1 to (re)generate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        bytes.len(),
+        golden.len(),
+        "arrow file length drifted from the checked-in golden"
+    );
+    if let Some(at) = bytes.iter().zip(&golden).position(|(a, b)| a != b) {
+        panic!("arrow file bytes diverge from the golden at offset {at}");
+    }
+}

@@ -15,7 +15,7 @@
 //! MPT301) rather than a generic MPT101.
 
 use mpt_core::scenario::{
-    AlertRuleSpec, CampaignSpec, EngineSpec, ScenarioSpec, SolverSpec, SweepAxes,
+    AlertRuleSpec, CampaignSpec, EngineSpec, PlatformSpec, ScenarioSpec, SolverSpec, SweepAxes,
     ThermalPolicySpec, WorkloadKind,
 };
 
@@ -235,6 +235,11 @@ pub fn check_scenario(spec: &ScenarioSpec, path: &str) -> Report {
         throttling: spec.thermal != ThermalPolicySpec::Disabled || spec.app_aware.is_some(),
     };
     check_alert_rules(&spec.alerts, Some(&context), path, &mut r);
+    // Scenario-level queries run over the single-session frame, which
+    // has no axis (dictionary) columns — any group-by/filter key is a
+    // non-axis key there.
+    let (channels, axes) = scenario_query_schema(spec);
+    check_queries(&spec.queries, &channels, &axes, path, &mut r);
     r
 }
 
@@ -245,7 +250,102 @@ pub fn check_campaign(spec: &CampaignSpec, path: &str) -> Report {
     let mut r = check_scenario(&spec.base, path);
     let ambient_c = spec.base.platform.build().thermal_spec().ambient.value();
     check_sweep(&spec.sweep, &spec.base.thermal, ambient_c, path, &mut r);
+    // Campaign-level queries may target the per-cell metrics frame or
+    // any telemetry channel a swept platform records, grouped/filtered
+    // by the swept axes.
+    let (channels, axes) = campaign_query_schema(spec);
+    check_queries(&spec.queries, &channels, &axes, path, &mut r);
     r
+}
+
+/// The static query schema of a single scenario: the channels its
+/// platform records, and no axes (a session frame has no dictionary
+/// columns to group or filter on).
+#[must_use]
+pub fn scenario_query_schema(spec: &ScenarioSpec) -> (Vec<String>, Vec<String>) {
+    (platform_channels(&spec.platform), Vec::new())
+}
+
+/// The static query schema of a campaign: the per-cell metric channels
+/// plus every telemetry channel a swept platform records, and the swept
+/// axis keys.
+#[must_use]
+pub fn campaign_query_schema(spec: &CampaignSpec) -> (Vec<String>, Vec<String>) {
+    let mut channels: Vec<String> = mpt_core::campaign::CampaignReport::METRIC_CHANNELS
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let platforms = if spec.sweep.platforms.is_empty() {
+        std::slice::from_ref(&spec.base.platform)
+    } else {
+        &spec.sweep.platforms[..]
+    };
+    for platform in platforms {
+        for channel in platform_channels(platform) {
+            if !channels.contains(&channel) {
+                channels.push(channel);
+            }
+        }
+    }
+    let axes: Vec<String> = spec
+        .sweep
+        .axis_keys()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    (channels, axes)
+}
+
+/// The columnar channels a scenario on `platform` records — the static
+/// schema the MPT401 check validates query expressions against before
+/// anything runs.
+#[must_use]
+pub fn platform_channels(platform: &PlatformSpec) -> Vec<String> {
+    let platform = platform.build();
+    let sensors: Vec<String> = platform
+        .temperature_sensors()
+        .iter()
+        .map(|s| s.name().to_owned())
+        .collect();
+    let rails: Vec<&str> = platform.components().iter().map(|c| c.id().key()).collect();
+    mpt_sim::Telemetry::channel_names_for(&sensors, &rails)
+}
+
+/// Checks telemetry query expressions against a static schema: MPT401
+/// for a malformed expression or an unrecorded channel, MPT402 for a
+/// group-by or filter key outside `axes`. `run_scenario` reuses this
+/// for `--query` flags, so a CLI query fails with the same diagnostic
+/// the linter prints for an embedded one.
+pub fn check_queries(
+    queries: &[String],
+    channels: &[String],
+    axes: &[String],
+    path: &str,
+    r: &mut Report,
+) {
+    for (i, expr) in queries.iter().enumerate() {
+        r.checks_run += 1;
+        let origin = format!("{path}#queries[{i}]");
+        match mpt_daq::Query::parse(expr).and_then(|q| q.validate(channels, axes)) {
+            Ok(()) => {}
+            Err(
+                e @ (mpt_daq::QueryError::Parse(_) | mpt_daq::QueryError::UnknownChannel { .. }),
+            ) => {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::QueryUnknownChannel,
+                    origin,
+                    e.to_string(),
+                ));
+            }
+            Err(e) => {
+                r.diagnostics.push(Diagnostic::new(
+                    Code::QueryNonAxisKey,
+                    origin,
+                    e.to_string(),
+                ));
+            }
+        }
+    }
 }
 
 fn check_sweep(
@@ -774,6 +874,7 @@ mod tests {
                 ..SweepAxes::default()
             },
             seed: 0,
+            queries: Vec::new(),
         };
         let report = check_campaign(&campaign, "c");
         let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
@@ -782,6 +883,56 @@ mod tests {
         assert_eq!(
             codes,
             vec![Code::InvalidSweepAxis, Code::InvalidSweepAxis],
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn scenario_query_checks_fire_mpt401_and_402() {
+        let mut spec = minimal();
+        spec.queries = vec![
+            "mean(total_power_w)".to_owned(),          // clean
+            "max(power_npu_w)".to_owned(),             // unknown channel
+            "nonsense".to_owned(),                     // malformed
+            "mean(max_temp_c) by platform".to_owned(), // no axes in a scenario
+        ];
+        let report = check_scenario(&spec, "s");
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                Code::QueryUnknownChannel,
+                Code::QueryUnknownChannel,
+                Code::QueryNonAxisKey
+            ],
+            "{}",
+            report.render_text()
+        );
+        assert!(report.diagnostics[0].path.ends_with("#queries[1]"));
+    }
+
+    #[test]
+    fn campaign_queries_accept_axes_and_metric_channels() {
+        let campaign = CampaignSpec {
+            base: minimal(),
+            sweep: SweepAxes {
+                platforms: vec![PlatformSpec::Exynos5422, PlatformSpec::Snapdragon810],
+                initial_temperatures_c: vec![35.0, 50.0],
+                ..SweepAxes::default()
+            },
+            seed: 0,
+            queries: vec![
+                "max(peak_temperature_c) by platform".to_owned(), // metrics frame
+                "p95(max_temp_c) by ambient".to_owned(),          // telemetry channel
+                "mean(total_power_w) where thermal=ipa".to_owned(), // unswept axis
+            ],
+        };
+        let report = check_campaign(&campaign, "c");
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![Code::QueryNonAxisKey],
             "{}",
             report.render_text()
         );

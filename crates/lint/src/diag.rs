@@ -9,7 +9,9 @@
 //! - `MPT1xx` — config analysis (scenarios, campaigns, alert files),
 //! - `MPT2xx` — source analysis (determinism scan of the sim crates),
 //! - `MPT3xx` — stepping-engine analysis (event-engine compatibility,
-//!   phase schedules).
+//!   phase schedules),
+//! - `MPT4xx` — telemetry-query analysis (embedded `queries` against the
+//!   static columnar schema).
 
 use std::fmt;
 
@@ -88,11 +90,17 @@ pub enum Code {
     InvalidEngine,
     /// MPT302: a phased workload's schedule is not strictly increasing.
     NonMonotonicPhases,
+    /// MPT401: a telemetry query is malformed or names a channel the
+    /// scenario's columnar schema does not record.
+    QueryUnknownChannel,
+    /// MPT402: a telemetry query groups or filters on a key that is not
+    /// a sweep axis (or axis-like dictionary column) of the spec.
+    QueryNonAxisKey,
 }
 
 impl Code {
     /// Every code, in numeric order (used by `--list-codes`).
-    pub const ALL: [Code; 24] = [
+    pub const ALL: [Code; 26] = [
         Code::OppFrequencyOrder,
         Code::OppVoltageMonotonicity,
         Code::OppPowerMonotonicity,
@@ -117,6 +125,8 @@ impl Code {
         Code::UnorderedContainer,
         Code::InvalidEngine,
         Code::NonMonotonicPhases,
+        Code::QueryUnknownChannel,
+        Code::QueryNonAxisKey,
     ];
 
     /// The stable `MPTxxx` identifier.
@@ -147,6 +157,8 @@ impl Code {
             Code::UnorderedContainer => "MPT203",
             Code::InvalidEngine => "MPT301",
             Code::NonMonotonicPhases => "MPT302",
+            Code::QueryUnknownChannel => "MPT401",
+            Code::QueryNonAxisKey => "MPT402",
         }
     }
 
@@ -195,6 +207,8 @@ impl Code {
             Code::UnorderedContainer => "iteration-order-sensitive unordered container",
             Code::InvalidEngine => "engine unknown or incompatible with the event stepper",
             Code::NonMonotonicPhases => "phased workload schedule must be strictly increasing",
+            Code::QueryUnknownChannel => "query malformed or names an unrecorded channel",
+            Code::QueryNonAxisKey => "query groups or filters on a non-axis key",
         }
     }
 
@@ -251,6 +265,14 @@ impl Code {
             Code::InvalidEngine => "valid engines: fixed, event",
             Code::NonMonotonicPhases => {
                 "order phases by until_s, strictly increasing and starting above zero"
+            }
+            Code::QueryUnknownChannel => {
+                "use `agg(channel) [by axes] [where axis=value]` over the channels the \
+                 platform records (time_s, temp_*_c, max_temp_c, power_*_w, total_power_w)"
+            }
+            Code::QueryNonAxisKey => {
+                "group or filter only on the campaign's swept axes (platform, thermal, \
+                 workloads, trips, ambient) or per-cell metric axes"
             }
         }
     }

@@ -8,13 +8,18 @@ use std::process::Command;
 use mpt_lint::{check_file, diag::Code};
 
 /// `(fixture file, the one code it must fire)`.
-const EXPECTED: [(&str, Code); 6] = [
+const EXPECTED: [(&str, Code); 8] = [
     ("asymmetric_g.model.json", Code::InvalidConductance),
     ("non_monotonic_opp.model.json", Code::OppVoltageMonotonicity),
     ("dangling_sensor.json", Code::DanglingControlSensor),
     ("unknown_solver.json", Code::UnknownSolver),
     ("event_engine_forward_euler.json", Code::InvalidEngine),
     ("phased_nonmonotonic.json", Code::NonMonotonicPhases),
+    (
+        "query_unknown_channel.campaign.json",
+        Code::QueryUnknownChannel,
+    ),
+    ("query_non_axis_key.campaign.json", Code::QueryNonAxisKey),
 ];
 
 fn workspace_root() -> PathBuf {
@@ -47,6 +52,8 @@ fn binary_fails_each_fixture_with_its_code_in_json_output() {
         let path = workspace_root().join("scenarios/invalid").join(name);
         let flag = if name.ends_with(".model.json") {
             "--platform"
+        } else if name.ends_with(".campaign.json") {
+            "--campaign"
         } else {
             "--scenario"
         };

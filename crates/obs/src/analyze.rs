@@ -69,7 +69,36 @@ impl SlopeAcc {
     }
 }
 
-/// Online tracker for the derived per-run observables.
+/// Columnar kernel: total time spent above `trip_c`, from parallel
+/// `dt` / `temperature` columns.
+///
+/// This is the query-layer read path for the observable: a sequential
+/// scan over two dense columns, summing in row order — the same
+/// additions in the same order as the old per-tick accumulator, so the
+/// result is bit-identical to online accumulation.
+///
+/// # Panics
+///
+/// Panics if the columns disagree in length.
+#[must_use]
+pub fn time_above_trip(dts: &[f64], temps: &[f64], trip_c: f64) -> f64 {
+    assert_eq!(dts.len(), temps.len(), "dt/temp columns must be parallel");
+    let mut total = 0.0;
+    for (&dt, &temp) in dts.iter().zip(temps) {
+        if temp > trip_c {
+            total += dt;
+        }
+    }
+    total
+}
+
+/// Tracker for the derived per-run observables.
+///
+/// Mostly online accumulators; time-above-trip instead buffers `dt` and
+/// temperature as plain columns and computes the observable with the
+/// columnar [`time_above_trip`] kernel at summary time — the
+/// representative migration from "re-walk rows per question" to "scan
+/// the column you need".
 #[derive(Debug, Clone, Default)]
 pub struct DerivedTracker {
     /// Trip reference, °C: the lowest thermal-governor trip (step-wise)
@@ -78,7 +107,11 @@ pub struct DerivedTracker {
     trip_c: Option<f64>,
     elapsed_s: f64,
     peak_temp_c: Option<f64>,
-    time_above_trip_s: f64,
+    /// Per-tick `dt` column, buffered for [`time_above_trip`] (only
+    /// when a trip reference exists; empty otherwise).
+    dt_col: Vec<f64>,
+    /// Per-tick control-temperature column, parallel to `dt_col`.
+    temp_col: Vec<f64>,
     time_throttled_s: f64,
     throttle_events: u64,
     // FPS-seconds and seconds, split by throttle state. Weighting by dt
@@ -120,10 +153,9 @@ impl DerivedTracker {
             Some(p) if p >= s.temp_c => p,
             _ => s.temp_c,
         });
-        if let Some(trip) = self.trip_c {
-            if s.temp_c > trip {
-                self.time_above_trip_s += s.dt_s;
-            }
+        if self.trip_c.is_some() {
+            self.dt_col.push(s.dt_s);
+            self.temp_col.push(s.temp_c);
         }
         if s.throttled {
             self.time_throttled_s += s.dt_s;
@@ -171,7 +203,9 @@ impl DerivedTracker {
             elapsed_s: self.elapsed_s,
             peak_temp_c: self.peak_temp_c,
             trip_c: self.trip_c,
-            time_above_trip_s: self.time_above_trip_s,
+            time_above_trip_s: self.trip_c.map_or(0.0, |trip| {
+                time_above_trip(&self.dt_col, &self.temp_col, trip)
+            }),
             thermal_headroom_c: match (self.trip_c, self.peak_temp_c) {
                 (Some(trip), Some(peak)) => Some(trip - peak),
                 _ => None,
@@ -669,6 +703,43 @@ mod tests {
         }
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].rule, "runaway");
+    }
+
+    #[test]
+    fn columnar_time_above_trip_matches_online_accumulation() {
+        let mut tracker = DerivedTracker::with_trip(40.0);
+        let mut online = 0.0;
+        for i in 0..500 {
+            let temp_c = 35.0 + 10.0 * ((i as f64) * 0.11).sin();
+            let dt_s = 0.001 + (i as f64) * 1e-6;
+            if temp_c > 40.0 {
+                online += dt_s;
+            }
+            tracker.observe(&TickSample {
+                t_s: i as f64 * 0.001,
+                dt_s,
+                temp_c,
+                power_w: 1.0,
+                fps: None,
+                throttled: false,
+                throttle_events: 0,
+            });
+        }
+        // Bit-identical, not approximately equal: the kernel performs
+        // the same additions in the same order.
+        assert_eq!(
+            tracker.summary().time_above_trip_s.to_bits(),
+            online.to_bits()
+        );
+    }
+
+    #[test]
+    fn time_above_trip_kernel_basics() {
+        assert_eq!(time_above_trip(&[], &[], 40.0), 0.0);
+        assert_eq!(
+            time_above_trip(&[1.0, 2.0, 4.0], &[39.0, 41.0, 40.0], 40.0),
+            2.0
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use mpt_daq::{Residency, TimeSeries};
+use mpt_daq::{ColumnFrame, Residency, TimeSeries};
 use mpt_soc::{ComponentId, PowerBreakdown};
 use mpt_units::{Celsius, Hertz, Seconds, Watts};
 
@@ -12,6 +12,11 @@ use mpt_units::{Celsius, Hertz, Seconds, Watts};
 ///
 /// Time series are decimated to `sample_period` to bound memory;
 /// residency and energy are integrated every tick at full resolution.
+///
+/// Sampled rows are stored twice: per-channel [`TimeSeries`] (the
+/// figure-plotting surface) and one column-major [`ColumnFrame`] with
+/// channels `time_s`, `temp_<sensor>_c`, `max_temp_c`, `power_<rail>_w`
+/// and `total_power_w` — the export and query surface.
 #[derive(Debug, Clone)]
 pub struct Telemetry {
     sample_period: f64,
@@ -24,6 +29,7 @@ pub struct Telemetry {
     total_power: TimeSeries,
     energy: BTreeMap<ComponentId, f64>,
     total_energy: f64,
+    frame: ColumnFrame,
 }
 
 impl Telemetry {
@@ -49,6 +55,7 @@ impl Telemetry {
             total_power: TimeSeries::new("total_power_w"),
             energy: BTreeMap::new(),
             total_energy: 0.0,
+            frame: ColumnFrame::new(),
         }
     }
 
@@ -74,27 +81,34 @@ impl Telemetry {
             total += p;
         }
         self.total_energy += total * dt.value();
-        // Series decimate.
+        // Series decimate; the columnar frame appends the same rows.
         if t + 1e-12 >= self.next_sample {
             self.next_sample = t + self.sample_period;
+            self.frame.begin_row(t);
             let mut max_c = f64::NEG_INFINITY;
             for (name, c) in sensor_temps {
                 self.temps
                     .entry(name.clone())
                     .or_insert_with(|| TimeSeries::new(format!("temp_{name}_c")))
                     .push(now, c.value());
+                self.frame.set_f64(&format!("temp_{name}_c"), c.value());
                 max_c = max_c.max(c.value());
             }
             if max_c.is_finite() {
                 self.max_temp.push(now, max_c);
+                self.frame.set_f64("max_temp_c", max_c);
             }
             for (&id, b) in powers {
                 self.power
                     .entry(id)
                     .or_insert_with(|| TimeSeries::new(format!("power_{id}_w")))
                     .push(now, b.total().value());
+                self.frame
+                    .set_f64(&format!("power_{id}_w"), b.total().value());
             }
             self.total_power.push(now, total);
+            self.frame.set_f64("total_power_w", total);
+            self.frame.end_row();
         }
     }
 
@@ -193,25 +207,59 @@ impl Telemetry {
             .collect()
     }
 
+    /// The column-major view of the sampled telemetry: channels
+    /// `time_s`, `temp_<sensor>_c`, `max_temp_c`, `power_<rail>_w`,
+    /// `total_power_w`, one row per sample point. Exports and queries
+    /// run over this.
+    #[must_use]
+    pub fn frame(&self) -> &ColumnFrame {
+        &self.frame
+    }
+
+    /// The channel names a run over the given sensors and rails will
+    /// produce — the static schema the MPT401 lint validates query
+    /// expressions against before anything runs.
+    #[must_use]
+    pub fn channel_names_for(sensors: &[String], rails: &[&str]) -> Vec<String> {
+        let mut names = vec!["time_s".to_owned()];
+        names.extend(sensors.iter().map(|s| format!("temp_{s}_c")));
+        names.push("max_temp_c".to_owned());
+        names.extend(rails.iter().map(|r| format!("power_{r}_w")));
+        names.push("total_power_w".to_owned());
+        names
+    }
+
     /// Exports every recorded time series as one wide CSV (columns:
-    /// `time_s`, each sensor temperature, each rail power, the total
-    /// power), resampled onto the telemetry sampling grid. Intended for
-    /// plotting the paper figures with external tools.
+    /// `time_s`, each sensor temperature, the max-over-sensors
+    /// temperature, each rail power, the total power), resampled onto
+    /// the telemetry sampling grid. Intended for plotting the paper
+    /// figures with external tools.
+    ///
+    /// Streams straight out of the columnar [`frame`](Self::frame):
+    /// floats are formatted with the shortest representation that parses
+    /// back to the same bits, and a channel with no sample at a row
+    /// (e.g. a sensor that came online mid-run) contributes an explicit
+    /// empty field, keeping every row the same width as the header.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut columns: Vec<(&str, &TimeSeries)> = Vec::new();
+        self.frame.to_csv()
+    }
+
+    /// The pre-columnar row-oriented CSV export: walks every
+    /// `TimeSeries` per row with a per-cell time lookup. Kept only as
+    /// the baseline for `benches/columnar.rs`; use
+    /// [`to_csv`](Self::to_csv).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn to_csv_rows(&self) -> String {
+        let mut columns: Vec<(String, &TimeSeries)> = Vec::new();
         for (name, ts) in &self.temps {
-            columns.push((name.as_str(), ts));
+            columns.push((format!("temp_{name}_c"), ts));
         }
-        let power_names: BTreeMap<ComponentId, String> = self
-            .power
-            .keys()
-            .map(|&id| (id, format!("power_{id}_w")))
-            .collect();
         for (id, ts) in &self.power {
-            columns.push((power_names[id].as_str(), ts));
+            columns.push((format!("power_{id}_w"), ts));
         }
-        columns.push(("total_power_w", &self.total_power));
+        columns.push(("total_power_w".to_owned(), &self.total_power));
         let mut out = String::from("time_s");
         for (name, _) in &columns {
             out.push(',');
@@ -220,14 +268,11 @@ impl Telemetry {
         out.push('\n');
         let times = self.total_power.times();
         for &t in times {
-            out.push_str(&format!("{t}"));
+            out.push_str(&format!("{t:?}"));
             for (_, ts) in &columns {
-                // A series with no sample at `t` (e.g. a sensor that came
-                // online mid-run) still contributes an explicit empty
-                // field, keeping every row the same width as the header.
                 let field = ts
                     .at(mpt_units::Seconds::new(t))
-                    .map_or_else(String::new, |v| v.to_string());
+                    .map_or_else(String::new, |v| format!("{v:?}"));
                 out.push(',');
                 out.push_str(&field);
             }
@@ -370,16 +415,72 @@ mod tests {
         }
         let csv = t.to_csv();
         let header = csv.lines().next().unwrap();
-        assert!(header.contains("late"));
+        assert!(header.contains("temp_late_c"));
         let fields = header.split(',').count();
-        let late_col = header.split(',').position(|c| c == "late").unwrap();
+        let late_col = header.split(',').position(|c| c == "temp_late_c").unwrap();
         let rows: Vec<&str> = csv.lines().skip(1).collect();
         for row in &rows {
             assert_eq!(row.split(',').count(), fields, "row {row:?}");
         }
         // Early rows carry an explicit empty field in the late column...
         assert_eq!(rows[0].split(',').nth(late_col).unwrap(), "");
-        // ...and the value appears once the sensor comes online.
-        assert_eq!(rows[19].split(',').nth(late_col).unwrap(), "55");
+        // ...and the value appears (round-trippable, not the lossy "55")
+        // once the sensor comes online.
+        assert_eq!(rows[19].split(',').nth(late_col).unwrap(), "55.0");
+    }
+
+    #[test]
+    fn csv_round_trips_into_an_identical_frame() {
+        let mut t = Telemetry::new(Seconds::new(0.1));
+        for i in 0..20 {
+            // Irrational-ish temperatures exercise shortest-repr
+            // formatting; the late sensor exercises NaN back-fill.
+            let mut temps = vec![("big".to_owned(), Celsius::new(40.0 + (i as f64) / 3.0))];
+            if i >= 10 {
+                temps.push(("late".to_owned(), Celsius::new(55.5)));
+            }
+            t.record(
+                Seconds::new(i as f64 * 0.1),
+                Seconds::new(0.1),
+                &temps,
+                &[(ComponentId::BigCluster, Hertz::from_mhz(2000))],
+                &powers(2.0 + (i as f64) * 0.01),
+            );
+        }
+        let csv = t.to_csv();
+        let parsed = ColumnFrame::from_csv(&csv).expect("telemetry CSV parses");
+        assert_eq!(&parsed, t.frame(), "CSV export must be lossless");
+        assert_eq!(parsed.to_csv(), csv);
+    }
+
+    #[test]
+    fn frame_matches_series_content() {
+        let mut t = Telemetry::new(Seconds::new(0.1));
+        for i in 0..20 {
+            t.record(
+                Seconds::new(i as f64 * 0.1),
+                Seconds::new(0.1),
+                &[("big".to_owned(), Celsius::new(40.0 + i as f64))],
+                &[(ComponentId::BigCluster, Hertz::from_mhz(2000))],
+                &powers(2.0),
+            );
+        }
+        let frame = t.frame();
+        assert_eq!(frame.rows(), t.total_power().len());
+        assert_eq!(
+            frame.f64_column("temp_big_c").unwrap(),
+            t.temperature("big").unwrap().values()
+        );
+        assert_eq!(frame.times(), t.total_power().times());
+        assert_eq!(
+            Telemetry::channel_names_for(&["big".to_owned()], &["big"]),
+            vec![
+                "time_s",
+                "temp_big_c",
+                "max_temp_c",
+                "power_big_w",
+                "total_power_w"
+            ]
+        );
     }
 }

@@ -74,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             thermal: ThermalPolicySpec::Disabled,
             app_aware: None,
             alerts: Vec::new(),
+            queries: Vec::new(),
             solver: Default::default(),
             engine: Default::default(),
             control_sensor: None,
@@ -90,6 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect(),
             ..SweepAxes::default()
         },
+        queries: Vec::new(),
         seed: 0,
     };
     let cells = campaign.expand()?;
@@ -126,6 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cap_instead_of_migrate: false,
         }),
         alerts: Vec::new(),
+        queries: Vec::new(),
         solver: Default::default(),
         engine: Default::default(),
         control_sensor: None,
