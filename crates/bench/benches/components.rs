@@ -236,6 +236,59 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Measures the journal's emit/poll/snapshot paths: emit on the enabled
+/// and the disabled (null-recorder) journal, a full drain of a loaded
+/// ring, and the `/progress` snapshot capture.
+fn bench_journal(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use mpt_obs::{JournalKind, Recorder};
+
+    let mut group = c.benchmark_group("journal");
+    let enabled = Arc::new(Recorder::new());
+    let disabled = Arc::new(Recorder::null());
+    group.bench_function("emit", |b| {
+        b.iter(|| {
+            enabled.journal().emit(
+                Some(1_000),
+                JournalKind::StageRollup {
+                    passes: 10,
+                    stage_runs: 40,
+                    wall_us: 123,
+                },
+            )
+        })
+    });
+    group.bench_function("emit_null", |b| {
+        b.iter(|| {
+            disabled.journal().emit(
+                Some(1_000),
+                JournalKind::StageRollup {
+                    passes: 10,
+                    stage_runs: 40,
+                    wall_us: 123,
+                },
+            )
+        })
+    });
+    let loaded = Arc::new(Recorder::new());
+    for i in 0..1_000u64 {
+        loaded.journal().emit(
+            Some(i),
+            JournalKind::CounterDelta {
+                counter: mpt_obs::Counter::Ticks,
+                delta: 1,
+                total: i,
+            },
+        );
+    }
+    group.bench_function("poll_1000", |b| b.iter(|| loaded.journal().poll(0)));
+    group.bench_function("snapshot", |b| {
+        b.iter(|| loaded.journal().snapshot(&loaded))
+    });
+    group.finish();
+}
+
 fn bench_mibench(c: &mut Criterion) {
     let mut group = c.benchmark_group("mibench");
     group.bench_function("basicmath_iteration", |b| {
@@ -259,6 +312,7 @@ criterion_group!(
     bench_simulator_tick,
     bench_stepping,
     bench_recorder_overhead,
+    bench_journal,
     bench_mibench
 );
 criterion_main!(benches);

@@ -13,8 +13,11 @@
 //! ```
 
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use mpt_bench::obs_serve::ObsServer;
 use mpt_core::campaign::run_campaign_framed;
 use mpt_core::report::SessionReport;
 use mpt_core::scenario::{run_scenario_framed_cached, AlertRuleSpec, CampaignSpec, ScenarioSpec};
@@ -25,7 +28,7 @@ use mpt_thermal::SolverKind;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --query EXPR       run a telemetry query (repeatable). Grammar:\n                     agg(channel) [by axis,...] [where axis=value ...]\n                     with agg one of min|max|mean|median|sum|count|p<N>.\n                     Scenarios query the session frame; campaigns query\n                     the per-cell metrics frame, falling back to the\n                     assembled per-cell telemetry for time channels.\n                     Spec-embedded `queries` run first, then these\n  --query-out FMT    query result format: csv (default) or json\n  --columnar-out F   write the columnar telemetry frame (scenario: the\n                     session frame; campaign: the per-cell metrics\n                     frame). Extension picks the format: .json, .arrow\n                     (needs --features arrow-ipc), anything else CSV\n  --progress         print cells done/total, percent, elapsed and ETA to stderr\n\nWith no file, a scenario is read from stdin."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --query EXPR       run a telemetry query (repeatable). Grammar:\n                     agg(channel) [by axis,...] [where axis=value ...]\n                     with agg one of min|max|mean|median|sum|count|p<N>.\n                     Scenarios query the session frame; campaigns query\n                     the per-cell metrics frame, falling back to the\n                     assembled per-cell telemetry for time channels.\n                     Spec-embedded `queries` run first, then these\n  --query-out FMT    query result format: csv (default) or json\n  --columnar-out F   write the columnar telemetry frame (scenario: the\n                     session frame; campaign: the per-cell metrics\n                     frame). Extension picks the format: .json, .arrow\n                     (needs --features arrow-ipc), anything else CSV\n  --progress         render live progress on stderr: per-cell bar, tick\n                     throughput and ETA (campaigns), tick throughput\n                     (scenarios); stdout stays machine-readable\n  --serve-obs ADDR   serve live observability over HTTP while running:\n                     GET /metrics (Prometheus), /progress (JSON snapshot)\n                     and /events?cursor=N (long-poll NDJSON journal).\n                     ADDR is host:port; port 0 picks one (printed to\n                     stderr)\n  --journal-out FILE write the full event journal as NDJSON after the run\n                     (one meta line, then one event per line)\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -44,6 +47,8 @@ struct Args {
     query_json: bool,
     columnar_out: Option<String>,
     progress: bool,
+    serve_obs: Option<String>,
+    journal_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +66,8 @@ fn parse_args() -> Args {
         query_json: false,
         columnar_out: None,
         progress: false,
+        serve_obs: None,
+        journal_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -125,6 +132,14 @@ fn parse_args() -> Args {
                 args.columnar_out = Some(path);
             }
             "--progress" => args.progress = true,
+            "--serve-obs" => {
+                let Some(addr) = it.next() else { usage() };
+                args.serve_obs = Some(addr);
+            }
+            "--journal-out" => {
+                let Some(path) = it.next() else { usage() };
+                args.journal_out = Some(path);
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => {
@@ -173,7 +188,127 @@ fn export_observability(recorder: &Recorder, args: &Args) -> std::io::Result<()>
         std::fs::write(path, body)?;
         eprintln!("metrics written to {path}");
     }
+    if let Some(path) = &args.journal_out {
+        write_journal(recorder, path)?;
+    }
     Ok(())
+}
+
+/// Dumps the whole journal as NDJSON: one meta line (`cursor`,
+/// `next_cursor`, `dropped`), then one event per line — the same shape
+/// `GET /events` serves.
+fn write_journal(recorder: &Recorder, path: &str) -> std::io::Result<()> {
+    let delta = recorder.journal().poll(0);
+    let mut body = format!(
+        "{{\"cursor\":0,\"next_cursor\":{},\"dropped\":{}}}\n",
+        delta.next_cursor, delta.dropped
+    );
+    for ev in &delta.events {
+        body.push_str(&ev.to_json());
+        body.push('\n');
+    }
+    std::fs::write(path, body)?;
+    eprintln!(
+        "journal written to {path} ({} events, {} dropped)",
+        delta.events.len(),
+        delta.dropped
+    );
+    Ok(())
+}
+
+/// Starts the `--serve-obs` HTTP endpoint, announcing the bound address
+/// on stderr (the only place an ephemeral `:0` port becomes known).
+fn start_obs_server(
+    args: &Args,
+    recorder: &Arc<Recorder>,
+) -> Result<Option<ObsServer>, Box<dyn std::error::Error>> {
+    let Some(addr) = &args.serve_obs else {
+        return Ok(None);
+    };
+    let server = ObsServer::start(addr, Arc::clone(recorder))?;
+    eprintln!(
+        "obs server listening on http://{} (GET /metrics /progress /events?cursor=N)",
+        server.local_addr()
+    );
+    Ok(Some(server))
+}
+
+/// The `--progress` renderer: a journal subscriber thread that redraws a
+/// live status line on stderr every 100 ms — per-cell bar, throughput
+/// and ETA for campaigns; tick throughput for plain scenarios. Stdout
+/// never sees a byte of it.
+struct ProgressRenderer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressRenderer {
+    fn start(recorder: Arc<Recorder>) -> ProgressRenderer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                while !stop.load(Ordering::SeqCst) {
+                    render_progress(&recorder, false);
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                render_progress(&recorder, true);
+            }
+        });
+        ProgressRenderer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One redraw of the stderr status line from a journal snapshot.
+#[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+fn render_progress(recorder: &Recorder, last: bool) {
+    let snap = recorder.journal().snapshot(recorder);
+    let mut line = String::new();
+    if snap.cells_total > 0 {
+        let total = snap.cells_total as usize;
+        let done = (snap.cells_done as usize).min(total);
+        let running = snap.in_flight.len().min(total - done);
+        // One char per cell up to a screenful, else a scaled 40-char bar.
+        let (width, done_w, run_w) = if total <= 60 {
+            (total, done, running)
+        } else {
+            let scale = |n: usize| n * 40 / total;
+            (40, scale(done), scale(running))
+        };
+        let bar = format!(
+            "{}{}{}",
+            "#".repeat(done_w),
+            ">".repeat(run_w),
+            ".".repeat(width - done_w - run_w)
+        );
+        let eta = snap
+            .eta_s
+            .map_or_else(|| "-".to_owned(), |eta| format!("{eta:.1} s"));
+        line.push_str(&format!(
+            "\rcells {done}/{total} [{bar}]  {:.0} ticks/s  eta {eta:<9}",
+            snap.ticks_per_sec
+        ));
+    } else {
+        line.push_str(&format!(
+            "\rticks {}  ({:.0}/s)  elapsed {:.1} s ",
+            snap.ticks_total, snap.ticks_per_sec, snap.elapsed_s
+        ));
+    }
+    eprint!("{line}");
+    let _ = std::io::stderr().flush();
+    if last {
+        eprintln!();
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -308,9 +443,14 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     }
     let (channels, axes) = mpt_lint::config::scenario_query_schema(&spec);
     gate_cli_queries(&args.queries, &channels, &axes);
+    let server = start_obs_server(args, &recorder)?;
+    let renderer = args
+        .progress
+        .then(|| ProgressRenderer::start(Arc::clone(&recorder)));
     let (outcome, analysis, frame) =
         run_scenario_framed_cached(&spec, Some(Arc::clone(&recorder)), None)?;
-    if args.progress {
+    if let Some(renderer) = renderer {
+        renderer.finish();
         eprintln!(
             "scenario done in {:.2} s",
             clock::elapsed(start).as_secs_f64()
@@ -378,31 +518,15 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
         eprintln!("session report written to {path}");
     }
     export_observability(&recorder, args)?;
+    if let Some(server) = server {
+        server.stop();
+    }
     Ok(())
 }
 
 fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let recorder = Arc::new(Recorder::new());
     lint_gate(json, args, true, &recorder)?;
-    let start = clock::now();
-    let progress = |done: usize, total: usize| {
-        let elapsed = clock::elapsed(start).as_secs_f64();
-        let eta = if done > 0 {
-            elapsed / done as f64 * (total - done) as f64
-        } else {
-            f64::NAN
-        };
-        eprint!(
-            "\rcells {done}/{total} ({:.0}%)  elapsed {elapsed:.1} s  eta {eta:.1} s ",
-            done as f64 / total as f64 * 100.0
-        );
-        let _ = std::io::stderr().flush();
-        if done == total {
-            eprintln!();
-        }
-    };
-    let progress_cb: Option<&(dyn Fn(usize, usize) + Sync)> =
-        if args.progress { Some(&progress) } else { None };
     let mut spec: CampaignSpec =
         serde_json::from_str(json).map_err(|e| format!("bad campaign json: {e}"))?;
     spec.base.alerts.extend(load_extra_alerts(args)?);
@@ -414,7 +538,14 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     }
     let (channels, axes) = mpt_lint::config::campaign_query_schema(&spec);
     gate_cli_queries(&args.queries, &channels, &axes);
-    let (report, frames) = run_campaign_framed(&spec, args.jobs, &recorder, progress_cb)?;
+    let server = start_obs_server(args, &recorder)?;
+    let renderer = args
+        .progress
+        .then(|| ProgressRenderer::start(Arc::clone(&recorder)));
+    let (report, frames) = run_campaign_framed(&spec, args.jobs, &recorder, None)?;
+    if let Some(renderer) = renderer {
+        renderer.finish();
+    }
     println!(
         "{:<52} {:>9} {:>9} {:>9} {:>6}",
         "cell", "peak C", "avg W", "J", "migr"
@@ -502,5 +633,8 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
         eprintln!("campaign report written to {path}");
     }
     export_observability(&recorder, args)?;
+    if let Some(server) = server {
+        server.stop();
+    }
     Ok(())
 }

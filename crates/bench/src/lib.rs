@@ -21,9 +21,13 @@
 //!   cargo bench -p mpt-bench
 //!   ```
 //!
-//! The library part holds the shared formatting helpers.
+//! The library part holds the shared formatting helpers and the embedded
+//! observability HTTP server ([`obs_serve`]) that `run_scenario
+//! --serve-obs` mounts next to a running campaign.
 
 use mpt_core::experiments::{NexusRun, Table1Row, Table2};
+
+pub mod obs_serve;
 
 /// Formats Table I exactly as the paper lays it out (median frame rate
 /// with/without throttling and the percentage reduction).

@@ -1,0 +1,160 @@
+//! Loopback tests for the embedded observability HTTP server: raw
+//! `TcpStream` GETs against an `ObsServer` bound to `127.0.0.1:0`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use mpt_bench::obs_serve::ObsServer;
+use mpt_obs::{Counter, JournalKind, Recorder};
+
+/// Issues one `GET` and splits the response into (status, headers, body).
+fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    request(addr, "GET", target)
+}
+
+fn request(addr: SocketAddr, method: &str, target: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read full response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body separator");
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line parses");
+    (status, head.to_owned(), body.to_owned())
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let recorder = Arc::new(Recorder::new());
+    recorder.add(Counter::Ticks, 42);
+    let server = ObsServer::start("127.0.0.1:0", Arc::clone(&recorder)).expect("bind");
+    let (status, head, body) = get(server.local_addr(), "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain"));
+    assert!(body.contains("# TYPE mpt_ticks_total counter"));
+    assert!(body.contains("mpt_ticks_total 42"));
+    server.stop();
+}
+
+#[test]
+fn progress_endpoint_serves_json_snapshot() {
+    let recorder = Arc::new(Recorder::new());
+    let journal = recorder.journal();
+    journal.emit(None, JournalKind::CampaignStarted { cells: 4 });
+    {
+        let _scope = mpt_obs::journal::cell_scope(0);
+        journal.emit(
+            None,
+            JournalKind::CellStarted {
+                label: "cell-a".to_owned(),
+            },
+        );
+    }
+    let server = ObsServer::start("127.0.0.1:0", Arc::clone(&recorder)).expect("bind");
+    let (status, head, body) = get(server.local_addr(), "/progress");
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json"));
+    assert!(body.contains("\"cells_total\": 4"));
+    assert!(body.contains("\"cells_done\": 0"));
+    assert!(body.contains("\"label\": \"cell-a\""));
+    assert!(body.contains("\"counters\""));
+    server.stop();
+}
+
+#[test]
+fn events_endpoint_returns_meta_line_plus_ndjson_events() {
+    let recorder = Arc::new(Recorder::new());
+    let journal = recorder.journal();
+    journal.emit(None, JournalKind::CampaignStarted { cells: 2 });
+    journal.emit(
+        Some(1_000_000),
+        JournalKind::AlertFired {
+            rule: "temp_trip".to_owned(),
+            message: "above 85 C".to_owned(),
+        },
+    );
+    let server = ObsServer::start("127.0.0.1:0", Arc::clone(&recorder)).expect("bind");
+    let (status, head, body) = get(server.local_addr(), "/events?cursor=0&timeout_ms=100");
+    assert_eq!(status, 200);
+    assert!(head.contains("application/x-ndjson"));
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 3, "meta line + 2 events, got: {body}");
+    assert!(lines[0].contains("\"cursor\":0"));
+    assert!(lines[0].contains("\"next_cursor\":2"));
+    assert!(lines[0].contains("\"dropped\":0"));
+    assert!(lines[1].contains("\"kind\":\"campaign_started\""));
+    assert!(lines[2].contains("\"kind\":\"alert_fired\""));
+    assert!(lines[2].contains("temp_trip"));
+
+    // A cursor past the tail times out with an empty delta, not a hang.
+    let (status, _, body) = get(server.local_addr(), "/events?cursor=2&timeout_ms=50");
+    assert_eq!(status, 200);
+    assert_eq!(body.lines().count(), 1);
+    assert!(body.contains("\"next_cursor\":2"));
+    server.stop();
+}
+
+#[test]
+fn events_long_poll_blocks_until_an_event_arrives() {
+    let recorder = Arc::new(Recorder::new());
+    let server = ObsServer::start("127.0.0.1:0", Arc::clone(&recorder)).expect("bind");
+    let emitter = std::thread::spawn({
+        let recorder = Arc::clone(&recorder);
+        move || {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            recorder
+                .journal()
+                .emit(None, JournalKind::CampaignStarted { cells: 1 });
+        }
+    });
+    // Issued before the event exists; the long poll must deliver it.
+    let (status, _, body) = get(server.local_addr(), "/events?cursor=0&timeout_ms=5000");
+    emitter.join().expect("emitter thread");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"kind\":\"campaign_started\""),
+        "long poll missed the event: {body}"
+    );
+    server.stop();
+}
+
+#[test]
+fn unknown_path_is_404_and_non_get_is_405() {
+    let recorder = Arc::new(Recorder::new());
+    let server = ObsServer::start("127.0.0.1:0", Arc::clone(&recorder)).expect("bind");
+    let (status, _, body) = get(server.local_addr(), "/nope");
+    assert_eq!(status, 404);
+    assert!(body.contains("/metrics"));
+    let (status, _, _) = request(server.local_addr(), "POST", "/metrics");
+    assert_eq!(status, 405);
+    server.stop();
+}
+
+#[test]
+fn server_stops_cleanly_and_frees_the_port() {
+    let recorder = Arc::new(Recorder::new());
+    let server = ObsServer::start("127.0.0.1:0", Arc::clone(&recorder)).expect("bind");
+    let addr = server.local_addr();
+    server.stop();
+    // The listener is gone: either refused outright or accepted by the
+    // OS backlog and immediately closed without a response.
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = write!(stream, "GET /metrics HTTP/1.1\r\n\r\n");
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        assert!(buf.is_empty(), "stopped server still answered: {buf}");
+    }
+}

@@ -12,6 +12,16 @@ const TINY_SCENARIO: &str = r#"{
     "workloads": [ { "kind": "basic_math", "cluster": "big" } ]
 }"#;
 
+const TINY_CAMPAIGN: &str = r#"{
+    "base": {
+        "platform": "exynos5422",
+        "duration_s": 1.0,
+        "initial_temperature_c": 45.0,
+        "workloads": [ { "kind": "basic_math", "cluster": "big" } ]
+    },
+    "sweep": { "initial_temperatures_c": [40.0, 50.0] }
+}"#;
+
 /// Runs the binary with a scenario on stdin and returns
 /// `(exit code, stdout, stderr)`.
 fn run(args: &[&str], stdin: &str) -> (i32, String, String) {
@@ -244,4 +254,94 @@ fn bad_alerts_file_is_linted_too() {
     let (code, _, stderr) = run(&["--alerts", path.to_str().expect("utf-8")], TINY_SCENARIO);
     assert_eq!(code, 1, "invalid alert params must refuse: {stderr}");
     assert!(stderr.contains("MPT107"), "expected MPT107: {stderr}");
+}
+
+#[test]
+fn campaign_progress_renders_on_stderr_and_stdout_stays_clean() {
+    let (code, stdout, stderr) = run(&["--campaign", "--progress", "--jobs", "2"], TINY_CAMPAIGN);
+    assert_eq!(code, 0, "campaign failed: {stderr}");
+    // The final redraw is unconditional, so the completed bar is always
+    // present even when the run outpaces the 100 ms refresh.
+    assert!(
+        stderr.contains("cells 2/2 [##]") && stderr.contains("ticks/s"),
+        "stderr should carry the finished progress bar: {stderr}"
+    );
+    assert!(
+        !stdout.contains('\r') && !stdout.contains("ticks/s"),
+        "progress must never leak onto stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("peak C"),
+        "stdout keeps the machine-readable cell table: {stdout}"
+    );
+}
+
+#[test]
+fn scenario_progress_reports_throughput_on_stderr_only() {
+    let (code, stdout, stderr) = run(&["--progress"], TINY_SCENARIO);
+    assert_eq!(code, 0, "scenario failed: {stderr}");
+    assert!(
+        stderr.contains("ticks") && stderr.contains("scenario done in"),
+        "stderr should carry throughput and the closing line: {stderr}"
+    );
+    assert!(
+        !stdout.contains('\r') && !stdout.contains("ticks"),
+        "progress must never leak onto stdout: {stdout}"
+    );
+}
+
+#[test]
+fn serve_obs_announces_the_bound_address_on_stderr() {
+    let (code, stdout, stderr) = run(&["--serve-obs", "127.0.0.1:0"], TINY_SCENARIO);
+    assert_eq!(code, 0, "serve-obs run failed: {stderr}");
+    assert!(
+        stderr.contains("obs server listening on http://127.0.0.1:")
+            && stderr.contains("/events?cursor=N"),
+        "stderr should announce the resolved ephemeral port: {stderr}"
+    );
+    assert!(
+        !stdout.contains("obs server"),
+        "the announcement belongs on stderr: {stdout}"
+    );
+}
+
+#[test]
+fn journal_out_writes_the_full_ndjson_journal() {
+    let dir = std::env::temp_dir().join("mpt_journal_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("journal.ndjson");
+    let (code, _, stderr) = run(
+        &["--campaign", "--journal-out", path.to_str().expect("utf-8")],
+        TINY_CAMPAIGN,
+    );
+    assert_eq!(code, 0, "journal export failed: {stderr}");
+    assert!(
+        stderr.contains("journal written"),
+        "stderr should confirm the export: {stderr}"
+    );
+    let ndjson = std::fs::read_to_string(&path).expect("journal file exists");
+    let meta = ndjson.lines().next().expect("meta line");
+    assert!(
+        meta.contains("\"next_cursor\":") && meta.contains("\"dropped\":0"),
+        "meta line should carry cursor bookkeeping: {meta}"
+    );
+    for kind in [
+        "campaign_started",
+        "cell_started",
+        "cell_finished",
+        "stage_rollup",
+        "queue_stats",
+        "solver_cache",
+    ] {
+        assert!(
+            ndjson.contains(&format!("\"kind\":\"{kind}\"")),
+            "journal should carry a {kind} event:\n{ndjson}"
+        );
+    }
+    assert!(
+        ndjson
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')),
+        "every line must be a standalone JSON object"
+    );
 }

@@ -53,6 +53,7 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
 
 use mpt_daq::stats;
+use mpt_obs::journal::JournalKind;
 use mpt_obs::{Counter, Recorder};
 use mpt_sim::Result;
 
@@ -474,6 +475,13 @@ pub fn run_cells_framed(
     let start = mpt_obs::clock::now();
     let cell_hist = recorder.register_histogram("cell");
     let done = AtomicUsize::new(0);
+    let journal = recorder.journal();
+    journal.emit(
+        None,
+        JournalKind::CampaignStarted {
+            cells: cells.len() as u64,
+        },
+    );
     // One immutable transition-matrix cache for the whole campaign:
     // cells sweeping the same platform at the same tick reuse one
     // discretization instead of re-factoring it per cell. Builds happen
@@ -483,14 +491,39 @@ pub fn run_cells_framed(
     let results = run_parallel_workers(cells.len(), jobs, |i, worker| {
         let cell_start = mpt_obs::clock::now();
         let result = {
-            let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
-            scenario::run_scenario_framed_cached(
-                &cells[i].scenario,
-                Some(Arc::clone(recorder)),
-                Some(Arc::clone(&solver_cache)),
-            )
+            // Every journal event the cell emits (alerts, rollups, queue
+            // stats) is stamped with its expansion index, which is what
+            // lets the deterministic replay regroup events per cell
+            // whatever the worker interleaving.
+            let _cell_scope =
+                mpt_obs::journal::cell_scope(u32::try_from(cells[i].index).unwrap_or(u32::MAX));
+            journal.emit(
+                None,
+                JournalKind::CellStarted {
+                    label: cells[i].label.clone(),
+                },
+            );
+            let result = {
+                let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
+                scenario::run_scenario_framed_cached(
+                    &cells[i].scenario,
+                    Some(Arc::clone(recorder)),
+                    Some(Arc::clone(&solver_cache)),
+                )
+            };
+            if let Ok((outcome, _, _)) = &result {
+                journal.emit(
+                    None,
+                    JournalKind::CellFinished {
+                        label: cells[i].label.clone(),
+                        peak_temp_c: outcome.peak_temperature_c,
+                    },
+                );
+            }
+            result
         };
         recorder.incr(Counter::CellsCompleted);
+        journal.sample_counters(recorder);
         if let Some(cb) = progress {
             cb(done.fetch_add(1, Ordering::Relaxed) + 1, cells.len());
         }
@@ -500,6 +533,14 @@ pub fn run_cells_framed(
             worker,
         )
     });
+    journal.emit(
+        None,
+        JournalKind::SolverCacheSummary {
+            hits: recorder.counter(Counter::SolverCacheHits),
+            builds: recorder.counter(Counter::SolverCacheBuilds),
+        },
+    );
+    journal.sample_counters(recorder);
     let workers = effective_jobs(jobs).min(cells.len().max(1));
     let mut worker_busy_s = vec![0.0; workers];
     let mut timings = Vec::with_capacity(cells.len());

@@ -1027,7 +1027,37 @@ pub fn run_scenario_framed_cached(
     mpt_daq::ColumnFrame,
 )> {
     let (mut sim, stats) = build_scenario_cached(spec, recorder, solver_cache)?;
+    let wall_start = mpt_obs::clock::now();
     sim.run_for(Seconds::new(spec.duration_s))?;
+    {
+        // Per-run rollups for the live journal. Everything but `wall_us`
+        // is a pure function of simulated state (and `wall_us` is zeroed
+        // by the deterministic replay normalization).
+        use mpt_obs::journal::JournalKind;
+        let journal = sim.recorder().journal();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let sim_us = (sim.time().value() * 1e6).round().max(0.0) as u64;
+        let passes = sim.clock().steps();
+        let wall_us =
+            u64::try_from(mpt_obs::clock::elapsed(wall_start).as_micros()).unwrap_or(u64::MAX);
+        journal.emit(
+            Some(sim_us),
+            JournalKind::StageRollup {
+                passes,
+                stage_runs: passes * sim.stage_names().len() as u64,
+                wall_us,
+            },
+        );
+        let stats = sim.macro_stats();
+        journal.emit(
+            Some(sim_us),
+            JournalKind::QueueStats {
+                events_popped: stats.events_popped,
+                wakes_coalesced: stats.wakes_coalesced,
+                trip_bisection_iters: stats.trip_bisection_iters,
+            },
+        );
+    }
     let analysis = crate::report::SessionAnalysis::from_sim(&sim);
     let workloads = spec
         .workloads

@@ -197,6 +197,9 @@ fn metric_names_and_histogram_registry_are_stable() {
         "mpt_solver_substeps_avoided_total",
         "mpt_lint_checks_total",
         "mpt_lint_diagnostics_total",
+        "mpt_engine_events_popped_total",
+        "mpt_engine_wakes_coalesced_total",
+        "mpt_engine_trip_bisection_iters_total",
     ];
     let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
     assert_eq!(names, expected);
@@ -271,4 +274,42 @@ fn campaign_counter_totals_are_identical_between_one_and_eight_workers() {
         .map(|&(_, v)| v)
         .expect("ticks counter present");
     assert!(ticks > 0, "campaign should have simulated ticks");
+}
+
+/// The live-journal acceptance bar: after timestamp normalization the
+/// journal replay of a shipped campaign is bit-identical between one and
+/// eight workers. Raw journals interleave differently (sequence numbers,
+/// wall-clock stamps, sampler batches), but the deterministic subset —
+/// regrouped per cell — must not.
+#[test]
+fn campaign_journal_replay_is_identical_between_one_and_eight_workers() {
+    let path = scenarios_dir().join("nexus_trip_sweep.campaign.json");
+    let json = std::fs::read_to_string(path).expect("readable file");
+    let spec: CampaignSpec = serde_json::from_str(&json).expect("parses");
+    let mut cells = spec.expand().expect("expands");
+    for cell in &mut cells {
+        cell.scenario.duration_s = 1.0;
+    }
+    let replay = |jobs: usize| {
+        let recorder = Arc::new(Recorder::new());
+        run_cells_observed(&cells, jobs, &recorder, None).expect("runs");
+        let delta = recorder.journal().poll(0);
+        assert_eq!(delta.dropped, 0, "ring must not lap during a 12-cell run");
+        mpt_obs::journal::normalized_replay(&delta.events)
+    };
+    let serial = replay(1);
+    let parallel = replay(8);
+    assert_eq!(serial, parallel, "normalized journal replay diverged");
+    assert_eq!(
+        serial.matches("\"kind\":\"cell_finished\"").count(),
+        cells.len(),
+        "one cell_finished per cell"
+    );
+    assert!(serial.contains("\"kind\":\"campaign_started\""));
+    assert!(serial.contains("\"kind\":\"stage_rollup\""));
+    assert!(serial.contains("\"kind\":\"queue_stats\""));
+    assert!(
+        !serial.contains("\"kind\":\"counter_delta\""),
+        "sampler events are excluded from the deterministic replay"
+    );
 }

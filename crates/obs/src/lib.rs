@@ -57,6 +57,7 @@ pub mod analyze;
 pub mod clock;
 pub mod export;
 pub mod hist;
+pub mod journal;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
@@ -65,6 +66,7 @@ pub mod trace;
 pub use analyze::{Alert, AlertEngine, AlertRule, DerivedSummary, DerivedTracker, TickSample};
 pub use export::{HistSnapshot, MetricsSnapshot};
 pub use hist::{HistId, Histogram};
+pub use journal::{Delta, Journal, JournalEvent, JournalKind, Snapshot};
 pub use metrics::Counter;
 pub use recorder::Recorder;
 pub use span::{SpanGuard, SpanRecord};

@@ -60,11 +60,21 @@ pub enum Counter {
     LintChecksRun,
     /// Diagnostics emitted by `mpt-lint` (errors and warnings).
     LintDiagnostics,
+    /// Wake events popped off the event-driven engine's queue (one per
+    /// macro pass that consumed a scheduled wake).
+    EventsPopped,
+    /// Queued wakes absorbed into an already-running macro pass instead
+    /// of waking the engine separately (lands due to the base-dt grid
+    /// quantization of wake times).
+    WakesCoalesced,
+    /// Bisection iterations spent refining trip-crossing wake times on
+    /// the analytic thermal trajectory.
+    TripBisectionIters,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Ticks,
         Counter::StageRuns,
         Counter::ThrottleEvents,
@@ -83,6 +93,9 @@ impl Counter {
         Counter::SolverSubstepsAvoided,
         Counter::LintChecksRun,
         Counter::LintDiagnostics,
+        Counter::EventsPopped,
+        Counter::WakesCoalesced,
+        Counter::TripBisectionIters,
     ];
 
     /// Number of counter slots.
@@ -116,6 +129,9 @@ impl Counter {
             Counter::SolverSubstepsAvoided => "mpt_solver_substeps_avoided_total",
             Counter::LintChecksRun => "mpt_lint_checks_total",
             Counter::LintDiagnostics => "mpt_lint_diagnostics_total",
+            Counter::EventsPopped => "mpt_engine_events_popped_total",
+            Counter::WakesCoalesced => "mpt_engine_wakes_coalesced_total",
+            Counter::TripBisectionIters => "mpt_engine_trip_bisection_iters_total",
         }
     }
 
@@ -147,6 +163,11 @@ impl Counter {
             }
             Counter::LintChecksRun => "Static-analysis checks executed by mpt-lint.",
             Counter::LintDiagnostics => "Diagnostics emitted by mpt-lint (errors and warnings).",
+            Counter::EventsPopped => "Wake events popped off the event-driven engine's queue.",
+            Counter::WakesCoalesced => "Queued wakes absorbed into an already-running macro pass.",
+            Counter::TripBisectionIters => {
+                "Bisection iterations refining trip-crossing wake times."
+            }
         }
     }
 

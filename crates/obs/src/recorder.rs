@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use crate::export::{HistSnapshot, MetricsSnapshot};
 use crate::hist::{HistId, Histogram};
+use crate::journal::Journal;
 use crate::metrics::Counter;
 use crate::span::{current_lane, SpanGuard, SpanRecord};
 use crate::trace::{CounterTrack, TrackId};
@@ -48,6 +49,7 @@ pub struct Recorder {
     spans: [Mutex<Vec<SpanRecord>>; SPAN_SHARDS],
     span_count: AtomicUsize,
     tracks: Mutex<Vec<TrackSlot>>,
+    journal: Journal,
 }
 
 impl Default for Recorder {
@@ -57,23 +59,32 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    fn with_enabled(enabled: bool) -> Self {
+    fn with_enabled(enabled: bool, journal_capacity: usize) -> Self {
+        let epoch = crate::clock::now();
         Self {
             enabled,
-            epoch: crate::clock::now(),
+            epoch,
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| Histogram::new()),
             hist_names: Mutex::new(Vec::new()),
             spans: std::array::from_fn(|_| Mutex::new(Vec::new())),
             span_count: AtomicUsize::new(0),
             tracks: Mutex::new(Vec::new()),
+            journal: Journal::new(enabled, epoch, journal_capacity),
         }
     }
 
     /// An enabled recorder with its epoch set to "now".
     #[must_use]
     pub fn new() -> Self {
-        Self::with_enabled(true)
+        Self::with_enabled(true, crate::journal::DEFAULT_CAPACITY)
+    }
+
+    /// An enabled recorder whose journal ring holds `capacity` events
+    /// (power of two) — for tests and benchmarks that exercise ring laps.
+    #[must_use]
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Self::with_enabled(true, capacity)
     }
 
     /// The "NullRecorder": a disabled recorder whose every operation is a
@@ -81,13 +92,20 @@ impl Recorder {
     /// observability.
     #[must_use]
     pub fn null() -> Self {
-        Self::with_enabled(false)
+        Self::with_enabled(false, 0)
     }
 
     /// Whether this recorder records anything.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The live event journal sharing this recorder's epoch. Disabled
+    /// (zero-capacity, every call an early return) on a null recorder.
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Adds `n` to a counter.

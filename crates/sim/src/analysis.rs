@@ -119,6 +119,15 @@ impl RunAnalysis {
                     },
                 },
             );
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let sim_us = (alert.t_s * 1e6).round().max(0.0) as u64;
+            recorder.journal().emit(
+                Some(sim_us),
+                mpt_obs::journal::JournalKind::AlertFired {
+                    rule: alert.rule.to_owned(),
+                    message: alert.message.clone(),
+                },
+            );
             self.alerts.push(alert);
         }
         self.events_seen = events.len();

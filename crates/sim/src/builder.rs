@@ -340,6 +340,7 @@ impl SimBuilder {
             events: EventLog::new(),
             recorder,
             analysis,
+            macro_stats: crate::engine::MacroStats::default(),
         };
         core.register_sysfs()?;
         core.sync_sysfs()?;

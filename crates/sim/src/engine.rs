@@ -120,6 +120,22 @@ pub struct SimCore {
     /// Online derived observables, alert rules and counter tracks,
     /// advanced by the `analyze` stage.
     pub(crate) analysis: RunAnalysis,
+    /// Event-engine queue totals for this run (all zero under fixed-dt).
+    pub(crate) macro_stats: MacroStats,
+}
+
+/// Per-run event-engine queue totals, mirrored into the recorder's
+/// counters and reported to the live journal at the end of a run. Driven
+/// purely by simulated state, so deterministic across worker counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MacroStats {
+    /// Wake events popped off the queue (one per macro pass that
+    /// consumed a scheduled wake).
+    pub events_popped: u64,
+    /// Queued wakes absorbed into an already-running macro pass.
+    pub wakes_coalesced: u64,
+    /// Bisection iterations spent refining trip-crossing wake times.
+    pub trip_bisection_iters: u64,
 }
 
 impl SimCore {
@@ -531,6 +547,13 @@ impl Simulator {
         self.stages.iter().map(|s| s.name()).collect()
     }
 
+    /// Event-engine queue totals for this run so far (all zero under
+    /// fixed-dt stepping). Deterministic across worker counts.
+    #[must_use]
+    pub fn macro_stats(&self) -> MacroStats {
+        self.core.macro_stats
+    }
+
     /// The current frequency of a component.
     #[must_use]
     pub fn current_frequency(&self, id: ComponentId) -> Option<Hertz> {
@@ -683,6 +706,8 @@ impl Simulator {
         let mut steps: u64 = 1;
         if !every_tick && self.quiescent {
             if let Some(event) = self.queue.pop() {
+                self.core.macro_stats.events_popped += 1;
+                self.core.recorder.incr(Counter::EventsPopped);
                 steps = grid_steps(now, event.time, base);
             }
             if steps > 1 {
@@ -694,6 +719,14 @@ impl Simulator {
                     }
                 }
                 steps = refined.max(1);
+            }
+            // Whatever still sits in the queue inside the chosen pass is
+            // absorbed by it rather than waking the engine separately.
+            let pass_end = now + Seconds::new(steps as f64 * base.value());
+            let coalesced = self.queue.due_count(pass_end) as u64;
+            if coalesced > 0 {
+                self.core.macro_stats.wakes_coalesced += coalesced;
+                self.core.recorder.add(Counter::WakesCoalesced, coalesced);
             }
         }
 

@@ -59,7 +59,7 @@ mod telemetry;
 pub use analysis::RunAnalysis;
 pub use builder::SimBuilder;
 pub use clock::SimClock;
-pub use engine::{SimCore, Simulator, SteppingMode};
+pub use engine::{MacroStats, SimCore, Simulator, SteppingMode};
 pub use error::SimError;
 pub use events::{Event, EventKind, EventLog};
 pub use policy::{SystemPolicy, SystemView};

@@ -171,6 +171,21 @@ impl EventQueue {
         self.len() == 0
     }
 
+    /// Number of live wake events due at or before `t` (with the grid
+    /// tolerance the engine uses), excluding the [`WakeKind::RunEnd`]
+    /// bookkeeping entry — the wakes a macro pass ending at `t` absorbs
+    /// without waking the engine separately.
+    pub fn due_count(&self, t: Seconds) -> usize {
+        self.heap
+            .iter()
+            .filter(|entry| {
+                !self.dead.contains(&entry.seq)
+                    && entry.kind != WakeKind::RunEnd
+                    && entry.time <= t.value() + 1e-12
+            })
+            .count()
+    }
+
     /// Drop every queued event (live or cancelled).
     pub fn clear(&mut self) {
         self.heap.clear();

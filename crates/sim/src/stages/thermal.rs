@@ -92,6 +92,8 @@ impl SimStage for ThermalStage {
             let mut lo = 0u64;
             let mut hi = k_max;
             while hi - lo > 1 {
+                core.macro_stats.trip_bisection_iters += 1;
+                core.recorder.incr(Counter::TripBisectionIters);
                 let mid = lo + (hi - lo) / 2;
                 let tm = core
                     .peek_control_temperature(Seconds::new(mid as f64 * base.value()), &node_powers)
