@@ -96,10 +96,10 @@ pub fn assemble_g_full(
 #[must_use]
 pub fn hurwitz_margin(heat_capacity: &[f64], g_full: &[Vec<f64>]) -> f64 {
     let n = heat_capacity.len();
-    let mut s = vec![vec![0.0; n]; n];
+    let mut s = linalg::Mat::zeros(n, n);
     for (i, row) in g_full.iter().enumerate() {
         for (j, &g) in row.iter().enumerate() {
-            s[i][j] = g / (heat_capacity[i] * heat_capacity[j]).sqrt();
+            s[(i, j)] = g / (heat_capacity[i] * heat_capacity[j]).sqrt();
         }
     }
     linalg::symmetric_eigenvalues(&s)

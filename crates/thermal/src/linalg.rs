@@ -4,34 +4,165 @@
 //! Gaussian elimination with partial pivoting is both sufficient and
 //! dependency-free. Public so model-validation tooling (`mpt-lint`'s
 //! Hurwitz check) reuses the exact arithmetic the solver runs on.
+//!
+//! All routines operate on [`Mat`], a flat row-major matrix in one
+//! contiguous allocation: no per-row `Vec` headers, no pointer chasing in
+//! the inner loops, and the exact layout the batched fleet kernel streams
+//! through. The arithmetic (loop order, pivot choice, zero-skips) is
+//! unchanged from the historical `Vec<Vec<f64>>` implementation, so every
+//! result is bit-identical to what the goldens pinned before the layout
+//! change.
+
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix in one contiguous allocation.
+///
+/// `data[r * cols + c]` holds element `(r, c)`. Rows are contiguous, so
+/// `row(i)` is a plain subslice and the mat-vec / mat-mat inner loops
+/// stream linearly through memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// The `rows × cols` zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Copies a nested row-major `Vec<Vec<f64>>` (the layout platform
+    /// specs still use) into contiguous storage. Every row must have the
+    /// same length.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        debug_assert!(rows.iter().all(|r| r.len() == n_cols));
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
+    }
+
+    /// Wraps an existing flat row-major buffer. `data.len()` must equal
+    /// `rows * cols`.
+    #[must_use]
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The whole matrix as one flat row-major slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning its flat row-major buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Swaps rows `a` and `b` element-wise (no allocation).
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
 
 /// Solves `A·x = b` in place for a small dense system.
 ///
 /// Returns `None` if the matrix is (numerically) singular.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
-pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+pub fn solve(mut a: Mat, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
-    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    debug_assert!(a.rows() == n && a.cols() == n);
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col]
+            a[(i, col)]
                 .abs()
-                .partial_cmp(&a[j][col].abs())
+                .partial_cmp(&a[(j, col)].abs())
                 .unwrap_or(std::cmp::Ordering::Equal)
         })?;
-        if a[pivot][col].abs() < 1e-14 {
+        if a[(pivot, col)].abs() < 1e-14 {
             return None;
         }
-        a.swap(col, pivot);
+        a.swap_rows(col, pivot);
         b.swap(col, pivot);
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
+            let factor = a[(row, col)] / a[(col, col)];
             if factor == 0.0 {
                 continue;
             }
             for k in col..n {
-                a[row][k] -= factor * a[col][k];
+                a[(row, k)] -= factor * a[(col, k)];
             }
             b[row] -= factor * b[col];
         }
@@ -41,9 +172,9 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for row in (0..n).rev() {
         let mut acc = b[row];
         for col in (row + 1)..n {
-            acc -= a[row][col] * x[col];
+            acc -= a[(row, col)] * x[col];
         }
-        x[row] = acc / a[row][row];
+        x[row] = acc / a[(row, row)];
     }
     Some(x)
 }
@@ -53,43 +184,43 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
 ///
 /// Returns `None` if the matrix is (numerically) singular.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
-pub fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Option<Vec<Vec<f64>>> {
-    let n = a.len();
-    debug_assert!(b.len() == n && a.iter().all(|row| row.len() == n));
+pub fn solve_multi(mut a: Mat, mut b: Mat) -> Option<Mat> {
+    let n = a.rows();
+    debug_assert!(b.rows() == n && a.cols() == n);
+    let width = b.cols();
     for col in 0..n {
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col]
+            a[(i, col)]
                 .abs()
-                .partial_cmp(&a[j][col].abs())
+                .partial_cmp(&a[(j, col)].abs())
                 .unwrap_or(std::cmp::Ordering::Equal)
         })?;
-        if a[pivot][col].abs() < 1e-14 {
+        if a[(pivot, col)].abs() < 1e-14 {
             return None;
         }
-        a.swap(col, pivot);
-        b.swap(col, pivot);
+        a.swap_rows(col, pivot);
+        b.swap_rows(col, pivot);
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
+            let factor = a[(row, col)] / a[(col, col)];
             if factor == 0.0 {
                 continue;
             }
             for k in col..n {
-                a[row][k] -= factor * a[col][k];
+                a[(row, k)] -= factor * a[(col, k)];
             }
-            for k in 0..b[row].len() {
-                b[row][k] -= factor * b[col][k];
+            for k in 0..width {
+                b[(row, k)] -= factor * b[(col, k)];
             }
         }
     }
-    let width = b.first().map_or(0, Vec::len);
-    let mut x = vec![vec![0.0; width]; n];
+    let mut x = Mat::zeros(n, width);
     for row in (0..n).rev() {
         for k in 0..width {
-            let mut acc = b[row][k];
+            let mut acc = b[(row, k)];
             for col in (row + 1)..n {
-                acc -= a[row][col] * x[col][k];
+                acc -= a[(row, col)] * x[(col, k)];
             }
-            x[row][k] = acc / a[row][row];
+            x[(row, k)] = acc / a[(row, row)];
         }
     }
     Some(x)
@@ -97,32 +228,41 @@ pub fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Option<Vec<Vec
 
 /// The `n×n` identity matrix.
 #[must_use]
-pub fn identity(n: usize) -> Vec<Vec<f64>> {
-    let mut m = vec![vec![0.0; n]; n];
-    for (i, row) in m.iter_mut().enumerate() {
-        row[i] = 1.0;
-    }
-    m
+pub fn identity(n: usize) -> Mat {
+    Mat::identity(n)
 }
 
-/// Dense matrix product `A·B`.
-#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+/// Dense matrix product `A·B` into a fresh matrix.
 #[must_use]
-pub fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let n = a.len();
-    let mut out = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for k in 0..n {
-            let aik = a[i][k];
+pub fn mat_mul(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    mat_mul_into(a, b, &mut out);
+    out
+}
+
+/// Dense matrix product `A·B` written into `out` (which is zeroed first).
+///
+/// `out` must already have shape `a.rows() × b.cols()`; no allocation
+/// happens here, which is what lets `expm`'s squaring loop ping-pong
+/// between two fixed buffers.
+#[allow(clippy::needless_range_loop)] // indexed form mirrors the math
+pub fn mat_mul_into(a: &Mat, b: &Mat, out: &mut Mat) {
+    let (m, inner, p) = (a.rows(), a.cols(), b.cols());
+    debug_assert!(b.rows() == inner && out.rows() == m && out.cols() == p);
+    out.data.fill(0.0);
+    for i in 0..m {
+        for k in 0..inner {
+            let aik = a[(i, k)];
             if aik == 0.0 {
                 continue;
             }
-            for j in 0..n {
-                out[i][j] += aik * b[k][j];
+            let b_row = b.row(k);
+            let out_row = out.row_mut(i);
+            for j in 0..p {
+                out_row[j] += aik * b_row[j];
             }
         }
     }
-    out
 }
 
 /// The matrix exponential `exp(A)` by scaling-and-squaring.
@@ -135,11 +275,10 @@ pub fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// this classic scheme is accurate to near machine precision here.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
 #[must_use]
-pub fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let n = a.len();
-    let norm = a
-        .iter()
-        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+pub fn expm(a: &Mat) -> Mat {
+    let n = a.rows();
+    let norm = (0..n)
+        .map(|i| a.row(i).iter().map(|v| v.abs()).sum::<f64>())
         .fold(0.0, f64::max);
     let squarings = if norm > 0.25 {
         (norm / 0.25).log2().ceil().max(0.0) as u32
@@ -147,14 +286,14 @@ pub fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
         0
     };
     let scale = (0.5_f64).powi(squarings as i32);
-    let scaled: Vec<Vec<f64>> = a
-        .iter()
-        .map(|row| row.iter().map(|v| v * scale).collect())
-        .collect();
+    let mut scaled = a.clone();
+    for v in &mut scaled.data {
+        *v *= scale;
+    }
     // Taylor series of the scaled matrix: converges in ~a dozen terms at
     // ‖M‖ ≤ 1/4.
-    let mut result = identity(n);
-    let mut term = identity(n);
+    let mut result = Mat::identity(n);
+    let mut term = Mat::identity(n);
     for k in 1..=30 {
         term = mat_mul(&term, &scaled);
         let inv_k = 1.0 / f64::from(k);
@@ -162,9 +301,9 @@ pub fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
         for i in 0..n {
             let mut row_sum = 0.0;
             for j in 0..n {
-                term[i][j] *= inv_k;
-                result[i][j] += term[i][j];
-                row_sum += term[i][j].abs();
+                term[(i, j)] *= inv_k;
+                result[(i, j)] += term[(i, j)];
+                row_sum += term[(i, j)].abs();
             }
             term_norm = term_norm.max(row_sum);
         }
@@ -194,43 +333,43 @@ pub fn expm(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// eigenvalue of `S` is strictly positive.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
 #[must_use]
-pub fn symmetric_eigenvalues(a: &[Vec<f64>]) -> Vec<f64> {
-    let n = a.len();
-    let mut m: Vec<Vec<f64>> = a.to_vec();
+pub fn symmetric_eigenvalues(a: &Mat) -> Vec<f64> {
+    let n = a.rows();
+    let mut m = a.clone();
     for _sweep in 0..100 {
         let off: f64 = (0..n)
             .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
-            .map(|(i, j)| m[i][j] * m[i][j])
+            .map(|(i, j)| m[(i, j)] * m[(i, j)])
             .sum();
         if off < 1e-24 {
             break;
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                if m[p][q].abs() < 1e-300 {
+                if m[(p, q)].abs() < 1e-300 {
                     continue;
                 }
                 // Classic Jacobi rotation annihilating m[p][q].
-                let theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * m[(p, q)]);
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
                 for k in 0..n {
-                    let mkp = m[k][p];
-                    let mkq = m[k][q];
-                    m[k][p] = c * mkp - s * mkq;
-                    m[k][q] = s * mkp + c * mkq;
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
                 }
                 for k in 0..n {
-                    let mpk = m[p][k];
-                    let mqk = m[q][k];
-                    m[p][k] = c * mpk - s * mqk;
-                    m[q][k] = s * mpk + c * mqk;
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
                 }
             }
         }
     }
-    let mut eigs: Vec<f64> = (0..n).map(|i| m[i][i]).collect();
+    let mut eigs: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
     eigs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     eigs
 }
@@ -240,9 +379,13 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn mat(rows: &[&[f64]]) -> Mat {
+        Mat::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
     #[test]
     fn solves_identity() {
-        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let a = mat(&[&[1.0, 0.0], &[0.0, 1.0]]);
         let x = solve(a, vec![3.0, -4.0]).unwrap();
         assert_eq!(x, vec![3.0, -4.0]);
     }
@@ -250,7 +393,7 @@ mod tests {
     #[test]
     fn solves_2x2() {
         // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
-        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let a = mat(&[&[2.0, 1.0], &[1.0, -1.0]]);
         let x = solve(a, vec![5.0, 1.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
         assert!((x[1] - 1.0).abs() < 1e-12);
@@ -258,66 +401,95 @@ mod tests {
 
     #[test]
     fn detects_singular() {
-        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let a = mat(&[&[1.0, 2.0], &[2.0, 4.0]]);
         assert!(solve(a, vec![1.0, 2.0]).is_none());
     }
 
     #[test]
     fn needs_pivoting() {
         // Zero on the diagonal forces a row swap.
-        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let a = mat(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let x = solve(a, vec![7.0, 9.0]).unwrap();
         assert!((x[0] - 9.0).abs() < 1e-12);
         assert!((x[1] - 7.0).abs() < 1e-12);
     }
 
     #[test]
+    fn mat_swap_rows_is_elementwise() {
+        let mut m = mat(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+        assert_eq!(m.row(2), &[1.0, 2.0]);
+        m.swap_rows(1, 1);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn mat_from_flat_round_trips() {
+        let m = Mat::from_flat(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.clone().into_vec(), m.as_slice());
+    }
+
+    #[test]
+    fn mat_mul_into_handles_rectangular_shapes() {
+        // (2×3)·(3×2) = 2×2, checked against hand arithmetic.
+        let a = mat(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = mat(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let p = mat_mul(&a, &b);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
     fn expm_of_zero_is_identity() {
-        let z = vec![vec![0.0; 3]; 3];
+        let z = Mat::zeros(3, 3);
         assert_eq!(expm(&z), identity(3));
     }
 
     #[test]
     fn expm_matches_scalar_exponential_on_diagonal() {
-        let a = vec![vec![-0.5, 0.0], vec![0.0, -3.0]];
+        let a = mat(&[&[-0.5, 0.0], &[0.0, -3.0]]);
         let e = expm(&a);
-        assert!((e[0][0] - (-0.5_f64).exp()).abs() < 1e-12);
-        assert!((e[1][1] - (-3.0_f64).exp()).abs() < 1e-12);
-        assert!(e[0][1].abs() < 1e-15 && e[1][0].abs() < 1e-15);
+        assert!((e[(0, 0)] - (-0.5_f64).exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-3.0_f64).exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-15 && e[(1, 0)].abs() < 1e-15);
     }
 
     #[test]
     fn expm_satisfies_semigroup_property() {
         // exp(A) · exp(A) == exp(2A) for a non-diagonal stable matrix.
-        let a = vec![vec![-2.0, 1.5], vec![0.7, -1.2]];
-        let two_a = vec![vec![-4.0, 3.0], vec![1.4, -2.4]];
+        let a = mat(&[&[-2.0, 1.5], &[0.7, -1.2]]);
+        let two_a = mat(&[&[-4.0, 3.0], &[1.4, -2.4]]);
         let e1 = expm(&a);
         let e2 = expm(&two_a);
         let prod = mat_mul(&e1, &e1);
         for i in 0..2 {
             for j in 0..2 {
-                assert!((prod[i][j] - e2[i][j]).abs() < 1e-12, "({i},{j})");
+                assert!((prod[(i, j)] - e2[(i, j)]).abs() < 1e-12, "({i},{j})");
             }
         }
     }
 
     #[test]
     fn solve_multi_matches_columnwise_solve() {
-        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
-        let b = vec![vec![5.0, 1.0], vec![1.0, 2.0]];
+        let a = mat(&[&[2.0, 1.0], &[1.0, -1.0]]);
+        let b = mat(&[&[5.0, 1.0], &[1.0, 2.0]]);
         let x = solve_multi(a.clone(), b.clone()).unwrap();
         for col in 0..2 {
-            let rhs: Vec<f64> = (0..2).map(|row| b[row][col]).collect();
+            let rhs: Vec<f64> = (0..2).map(|row| b[(row, col)]).collect();
             let xc = solve(a.clone(), rhs).unwrap();
             for row in 0..2 {
-                assert!((x[row][col] - xc[row]).abs() < 1e-12);
+                assert!((x[(row, col)] - xc[row]).abs() < 1e-12);
             }
         }
     }
 
     #[test]
     fn symmetric_eigenvalues_of_diagonal_matrix() {
-        let a = vec![vec![3.0, 0.0], vec![0.0, -1.0]];
+        let a = mat(&[&[3.0, 0.0], &[0.0, -1.0]]);
         let eigs = symmetric_eigenvalues(&a);
         assert!((eigs[0] - (-1.0)).abs() < 1e-12);
         assert!((eigs[1] - 3.0).abs() < 1e-12);
@@ -326,7 +498,7 @@ mod tests {
     #[test]
     fn symmetric_eigenvalues_of_known_2x2() {
         // [[2,1],[1,2]] has eigenvalues 1 and 3.
-        let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let a = mat(&[&[2.0, 1.0], &[1.0, 2.0]]);
         let eigs = symmetric_eigenvalues(&a);
         assert!((eigs[0] - 1.0).abs() < 1e-12);
         assert!((eigs[1] - 3.0).abs() < 1e-12);
@@ -337,11 +509,7 @@ mod tests {
         // Laplacian-like matrix plus a negative diagonal entry: trace is
         // invariant under the rotations, and the smallest eigenvalue is
         // bounded above by the smallest diagonal entry.
-        let a = vec![
-            vec![-0.5, 1.0, 0.0],
-            vec![1.0, 3.0, 1.0],
-            vec![0.0, 1.0, 4.0],
-        ];
+        let a = mat(&[&[-0.5, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
         let eigs = symmetric_eigenvalues(&a);
         let trace: f64 = eigs.iter().sum();
         assert!((trace - 6.5).abs() < 1e-10);
@@ -350,8 +518,8 @@ mod tests {
 
     #[test]
     fn solve_multi_detects_singular() {
-        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
-        assert!(solve_multi(a, vec![vec![1.0], vec![2.0]]).is_none());
+        let a = mat(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(solve_multi(a, Mat::from_flat(2, 1, vec![1.0, 2.0])).is_none());
     }
 
     proptest! {
@@ -361,20 +529,20 @@ mod tests {
             b in proptest::collection::vec(-5.0_f64..5.0, 3),
         ) {
             // Build a diagonally dominant (hence nonsingular) matrix.
-            let mut a = vec![vec![0.0; 3]; 3];
+            let mut a = Mat::zeros(3, 3);
             for i in 0..3 {
                 let mut row_sum = 0.0;
                 for j in 0..3 {
                     if i != j {
-                        a[i][j] = seed[i * 3 + j];
-                        row_sum += a[i][j].abs();
+                        a[(i, j)] = seed[i * 3 + j];
+                        row_sum += a[(i, j)].abs();
                     }
                 }
-                a[i][i] = row_sum + 1.0;
+                a[(i, i)] = row_sum + 1.0;
             }
             let x = solve(a.clone(), b.clone()).unwrap();
             for i in 0..3 {
-                let lhs: f64 = (0..3).map(|j| a[i][j] * x[j]).sum();
+                let lhs: f64 = (0..3).map(|j| a[(i, j)] * x[j]).sum();
                 prop_assert!((lhs - b[i]).abs() < 1e-8);
             }
         }

@@ -262,7 +262,8 @@ impl RcNetwork {
         let b: Vec<f64> = (0..n)
             .map(|i| powers[i].value() + self.lti.ambient_conductance[i] * self.lti.ambient.value())
             .collect();
-        let t = linalg::solve(self.lti.g_full.clone(), b).ok_or(ThermalError::SingularNetwork)?;
+        let t = linalg::solve(linalg::Mat::from_rows(&self.lti.g_full), b)
+            .ok_or(ThermalError::SingularNetwork)?;
         Ok(t.into_iter().map(Kelvin::new).collect())
     }
 
@@ -291,7 +292,7 @@ impl RcNetwork {
         let n = self.len();
         // Power iteration on G⁻¹C (the LTI form's assembled conductance
         // matrix): dominant eigenvalue = slowest τ.
-        let g = &self.lti.g_full;
+        let g = linalg::Mat::from_rows(&self.lti.g_full);
         let mut x = vec![1.0; n];
         let mut tau = 0.0;
         for _ in 0..200 {

@@ -157,31 +157,28 @@ impl Discretization {
     /// [`ThermalError::SingularNetwork`] if `A` cannot be factored.
     pub fn build(lti: &ThermalLti, dt: f64) -> Result<Self> {
         let n = lti.len();
-        let a_dt: Vec<Vec<f64>> = lti
-            .a
-            .iter()
-            .map(|row| row.iter().map(|v| v * dt).collect())
-            .collect();
+        let mut a_dt = linalg::Mat::from_rows(&lti.a);
+        for i in 0..n {
+            for v in a_dt.row_mut(i) {
+                *v *= dt;
+            }
+        }
         let ad = linalg::expm(&a_dt);
         let mut ad_minus_i = ad.clone();
-        for (i, row) in ad_minus_i.iter_mut().enumerate() {
-            row[i] -= 1.0;
+        for i in 0..n {
+            ad_minus_i[(i, i)] -= 1.0;
         }
-        let phi =
-            linalg::solve_multi(lti.a.clone(), ad_minus_i).ok_or(ThermalError::SingularNetwork)?;
-        let mut ad_flat = Vec::with_capacity(n * n);
-        for row in &ad {
-            ad_flat.extend_from_slice(row);
-        }
+        let phi = linalg::solve_multi(linalg::Mat::from_rows(&lti.a), ad_minus_i)
+            .ok_or(ThermalError::SingularNetwork)?;
         // Bd[i][j] = phi[i][j] · b_diag[j], laid out by column j.
         let mut bd_cols = Vec::with_capacity(n * n);
         for j in 0..n {
             let b = lti.b_diag[j];
-            bd_cols.extend(phi.iter().map(|row| row[j] * b));
+            bd_cols.extend((0..n).map(|i| phi[(i, j)] * b));
         }
         Ok(Self {
             n,
-            ad: ad_flat,
+            ad: ad.into_vec(),
             bd_cols,
         })
     }
