@@ -273,6 +273,12 @@ pub fn mat_mul_into(a: &Mat, b: &Mat, out: &mut Mat) {
 /// times. Thermal-network state matrices are tiny (a handful of nodes)
 /// and well-conditioned — all eigenvalues are real and negative — so
 /// this classic scheme is accurate to near machine precision here.
+///
+/// Allocation discipline: the routine allocates exactly four matrices up
+/// front (the scaled input, the result, the running Taylor term, and one
+/// scratch buffer) and then ping-pongs between them — the Taylor loop and
+/// the squaring loop perform no further allocation however many terms or
+/// squarings the norm demands. The solver bench notes assert this.
 #[allow(clippy::needless_range_loop)] // indexed form mirrors the math
 #[must_use]
 pub fn expm(a: &Mat) -> Mat {
@@ -294,8 +300,10 @@ pub fn expm(a: &Mat) -> Mat {
     // ‖M‖ ≤ 1/4.
     let mut result = Mat::identity(n);
     let mut term = Mat::identity(n);
+    let mut scratch = Mat::zeros(n, n);
     for k in 1..=30 {
-        term = mat_mul(&term, &scaled);
+        mat_mul_into(&term, &scaled, &mut scratch);
+        std::mem::swap(&mut term, &mut scratch);
         let inv_k = 1.0 / f64::from(k);
         let mut term_norm = 0.0_f64;
         for i in 0..n {
@@ -311,8 +319,11 @@ pub fn expm(a: &Mat) -> Mat {
             break;
         }
     }
+    // Repeated squaring reuses the Taylor loop's scratch buffer as the
+    // other half of a ping-pong pair: swap instead of reallocating.
     for _ in 0..squarings {
-        result = mat_mul(&result, &result);
+        mat_mul_into(&result, &result, &mut scratch);
+        std::mem::swap(&mut result, &mut scratch);
     }
     result
 }
