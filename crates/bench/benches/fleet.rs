@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the fleet-batched thermal kernel: the
+//! multi-RHS `step_batch` pass that advances every device of a
+//! population with one cached `(Ad, Bd)` pair.
+//!
+//! The number that matters is **device-ticks per second per core** — the
+//! budget for campaign-scale fleet studies (`BENCH_fleet.json` pins it;
+//! the target is >= 1e6/s/core, and the batched kernel clears it by
+//! orders of magnitude). Each bench iteration steps the whole fleet
+//! once, so device-ticks/s = devices / (seconds per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mpt_soc::platforms;
+use mpt_thermal::{ExactLti, FleetState, ThermalSolver};
+use mpt_units::{Kelvin, Seconds, Watts};
+
+/// A warmed solver + fleet pair on the Odroid-XU3 network: the exp(A dt)
+/// build happens once outside the timed region, exactly as the campaign
+/// runner amortizes it through the shared TransitionCache.
+fn warmed(devices: usize, dt: Seconds) -> (ExactLti, mpt_soc::ThermalLti, FleetState) {
+    let lti = platforms::exynos_5422()
+        .thermal_spec()
+        .lti()
+        .expect("builtin platform is LTI-form");
+    let nodes = lti.len();
+    let mut fleet = FleetState::new(nodes, devices, lti.ambient, lti.ambient);
+    for d in 0..devices {
+        // Spread ambients and powers so no device-invariant shortcut
+        // could fake the numbers.
+        let off = (d % 7) as f64 * 0.5;
+        fleet.set_ambient(d, Kelvin::new(lti.ambient.value() + off));
+        fleet.set_power(1, d, Watts::new(2.0 + off * 0.1));
+        fleet.set_power(2, d, Watts::new(0.5));
+    }
+    let mut solver = ExactLti::new();
+    solver
+        .step_batch(&lti, &mut fleet, dt)
+        .expect("warmup step succeeds");
+    (solver, lti, fleet)
+}
+
+fn bench_step_batch(c: &mut Criterion) {
+    let dt = Seconds::from_millis(10.0);
+    let mut group = c.benchmark_group("fleet");
+    for (name, devices) in [
+        ("step_batch_100dev", 100),
+        ("step_batch_1000dev", 1000),
+        ("step_batch_10000dev", 10000),
+    ] {
+        let (mut solver, lti, mut fleet) = warmed(devices, dt);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                solver
+                    .step_batch(&lti, &mut fleet, std::hint::black_box(dt))
+                    .expect("step succeeds")
+            })
+        });
+    }
+    // The scalar baseline the batch replaces: one device stepped the
+    // one-cell-one-device way, 1000 times per iteration so the
+    // sub-microsecond cost clears the stub-criterion timer noise.
+    let (mut solver, lti, mut fleet) = warmed(1, dt);
+    group.bench_function("step_scalar_1dev_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                solver
+                    .step_batch(&lti, &mut fleet, std::hint::black_box(dt))
+                    .expect("step succeeds");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_batch);
+criterion_main!(benches);

@@ -28,7 +28,7 @@ use mpt_thermal::SolverKind;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --query EXPR       run a telemetry query (repeatable). Grammar:\n                     agg(channel) [by axis,...] [where axis=value ...]\n                     with agg one of min|max|mean|median|sum|count|p<N>.\n                     Scenarios query the session frame; campaigns query\n                     the per-cell metrics frame, falling back to the\n                     assembled per-cell telemetry for time channels.\n                     Spec-embedded `queries` run first, then these\n  --query-out FMT    query result format: csv (default) or json\n  --columnar-out F   write the columnar telemetry frame (scenario: the\n                     session frame; campaign: the per-cell metrics\n                     frame). Extension picks the format: .json, .arrow\n                     (needs --features arrow-ipc), anything else CSV\n  --progress         render live progress on stderr: per-cell bar, tick\n                     throughput and ETA (campaigns), tick throughput\n                     (scenarios); stdout stays machine-readable\n  --serve-obs ADDR   serve live observability over HTTP while running:\n                     GET /metrics (Prometheus), /progress (JSON snapshot)\n                     and /events?cursor=N (long-poll NDJSON journal).\n                     ADDR is host:port; port 0 picks one (printed to\n                     stderr)\n  --journal-out FILE write the full event journal as NDJSON after the run\n                     (one meta line, then one event per line)\n\nWith no file, a scenario is read from stdin."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --fleet-out FILE   write the per-cell fleet population rollups as JSON\n                     (campaigns with a \"fleet\" block only): throttle-onset\n                     CDF, time-above-trip quantiles, peak-temp histogram\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --query EXPR       run a telemetry query (repeatable). Grammar:\n                     agg(channel) [by axis,...] [where axis=value ...]\n                     with agg one of min|max|mean|median|sum|count|p<N>.\n                     Scenarios query the session frame; campaigns query\n                     the per-cell metrics frame, falling back to the\n                     assembled per-cell telemetry for time channels.\n                     Spec-embedded `queries` run first, then these\n  --query-out FMT    query result format: csv (default) or json\n  --columnar-out F   write the columnar telemetry frame (scenario: the\n                     session frame; campaign: the per-cell metrics\n                     frame). Extension picks the format: .json, .arrow\n                     (needs --features arrow-ipc), anything else CSV\n  --progress         render live progress on stderr: per-cell bar, tick\n                     throughput and ETA (campaigns), tick throughput\n                     (scenarios); stdout stays machine-readable\n  --serve-obs ADDR   serve live observability over HTTP while running:\n                     GET /metrics (Prometheus), /progress (JSON snapshot)\n                     and /events?cursor=N (long-poll NDJSON journal).\n                     ADDR is host:port; port 0 picks one (printed to\n                     stderr)\n  --journal-out FILE write the full event journal as NDJSON after the run\n                     (one meta line, then one event per line)\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -40,6 +40,7 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report_out: Option<String>,
+    fleet_out: Option<String>,
     alerts: Option<String>,
     solver: Option<SolverKind>,
     engine: Option<SteppingMode>,
@@ -59,6 +60,7 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         report_out: None,
+        fleet_out: None,
         alerts: None,
         solver: None,
         engine: None,
@@ -90,6 +92,10 @@ fn parse_args() -> Args {
             "--report-out" => {
                 let Some(path) = it.next() else { usage() };
                 args.report_out = Some(path);
+            }
+            "--fleet-out" => {
+                let Some(path) = it.next() else { usage() };
+                args.fleet_out = Some(path);
             }
             "--alerts" => {
                 let Some(path) = it.next() else { usage() };
@@ -294,8 +300,13 @@ fn render_progress(recorder: &Recorder, last: bool) {
         let eta = snap
             .eta_s
             .map_or_else(|| "-".to_owned(), |eta| format!("{eta:.1} s"));
+        let dev = if snap.device_ticks_total > 0 {
+            format!("  {:.2}M dev-ticks/s", snap.device_ticks_per_sec / 1e6)
+        } else {
+            String::new()
+        };
         line.push_str(&format!(
-            "\rcells {done}/{total} [{bar}]  {:.0} ticks/s  eta {eta:<9}",
+            "\rcells {done}/{total} [{bar}]  {:.0} ticks/s{dev}  eta {eta:<9}",
             snap.ticks_per_sec
         ));
     } else {
@@ -441,6 +452,10 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     if let Some(mode) = args.engine {
         spec.engine = mode.into();
     }
+    if args.fleet_out.is_some() {
+        eprintln!("run_scenario: --fleet-out needs --campaign (fleets are a campaign feature)");
+        std::process::exit(2);
+    }
     let (channels, axes) = mpt_lint::config::scenario_query_schema(&spec);
     gate_cli_queries(&args.queries, &channels, &axes);
     let server = start_obs_server(args, &recorder)?;
@@ -571,6 +586,27 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     row("peak temp [C]", &report.peak_temperature_c);
     row("avg power [W]", &report.average_power_w);
     row("energy [J]", &report.energy_j);
+    if !report.fleet.is_empty() {
+        println!(
+            "\nfleet ({} devices/cell):\n{:<52} {:>8} {:>10} {:>10} {:>10}",
+            report.fleet[0].devices, "cell", "tripped", "onset p50", "peak p50 C", "peak max C"
+        );
+        for cell in &report.fleet {
+            let onset = cell
+                .throttle_onset_cdf
+                .iter()
+                .find(|q| (q.p - 50.0).abs() < f64::EPSILON)
+                .map_or_else(|| "-".to_owned(), |q| format!("{:.1} s", q.value));
+            println!(
+                "{:<52} {:>8} {:>10} {:>10.1} {:>10.1}",
+                cell.label,
+                cell.tripped_devices,
+                onset,
+                cell.peak_temp_median_c,
+                cell.peak_temp_max_c
+            );
+        }
+    }
     if report.analysis.alerts_total > 0 {
         let by_rule = report
             .analysis
@@ -614,11 +650,21 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
             let query = Query::parse(expr)?;
             // Per-cell metric channels resolve on the metrics frame; a
             // telemetry channel (absent there) falls back to the
-            // per-cell time-series assembled zero-copy from the frames.
+            // per-cell time-series assembled zero-copy from the frames,
+            // then to the per-device fleet frames (peak_temp_c and
+            // friends) when the campaign ran a fleet.
             let result = match query.run(&cells_frame) {
                 Ok(result) => result,
                 Err(QueryError::UnknownChannel { .. }) => {
-                    query.run_campaign(&frames.campaign_frame())?
+                    match query.run_campaign(&frames.campaign_frame()) {
+                        Ok(result) => result,
+                        Err(QueryError::UnknownChannel { .. })
+                            if !frames.fleet_cells.is_empty() =>
+                        {
+                            query.run_campaign(&frames.fleet_campaign_frame())?
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 }
                 Err(e) => return Err(e.into()),
             };
@@ -631,6 +677,18 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     if let Some(path) = &args.report_out {
         std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
         eprintln!("campaign report written to {path}");
+    }
+    if let Some(path) = &args.fleet_out {
+        if report.fleet.is_empty() {
+            eprintln!("run_scenario: --fleet-out given but the campaign has no fleet block");
+            std::process::exit(1);
+        }
+        std::fs::write(path, serde_json::to_string_pretty(&report.fleet)?)?;
+        eprintln!(
+            "fleet rollups written to {path} ({} cells x {} devices)",
+            report.fleet.len(),
+            report.fleet[0].devices
+        );
     }
     export_observability(&recorder, args)?;
     if let Some(server) = server {

@@ -40,6 +40,7 @@
 //!     },
 //!     seed: 0,
 //!     queries: Vec::new(),
+//!     fleet: None,
 //! };
 //! let report = run_campaign(&spec, 2)?;
 //! assert_eq!(report.cells.len(), 2);
@@ -291,6 +292,10 @@ pub struct CellFrame {
 pub struct CampaignFrames {
     /// Every cell's frame, in expansion order.
     pub cells: Vec<CellFrame>,
+    /// Per-device fleet frames (one row per device, keyed by the
+    /// `device` dictionary column), in expansion order. Empty for
+    /// campaigns without a fleet.
+    pub fleet_cells: Vec<CellFrame>,
 }
 
 impl CampaignFrames {
@@ -300,6 +305,18 @@ impl CampaignFrames {
     pub fn campaign_frame(&self) -> mpt_daq::CampaignFrame<'_> {
         let mut cf = mpt_daq::CampaignFrame::new();
         for cell in &self.cells {
+            cf.push_cell(&cell.axes, &cell.frame);
+        }
+        cf
+    }
+
+    /// Borrows the per-device fleet frames as a campaign query target:
+    /// `p99(peak_temp_c) by ambient` aggregates device rows across every
+    /// cell sharing an axis value. Empty outside fleet campaigns.
+    #[must_use]
+    pub fn fleet_campaign_frame(&self) -> mpt_daq::CampaignFrame<'_> {
+        let mut cf = mpt_daq::CampaignFrame::new();
+        for cell in &self.fleet_cells {
             cf.push_cell(&cell.axes, &cell.frame);
         }
         cf
@@ -333,6 +350,11 @@ pub struct CampaignReport {
     pub worker_busy_s: Vec<f64>,
     /// Alert totals and derived-observable summaries across cells.
     pub analysis: CampaignAnalysis,
+    /// Per-cell fleet population rollups, in expansion order (empty for
+    /// campaigns without a fleet). Deterministic across worker counts,
+    /// like [`cells`](Self::cells).
+    #[serde(default)]
+    pub fleet: Vec<crate::fleet::FleetCellOutcome>,
 }
 
 impl CampaignReport {
@@ -505,13 +527,28 @@ pub fn run_cells_framed(
             );
             let result = {
                 let _span = recorder.span_with_hist("cell", cells[i].label.clone(), cell_hist);
-                scenario::run_scenario_framed_cached(
-                    &cells[i].scenario,
-                    Some(Arc::clone(recorder)),
-                    Some(Arc::clone(&solver_cache)),
-                )
+                match &cells[i].fleet {
+                    Some(fleet) => {
+                        crate::fleet::run_cell_fleet(&cells[i], fleet, recorder, &solver_cache).map(
+                            |run| {
+                                (
+                                    run.outcome,
+                                    run.analysis,
+                                    run.frame,
+                                    Some((run.fleet, run.device_frame)),
+                                )
+                            },
+                        )
+                    }
+                    None => scenario::run_scenario_framed_cached(
+                        &cells[i].scenario,
+                        Some(Arc::clone(recorder)),
+                        Some(Arc::clone(&solver_cache)),
+                    )
+                    .map(|(outcome, analysis, frame)| (outcome, analysis, frame, None)),
+                }
             };
-            if let Ok((outcome, _, _)) = &result {
+            if let Ok((outcome, ..)) = &result {
                 journal.emit(
                     None,
                     JournalKind::CellFinished {
@@ -547,6 +584,8 @@ pub fn run_cells_framed(
     let mut outcomes = Vec::with_capacity(cells.len());
     let mut analyses = Vec::with_capacity(cells.len());
     let mut frames = Vec::with_capacity(cells.len());
+    let mut fleet_rollups = Vec::new();
+    let mut fleet_frames = Vec::new();
     for (cell, (result, wall_clock_s, worker)) in cells.iter().zip(results) {
         worker_busy_s[worker] += wall_clock_s;
         timings.push(CellTiming {
@@ -554,7 +593,7 @@ pub fn run_cells_framed(
             worker,
             wall_clock_s,
         });
-        let (outcome, analysis, frame) = result?;
+        let (outcome, analysis, frame, fleet) = result?;
         outcomes.push(CellOutcome {
             index: cell.index,
             label: cell.label.clone(),
@@ -568,6 +607,15 @@ pub fn run_cells_framed(
             axes: cell.axes(),
             frame,
         });
+        if let Some((rollup, device_frame)) = fleet {
+            fleet_rollups.push(rollup);
+            fleet_frames.push(CellFrame {
+                index: cell.index,
+                label: cell.label.clone(),
+                axes: cell.axes(),
+                frame: device_frame,
+            });
+        }
     }
     let metric = |f: fn(&ScenarioOutcome) -> f64| {
         SummaryStats::of(&outcomes.iter().map(|c| f(&c.outcome)).collect::<Vec<_>>())
@@ -582,9 +630,13 @@ pub fn run_cells_framed(
             timings,
             worker_busy_s,
             analysis: CampaignAnalysis::of(&outcomes, &analyses),
+            fleet: fleet_rollups,
             cells: outcomes,
         },
-        CampaignFrames { cells: frames },
+        CampaignFrames {
+            cells: frames,
+            fleet_cells: fleet_frames,
+        },
     ))
 }
 
@@ -657,6 +709,7 @@ mod tests {
             },
             seed: 7,
             queries: Vec::new(),
+            fleet: None,
         }
     }
 
@@ -844,5 +897,101 @@ mod tests {
         let json = serde_json::to_string_pretty(&spec).unwrap();
         let back: CampaignSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+
+    fn fleet_campaign() -> CampaignSpec {
+        let mut spec = small_campaign();
+        spec.base.duration_s = 1.0;
+        spec.sweep.platforms = vec![PlatformSpec::Exynos5422];
+        spec.fleet = Some(mpt_soc::FleetSpec {
+            devices: 40,
+            leakage_scale: mpt_soc::ParamJitter::Normal {
+                mean: 1.0,
+                std: 0.08,
+            },
+            ambient_c: mpt_soc::ParamJitter::Uniform {
+                min: -5.0,
+                max: 10.0,
+            },
+            phase_offset_s: mpt_soc::ParamJitter::Uniform { min: 0.0, max: 0.5 },
+            workload_mix: mpt_soc::ParamJitter::fixed(1.0),
+            trip_c: Some(52.0),
+        });
+        spec
+    }
+
+    #[test]
+    fn fleet_campaign_reports_population_rollups() {
+        let spec = fleet_campaign();
+        let recorder = Arc::new(Recorder::new());
+        let (report, frames) = run_campaign_framed(&spec, 2, &recorder, None).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.fleet.len(), 2, "one rollup per cell");
+        for cell in &report.fleet {
+            assert_eq!(cell.devices, 40);
+            assert!(cell.ticks > 0);
+            assert_eq!(cell.trip_c, Some(52.0));
+            assert!(cell.peak_temp_max_c >= cell.peak_temp_median_c);
+            assert!(cell.peak_temp_median_c >= cell.peak_temp_min_c);
+            let binned: u64 = cell.peak_temp_histogram.iter().map(|b| b.count).sum();
+            assert_eq!(binned, 40, "histogram covers every device");
+            assert_eq!(cell.time_above_trip_s.len(), 7);
+        }
+        // The 50 C pre-warm cell starts hotter, so its population trips
+        // no later than the 35 C one.
+        assert!(report.fleet[1].tripped_devices >= report.fleet[0].tripped_devices);
+        // Device frames: one row per device with the dictionary column.
+        assert_eq!(frames.fleet_cells.len(), 2);
+        for cell in &frames.fleet_cells {
+            assert_eq!(cell.frame.rows(), 40);
+            assert!(cell.frame.channel_names().iter().any(|n| n == "device"));
+        }
+        let q = mpt_daq::Query::parse("p99(peak_temp_c) by ambient").unwrap();
+        let by_ambient = q.run_campaign(&frames.fleet_campaign_frame()).unwrap();
+        assert_eq!(by_ambient.rows.len(), 2);
+        assert!(by_ambient.rows.iter().all(|r| r.count == 40));
+        // The batched replay actually went through the solver: device
+        // ticks landed on the shared recorder.
+        assert!(recorder.counter(Counter::DeviceTicks) > 0);
+    }
+
+    #[test]
+    fn fleet_campaign_is_identical_across_worker_counts() {
+        let spec = fleet_campaign();
+        let (r1, f1) = run_campaign_framed(&spec, 1, &Arc::new(Recorder::new()), None).unwrap();
+        let (r8, f8) = run_campaign_framed(&spec, 8, &Arc::new(Recorder::new()), None).unwrap();
+        assert_eq!(r1.fleet, r8.fleet);
+        assert_eq!(r1.cells, r8.cells);
+        assert_eq!(f1.fleet_cells, f8.fleet_cells);
+        let json1 = serde_json::to_string(&r1.fleet).unwrap();
+        let json8 = serde_json::to_string(&r8.fleet).unwrap();
+        assert_eq!(json1, json8, "serialized rollups byte-identical");
+    }
+
+    #[test]
+    fn fleet_mix_axis_expands_and_scales_exposure() {
+        let mut spec = fleet_campaign();
+        spec.sweep.fleet_mix = vec![0.25, 1.5];
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert!(cells[0].label.contains("mix=0.25"));
+        assert!(cells.iter().all(|c| c.fleet.is_some()));
+        assert_eq!(
+            cells[0].fleet.as_ref().unwrap().workload_mix,
+            mpt_soc::ParamJitter::fixed(0.25),
+            "axis value pins the jitter"
+        );
+        let report = run_cells(&cells, 2).unwrap();
+        assert_eq!(report.fleet.len(), 4);
+        // Heavier mix never cools the population: compare same-ambient
+        // pairs (cells 0/1 are ambient 35, mix 0.25/1.5).
+        assert!(report.fleet[1].peak_temp_max_c >= report.fleet[0].peak_temp_max_c);
+    }
+
+    #[test]
+    fn fleet_mix_without_fleet_is_invalid() {
+        let mut spec = small_campaign();
+        spec.sweep.fleet_mix = vec![1.0];
+        assert!(spec.expand().is_err());
     }
 }

@@ -51,6 +51,7 @@
 pub mod advisor;
 pub mod campaign;
 pub mod experiments;
+pub mod fleet;
 mod governor;
 pub mod report;
 pub mod scenario;

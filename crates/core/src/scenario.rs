@@ -520,6 +520,11 @@ pub struct SweepAxes {
     /// Starting (ambient/pre-warm) temperatures to sweep, in Celsius.
     #[serde(default)]
     pub initial_temperatures_c: Vec<f64>,
+    /// Fleet workload-mix levels to sweep; each entry pins the campaign
+    /// fleet's `workload_mix` jitter to that fixed multiplier (an error
+    /// when the campaign declares no fleet).
+    #[serde(default)]
+    pub fleet_mix: Vec<f64>,
 }
 
 impl SweepAxes {
@@ -544,6 +549,9 @@ impl SweepAxes {
         if !self.initial_temperatures_c.is_empty() {
             keys.push("ambient");
         }
+        if !self.fleet_mix.is_empty() {
+            keys.push("mix");
+        }
         keys
     }
 
@@ -558,6 +566,7 @@ impl SweepAxes {
             * len(self.workloads.len())
             * len(self.trips_c.len())
             * len(self.initial_temperatures_c.len())
+            * len(self.fleet_mix.len())
     }
 }
 
@@ -591,6 +600,13 @@ pub struct CampaignSpec {
     /// validated statically by the MPT401/402 lints.
     #[serde(default)]
     pub queries: Vec<String>,
+    /// Simulated install base: when set, every cell additionally replays
+    /// its canonical run across `devices` jittered devices through the
+    /// batched thermal kernel and reports population outcomes
+    /// (throttle-onset CDF, time-above-trip quantiles, peak-temperature
+    /// histogram). Validated by the MPT501 lint.
+    #[serde(default)]
+    pub fleet: Option<mpt_soc::FleetSpec>,
 }
 
 /// One expanded cell of a campaign: a concrete scenario with its label
@@ -606,6 +622,10 @@ pub struct CampaignCell {
     pub seed: u64,
     /// The fully resolved scenario.
     pub scenario: ScenarioSpec,
+    /// The cell's fleet population, with any `fleet_mix` axis value
+    /// already applied (`None` for classic one-device cells).
+    #[serde(default)]
+    pub fleet: Option<mpt_soc::FleetSpec>,
 }
 
 impl CampaignCell {
@@ -674,84 +694,102 @@ impl CampaignSpec {
         let workload_sets = axis(&self.sweep.workloads);
         let trip_sets = axis(&self.sweep.trips_c);
         let ambients = axis(&self.sweep.initial_temperatures_c);
+        let mixes = axis(&self.sweep.fleet_mix);
+        if !self.sweep.fleet_mix.is_empty() && self.fleet.is_none() {
+            return Err(invalid(
+                "fleet_mix sweep needs a campaign-level fleet".into(),
+            ));
+        }
         let mut cells = Vec::with_capacity(self.sweep.cell_count());
         for platform in &platforms {
             for thermal in &thermals {
                 for workloads in &workload_sets {
                     for trips in &trip_sets {
                         for ambient in &ambients {
-                            let mut scenario = self.base.clone();
-                            let mut label = Vec::new();
-                            if let Some(p) = platform {
-                                scenario.platform = *p;
-                                label.push(format!(
-                                    "platform={}",
-                                    match p {
-                                        PlatformSpec::Snapdragon810 => "snapdragon810",
-                                        PlatformSpec::Exynos5422 => "exynos5422",
-                                    }
-                                ));
-                            }
-                            if let Some(t) = thermal {
-                                scenario.thermal = t.clone();
-                                label.push(format!("thermal={}", thermal_label(t)));
-                            }
-                            if let Some(w) = workloads {
-                                scenario.workloads.clone_from(w);
-                                label.push(format!(
-                                    "workloads={}",
-                                    w.iter()
-                                        .map(WorkloadSpec::display_name)
-                                        .collect::<Vec<_>>()
-                                        .join("+")
-                                ));
-                            }
-                            if let Some(t) = trips {
-                                match &mut scenario.thermal {
-                                    ThermalPolicySpec::StepWise { trips_c, .. } => {
-                                        trips_c.clone_from(t);
-                                    }
-                                    other => {
-                                        return Err(invalid(format!(
-                                            "trips_c sweep needs a step_wise policy, \
-                                             cell has {}",
-                                            thermal_label(other)
-                                        )));
-                                    }
+                            for mix in &mixes {
+                                let mut scenario = self.base.clone();
+                                let mut label = Vec::new();
+                                if let Some(p) = platform {
+                                    scenario.platform = *p;
+                                    label.push(format!(
+                                        "platform={}",
+                                        match p {
+                                            PlatformSpec::Snapdragon810 => "snapdragon810",
+                                            PlatformSpec::Exynos5422 => "exynos5422",
+                                        }
+                                    ));
                                 }
-                                label.push(format!(
-                                    "trips={}",
-                                    t.iter()
-                                        .map(|c| format!("{c}"))
-                                        .collect::<Vec<_>>()
-                                        .join("/")
-                                ));
-                            }
-                            if let Some(a) = ambient {
-                                scenario.initial_temperature_c = Some(*a);
-                                label.push(format!("ambient={a}C"));
-                            }
-                            let index = cells.len();
-                            let seed = if self.seed == 0 {
-                                0
-                            } else {
-                                splitmix64(
-                                    self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                                )
-                            };
-                            for w in &mut scenario.workloads {
-                                w.seed = w.seed.wrapping_add(seed);
-                            }
-                            cells.push(CampaignCell {
-                                index,
-                                label: if label.is_empty() {
-                                    format!("cell {index}")
+                                if let Some(t) = thermal {
+                                    scenario.thermal = t.clone();
+                                    label.push(format!("thermal={}", thermal_label(t)));
+                                }
+                                if let Some(w) = workloads {
+                                    scenario.workloads.clone_from(w);
+                                    label.push(format!(
+                                        "workloads={}",
+                                        w.iter()
+                                            .map(WorkloadSpec::display_name)
+                                            .collect::<Vec<_>>()
+                                            .join("+")
+                                    ));
+                                }
+                                if let Some(t) = trips {
+                                    match &mut scenario.thermal {
+                                        ThermalPolicySpec::StepWise { trips_c, .. } => {
+                                            trips_c.clone_from(t);
+                                        }
+                                        other => {
+                                            return Err(invalid(format!(
+                                                "trips_c sweep needs a step_wise policy, \
+                                             cell has {}",
+                                                thermal_label(other)
+                                            )));
+                                        }
+                                    }
+                                    label.push(format!(
+                                        "trips={}",
+                                        t.iter()
+                                            .map(|c| format!("{c}"))
+                                            .collect::<Vec<_>>()
+                                            .join("/")
+                                    ));
+                                }
+                                if let Some(a) = ambient {
+                                    scenario.initial_temperature_c = Some(*a);
+                                    label.push(format!("ambient={a}C"));
+                                }
+                                let mut fleet = self.fleet.clone();
+                                if let Some(m) = mix {
+                                    let spec = fleet
+                                        .as_mut()
+                                        .expect("fleet_mix sweep checked against a fleet above");
+                                    spec.workload_mix = mpt_soc::ParamJitter::fixed(*m);
+                                    label.push(format!("mix={m}"));
+                                }
+                                let index = cells.len();
+                                let seed = if self.seed == 0 {
+                                    0
                                 } else {
-                                    label.join(" ")
-                                },
-                                seed,
-                                scenario,
-                            });
+                                    splitmix64(
+                                        self.seed
+                                            ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                    )
+                                };
+                                for w in &mut scenario.workloads {
+                                    w.seed = w.seed.wrapping_add(seed);
+                                }
+                                cells.push(CampaignCell {
+                                    index,
+                                    label: if label.is_empty() {
+                                        format!("cell {index}")
+                                    } else {
+                                        label.join(" ")
+                                    },
+                                    seed,
+                                    scenario,
+                                    fleet,
+                                });
+                            }
                         }
                     }
                 }
@@ -1026,7 +1064,30 @@ pub fn run_scenario_framed_cached(
     crate::report::SessionAnalysis,
     mpt_daq::ColumnFrame,
 )> {
+    run_scenario_framed_traced(spec, recorder, solver_cache, false)
+        .map(|(outcome, analysis, frame, _)| (outcome, analysis, frame))
+}
+
+/// [`run_scenario_framed_cached`] optionally capturing the per-tick
+/// node-power plane the thermal stage injects — the canonical-run entry
+/// point of the fleet replay (`capture_trace` implies nothing about the
+/// stepping mode; fleet callers force fixed-dt so the trace sits on a
+/// uniform grid).
+pub(crate) fn run_scenario_framed_traced(
+    spec: &ScenarioSpec,
+    recorder: Option<std::sync::Arc<mpt_obs::Recorder>>,
+    solver_cache: Option<std::sync::Arc<TransitionCache>>,
+    capture_trace: bool,
+) -> Result<(
+    ScenarioOutcome,
+    crate::report::SessionAnalysis,
+    mpt_daq::ColumnFrame,
+    Option<mpt_workloads::PowerTrace>,
+)> {
     let (mut sim, stats) = build_scenario_cached(spec, recorder, solver_cache)?;
+    if capture_trace {
+        sim.enable_power_trace();
+    }
     let wall_start = mpt_obs::clock::now();
     sim.run_for(Seconds::new(spec.duration_s))?;
     {
@@ -1083,7 +1144,8 @@ pub fn run_scenario_framed_cached(
         events: sim.events().render(),
     };
     let frame = sim.telemetry().frame().clone();
-    Ok((outcome, analysis, frame))
+    let trace = sim.take_power_trace();
+    Ok((outcome, analysis, frame, trace))
 }
 
 /// Parses a JSON scenario and runs it.

@@ -47,8 +47,8 @@ fn every_shipped_scenario_parses_and_runs_one_second() {
                 serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
             let mut cells = spec.expand().unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(
-                cells.len() >= 12,
-                "{name}: campaign should sweep >= 12 cells"
+                cells.len() >= 9,
+                "{name}: campaign should sweep a real grid (>= 9 cells)"
             );
             for cell in &mut cells {
                 cell.scenario.duration_s = 1.0;
@@ -200,6 +200,7 @@ fn metric_names_and_histogram_registry_are_stable() {
         "mpt_engine_events_popped_total",
         "mpt_engine_wakes_coalesced_total",
         "mpt_engine_trip_bisection_iters_total",
+        "mpt_fleet_device_ticks_total",
     ];
     let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
     assert_eq!(names, expected);

@@ -99,6 +99,104 @@ fn nexus_trip_sweep_queries_match_golden() {
     check_campaign_goldens("nexus_trip_sweep.campaign.json");
 }
 
+/// Runs the shipped fleet-launch campaign at golden scale: one simulated
+/// second and 400 devices per cell, so the golden pins the population
+/// pipeline — jitter seeding, batched replay, rollup quantiles, device
+/// frames, fleet query fallback — not the 30 s physics.
+fn run_fleet_campaign_file(jobs: usize) -> (CampaignReport, CampaignFrames, Vec<String>) {
+    let json = std::fs::read_to_string(scenarios_dir().join("nexus_fleet_launch.campaign.json"))
+        .expect("readable campaign");
+    let mut spec: CampaignSpec = serde_json::from_str(&json).expect("parses");
+    spec.base.duration_s = 1.0;
+    spec.fleet
+        .as_mut()
+        .expect("launch campaign has a fleet")
+        .devices = 400;
+    let queries = spec.queries.clone();
+    let cells = spec.expand().expect("expands");
+    assert_eq!(cells.len(), 9, "expected the 3x3 ambient x mix grid");
+    let (report, frames) =
+        run_cells_framed(&cells, jobs, &Arc::new(Recorder::new()), None).expect("runs");
+    (report, frames, queries)
+}
+
+/// The CLI's three-step query resolution: per-cell metrics frame, then
+/// assembled telemetry, then the per-device fleet frames.
+fn fleet_query_rollup(
+    report: &CampaignReport,
+    frames: &CampaignFrames,
+    queries: &[String],
+) -> String {
+    let cells_frame = report.cells_frame();
+    let mut out = String::new();
+    for expr in queries {
+        let query = Query::parse(expr).expect("shipped query parses");
+        let result = match query.run(&cells_frame) {
+            Ok(result) => result,
+            Err(QueryError::UnknownChannel { .. }) => {
+                match query.run_campaign(&frames.campaign_frame()) {
+                    Ok(result) => result,
+                    Err(QueryError::UnknownChannel { .. }) => query
+                        .run_campaign(&frames.fleet_campaign_frame())
+                        .expect("shipped query resolves against the fleet frames"),
+                    Err(e) => panic!("shipped query failed: {e}"),
+                }
+            }
+            Err(e) => panic!("shipped query failed: {e}"),
+        };
+        out.push_str(&format!("# {}\n{}\n", result.query, result.to_csv()));
+    }
+    out
+}
+
+/// Golden fleet rollups: the serialized per-cell population outcomes
+/// (onset CDF, time-above-trip quantiles, peak-temp histogram) plus the
+/// campaign's embedded queries resolved over the per-device frames, all
+/// pinned byte-for-byte.
+#[test]
+fn nexus_fleet_launch_rollups_match_golden() {
+    let (report, frames, queries) = run_fleet_campaign_file(2);
+    let mut artifact = serde_json::to_string_pretty(&report.fleet).expect("serializes");
+    artifact.push('\n');
+    artifact.push_str(&fleet_query_rollup(&report, &frames, &queries));
+    let golden_path = goldens_dir().join("nexus_fleet_launch.fleet.txt");
+    if std::env::var_os("MPT_UPDATE_GOLDENS").is_some() {
+        std::fs::write(&golden_path, &artifact).expect("golden written");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} — run with MPT_UPDATE_GOLDENS=1 to (re)generate",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        artifact,
+        golden,
+        "fleet rollups drifted from {}",
+        golden_path.display()
+    );
+}
+
+/// Fleet results obey the same determinism contract as classic cells:
+/// per-device seeds hang off cell seeds, never off worker schedule, so
+/// one worker and eight produce byte-identical populations.
+#[test]
+fn fleet_rollups_are_identical_between_one_and_eight_workers() {
+    let (report_1, frames_1, queries) = run_fleet_campaign_file(1);
+    let (report_8, frames_8, _) = run_fleet_campaign_file(8);
+    assert_eq!(report_1.fleet, report_8.fleet);
+    assert_eq!(frames_1.fleet_cells, frames_8.fleet_cells);
+    assert_eq!(
+        serde_json::to_string(&report_1.fleet).expect("serializes"),
+        serde_json::to_string(&report_8.fleet).expect("serializes"),
+    );
+    assert_eq!(
+        fleet_query_rollup(&report_1, &frames_1, &queries),
+        fleet_query_rollup(&report_8, &frames_8, &queries)
+    );
+}
+
 /// Query output is part of the determinism contract: the full rollup —
 /// grouping, aggregation and float rendering — is byte-identical whether
 /// one or eight workers ran the campaign.

@@ -69,6 +69,64 @@ pub fn std_dev(values: &[f64]) -> Option<f64> {
     Some(var.sqrt())
 }
 
+/// The empirical CDF of a sample evaluated at the given percentile ranks:
+/// `(p, value)` pairs, one per rank, by [`percentile`]. Empty input (or
+/// no ranks) yields an empty vector — the fleet rollups use this for
+/// throttle-onset curves across a device population.
+///
+/// # Panics
+///
+/// Panics if any rank is outside `[0, 100]`.
+#[must_use]
+pub fn cdf_points(values: &[f64], ranks: &[f64]) -> Vec<(f64, f64)> {
+    ranks
+        .iter()
+        .filter_map(|&p| percentile(values, p).map(|v| (p, v)))
+        .collect()
+}
+
+/// One bin of a fixed-width [`histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramBin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Samples landing in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// A fixed-width histogram over `[min, max]` with `bins` buckets; the
+/// last bin's upper edge is inclusive so `max` itself lands in-range.
+/// Samples outside `[min, max]` are clamped into the edge bins (a
+/// population histogram should never silently drop its outliers).
+/// Returns an empty vector when `bins == 0` or the range is degenerate.
+#[must_use]
+pub fn histogram(values: &[f64], min: f64, max: f64, bins: usize) -> Vec<HistogramBin> {
+    if bins == 0 {
+        return Vec::new();
+    }
+    let width = (max - min) / bins as f64;
+    if !width.is_finite() || width <= 0.0 {
+        return Vec::new();
+    }
+    let mut out: Vec<HistogramBin> = (0..bins)
+        .map(|i| HistogramBin {
+            lo: min + i as f64 * width,
+            hi: min + (i + 1) as f64 * width,
+            count: 0,
+        })
+        .collect();
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        let idx = (((v - min) / width).floor().max(0.0) as usize).min(bins - 1);
+        out[idx].count += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +171,28 @@ mod tests {
         assert_eq!(mean(&[]), None);
         assert_eq!(std_dev(&[1.0]), None);
         assert_eq!(median(&[]), None);
+        assert!(cdf_points(&[], &[50.0]).is_empty());
+        assert!(histogram(&[1.0], 0.0, 0.0, 4).is_empty());
+        assert!(histogram(&[1.0], 0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn cdf_points_follow_percentiles() {
+        let v = [2.0, 4.0, 6.0, 8.0];
+        let cdf = cdf_points(&v, &[0.0, 50.0, 100.0]);
+        assert_eq!(cdf, vec![(0.0, 2.0), (50.0, 5.0), (100.0, 8.0)]);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let v = [-1.0, 0.0, 0.5, 1.5, 2.5, 3.9, 4.0, 99.0];
+        let h = histogram(&v, 0.0, 4.0, 4);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.iter().map(|b| b.count).collect::<Vec<_>>(), [3, 1, 1, 3]);
+        assert_eq!(h[0].lo, 0.0);
+        assert_eq!(h[3].hi, 4.0);
+        let total: u64 = h.iter().map(|b| b.count).sum();
+        assert_eq!(total, v.len() as u64, "clamping drops nothing");
     }
 
     proptest! {

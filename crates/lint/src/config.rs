@@ -250,12 +250,34 @@ pub fn check_campaign(spec: &CampaignSpec, path: &str) -> Report {
     let mut r = check_scenario(&spec.base, path);
     let ambient_c = spec.base.platform.build().thermal_spec().ambient.value();
     check_sweep(&spec.sweep, &spec.base.thermal, ambient_c, path, &mut r);
+    check_fleet(spec, path, &mut r);
     // Campaign-level queries may target the per-cell metrics frame or
     // any telemetry channel a swept platform records, grouped/filtered
     // by the swept axes.
     let (channels, axes) = campaign_query_schema(spec);
     check_queries(&spec.queries, &channels, &axes, path, &mut r);
     r
+}
+
+/// MPT501: validates the campaign's `fleet` block with the same
+/// [`problems`](mpt_soc::FleetSpec::problems) surface the runner
+/// enforces, plus the `fleet_mix` axis / fleet-block dependency — so a
+/// degenerate fleet fails before a single device is jittered.
+fn check_fleet(spec: &CampaignSpec, path: &str, r: &mut Report) {
+    r.checks_run += 1;
+    if !spec.sweep.fleet_mix.is_empty() && spec.fleet.is_none() {
+        r.diagnostics.push(Diagnostic::new(
+            Code::InvalidFleet,
+            path,
+            "sweep.fleet_mix needs a campaign-level \"fleet\" block to apply the mix to",
+        ));
+    }
+    let Some(fleet) = &spec.fleet else { return };
+    for problem in fleet.problems() {
+        r.checks_run += 1;
+        r.diagnostics
+            .push(Diagnostic::new(Code::InvalidFleet, path, problem));
+    }
 }
 
 /// The static query schema of a single scenario: the channels its
@@ -287,12 +309,33 @@ pub fn campaign_query_schema(spec: &CampaignSpec) -> (Vec<String>, Vec<String>) 
             }
         }
     }
-    let axes: Vec<String> = spec
+    if spec.fleet.is_some() {
+        // Fleet campaigns additionally expose the per-device population
+        // frame: one row per device, grouped by the `device` dictionary
+        // column on top of the swept axes.
+        for channel in [
+            "peak_temp_c",
+            "throttle_onset_s",
+            "time_above_trip_s",
+            "leakage_scale",
+            "ambient_offset_c",
+            "phase_offset_s",
+            "workload_mix",
+        ] {
+            if !channels.iter().any(|c| c == channel) {
+                channels.push(channel.to_owned());
+            }
+        }
+    }
+    let mut axes: Vec<String> = spec
         .sweep
         .axis_keys()
         .iter()
         .map(|s| (*s).to_owned())
         .collect();
+    if spec.fleet.is_some() {
+        axes.push("device".to_owned());
+    }
     (channels, axes)
 }
 
@@ -875,6 +918,7 @@ mod tests {
             },
             seed: 0,
             queries: Vec::new(),
+            fleet: None,
         };
         let report = check_campaign(&campaign, "c");
         let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
@@ -886,6 +930,67 @@ mod tests {
             "{}",
             report.render_text()
         );
+    }
+
+    #[test]
+    fn campaign_fleet_checks_fire_mpt501() {
+        let mut campaign = CampaignSpec {
+            base: minimal(),
+            sweep: SweepAxes {
+                fleet_mix: vec![0.5, 1.0],
+                ..SweepAxes::default()
+            },
+            seed: 0,
+            queries: Vec::new(),
+            fleet: None,
+        };
+        // Mix axis without a fleet block.
+        let report = check_campaign(&campaign, "c");
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::InvalidFleet], "{}", report.render_text());
+
+        // Degenerate fleet: zero devices, inverted jitter, absurd trip.
+        campaign.fleet = Some(mpt_soc::FleetSpec {
+            devices: 0,
+            leakage_scale: mpt_soc::ParamJitter::Uniform { min: 2.0, max: 1.0 },
+            ambient_c: mpt_soc::ParamJitter::fixed(0.0),
+            phase_offset_s: mpt_soc::ParamJitter::fixed(0.0),
+            workload_mix: mpt_soc::ParamJitter::fixed(1.0),
+            trip_c: Some(500.0),
+        });
+        let report = check_campaign(&campaign, "c");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == Code::InvalidFleet)
+                .count()
+                >= 3,
+            "{}",
+            report.render_text()
+        );
+
+        // A healthy fleet block is clean and unlocks the device schema.
+        campaign.fleet = Some(mpt_soc::FleetSpec {
+            devices: 100,
+            leakage_scale: mpt_soc::ParamJitter::Normal {
+                mean: 1.0,
+                std: 0.05,
+            },
+            ambient_c: mpt_soc::ParamJitter::Uniform {
+                min: -5.0,
+                max: 10.0,
+            },
+            phase_offset_s: mpt_soc::ParamJitter::fixed(0.0),
+            workload_mix: mpt_soc::ParamJitter::fixed(1.0),
+            trip_c: Some(70.0),
+        });
+        campaign.queries = vec!["p99(peak_temp_c) by device".to_owned()];
+        let report = check_campaign(&campaign, "c");
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render_text());
+        let (channels, axes) = campaign_query_schema(&campaign);
+        assert!(channels.iter().any(|c| c == "throttle_onset_s"));
+        assert!(axes.iter().any(|a| a == "device"));
     }
 
     #[test]
@@ -927,6 +1032,7 @@ mod tests {
                 "p95(max_temp_c) by ambient".to_owned(),          // telemetry channel
                 "mean(total_power_w) where thermal=ipa".to_owned(), // unswept axis
             ],
+            fleet: None,
         };
         let report = check_campaign(&campaign, "c");
         let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();

@@ -96,11 +96,14 @@ pub enum Code {
     /// MPT402: a telemetry query groups or filters on a key that is not
     /// a sweep axis (or axis-like dictionary column) of the spec.
     QueryNonAxisKey,
+    /// MPT501: a campaign's `fleet` block is invalid (device count,
+    /// jitter ranges, trip reference).
+    InvalidFleet,
 }
 
 impl Code {
     /// Every code, in numeric order (used by `--list-codes`).
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 27] = [
         Code::OppFrequencyOrder,
         Code::OppVoltageMonotonicity,
         Code::OppPowerMonotonicity,
@@ -127,6 +130,7 @@ impl Code {
         Code::NonMonotonicPhases,
         Code::QueryUnknownChannel,
         Code::QueryNonAxisKey,
+        Code::InvalidFleet,
     ];
 
     /// The stable `MPTxxx` identifier.
@@ -159,6 +163,7 @@ impl Code {
             Code::NonMonotonicPhases => "MPT302",
             Code::QueryUnknownChannel => "MPT401",
             Code::QueryNonAxisKey => "MPT402",
+            Code::InvalidFleet => "MPT501",
         }
     }
 
@@ -209,6 +214,7 @@ impl Code {
             Code::NonMonotonicPhases => "phased workload schedule must be strictly increasing",
             Code::QueryUnknownChannel => "query malformed or names an unrecorded channel",
             Code::QueryNonAxisKey => "query groups or filters on a non-axis key",
+            Code::InvalidFleet => "campaign fleet block invalid (devices, jitter, trip)",
         }
     }
 
@@ -273,6 +279,10 @@ impl Code {
             Code::QueryNonAxisKey => {
                 "group or filter only on the campaign's swept axes (platform, thermal, \
                  workloads, trips, ambient) or per-cell metric axes"
+            }
+            Code::InvalidFleet => {
+                "devices must be positive, jitter ranges finite with min <= max and \
+                 std >= 0, and trip_c (when set) a plausible Celsius trip point"
             }
         }
     }

@@ -8,7 +8,7 @@ use std::process::Command;
 use mpt_lint::{check_file, diag::Code};
 
 /// `(fixture file, the one code it must fire)`.
-const EXPECTED: [(&str, Code); 8] = [
+const EXPECTED: [(&str, Code); 9] = [
     ("asymmetric_g.model.json", Code::InvalidConductance),
     ("non_monotonic_opp.model.json", Code::OppVoltageMonotonicity),
     ("dangling_sensor.json", Code::DanglingControlSensor),
@@ -20,6 +20,7 @@ const EXPECTED: [(&str, Code); 8] = [
         Code::QueryUnknownChannel,
     ),
     ("query_non_axis_key.campaign.json", Code::QueryNonAxisKey),
+    ("fleet_zero_devices.campaign.json", Code::InvalidFleet),
 ];
 
 fn workspace_root() -> PathBuf {

@@ -144,6 +144,17 @@ pub enum JournalKind {
         /// Bisection iterations refining trip-crossing wake times.
         trip_bisection_iters: u64,
     },
+    /// Batched fleet replay progress inside one cell, emitted on a
+    /// deterministic tick cadence (so replay stays bit-identical across
+    /// worker counts).
+    FleetProgress {
+        /// Devices in the cell's fleet.
+        devices: u64,
+        /// Replay ticks completed so far.
+        ticks_done: u64,
+        /// Total replay ticks the cell will run.
+        ticks_total: u64,
+    },
 }
 
 /// One sequence-numbered journal event.
@@ -174,6 +185,7 @@ impl JournalEvent {
             JournalKind::StageRollup { .. } => "stage_rollup",
             JournalKind::SolverCacheSummary { .. } => "solver_cache",
             JournalKind::QueueStats { .. } => "queue_stats",
+            JournalKind::FleetProgress { .. } => "fleet_progress",
         }
     }
 
@@ -253,6 +265,15 @@ impl JournalEvent {
             } => {
                 out.push_str(&format!(
                     ",\"events_popped\":{events_popped},\"wakes_coalesced\":{wakes_coalesced},\"trip_bisection_iters\":{trip_bisection_iters}"
+                ));
+            }
+            JournalKind::FleetProgress {
+                devices,
+                ticks_done,
+                ticks_total,
+            } => {
+                out.push_str(&format!(
+                    ",\"devices\":{devices},\"ticks_done\":{ticks_done},\"ticks_total\":{ticks_total}"
                 ));
             }
         }
@@ -470,6 +491,11 @@ impl Journal {
                 wakes_coalesced,
                 trip_bisection_iters,
             } => (7, *events_popped, *wakes_coalesced, *trip_bisection_iters),
+            JournalKind::FleetProgress {
+                devices,
+                ticks_done,
+                ticks_total,
+            } => (8, *devices, *ticks_done, *ticks_total),
         }
     }
 
@@ -502,6 +528,11 @@ impl Journal {
                 events_popped: a,
                 wakes_coalesced: b,
                 trip_bisection_iters: c,
+            },
+            8 => JournalKind::FleetProgress {
+                devices: a,
+                ticks_done: b,
+                ticks_total: c,
             },
             _ => return None,
         })
@@ -627,6 +658,15 @@ impl Journal {
         } else {
             0.0
         };
+        let device_ticks_total = rec.counter(Counter::DeviceTicks);
+        let device_ticks_per_sec = if elapsed_s > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                device_ticks_total as f64 / elapsed_s
+            }
+        } else {
+            0.0
+        };
         #[allow(clippy::cast_precision_loss)]
         let eta_s = (cells_done > 0 && cells_total > cells_done)
             .then(|| elapsed_s * (cells_total - cells_done) as f64 / cells_done as f64);
@@ -638,6 +678,8 @@ impl Journal {
             in_flight,
             ticks_total,
             ticks_per_sec,
+            device_ticks_total,
+            device_ticks_per_sec,
             eta_s,
             metrics: rec.snapshot(),
         }
@@ -670,8 +712,13 @@ pub struct Snapshot {
     pub in_flight: Vec<CellInFlight>,
     /// Simulator ticks executed so far (all cells).
     pub ticks_total: u64,
-    /// Device-ticks per wall-clock second.
+    /// Simulator ticks per wall-clock second.
     pub ticks_per_sec: f64,
+    /// Fleet device-ticks stepped so far (devices × replay ticks, all
+    /// cells; 0 outside fleet campaigns).
+    pub device_ticks_total: u64,
+    /// Fleet device-ticks per wall-clock second.
+    pub device_ticks_per_sec: f64,
     /// Estimated seconds to campaign completion, where computable.
     pub eta_s: Option<f64>,
     /// Full counter + histogram snapshot.
@@ -705,8 +752,8 @@ impl Snapshot {
             None => out.push_str("null"),
         }
         out.push_str(&format!(
-            "\n  }},\n  \"throughput\": {{\n    \"ticks_total\": {},\n    \"ticks_per_sec\": {:.1}\n  }},\n  \"counters\": {{",
-            self.ticks_total, self.ticks_per_sec
+            "\n  }},\n  \"throughput\": {{\n    \"ticks_total\": {},\n    \"ticks_per_sec\": {:.1},\n    \"device_ticks_total\": {},\n    \"device_ticks_per_sec\": {:.1}\n  }},\n  \"counters\": {{",
+            self.ticks_total, self.ticks_per_sec, self.device_ticks_total, self.device_ticks_per_sec
         ));
         for (i, (name, value)) in self.metrics.counters.iter().enumerate() {
             if i > 0 {

@@ -70,11 +70,14 @@ pub enum Counter {
     /// Bisection iterations spent refining trip-crossing wake times on
     /// the analytic thermal trajectory.
     TripBisectionIters,
+    /// Fleet device-ticks stepped by the batched solver (devices × ticks
+    /// — the unit the fleet throughput benchmarks report per second).
+    DeviceTicks,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Ticks,
         Counter::StageRuns,
         Counter::ThrottleEvents,
@@ -96,6 +99,7 @@ impl Counter {
         Counter::EventsPopped,
         Counter::WakesCoalesced,
         Counter::TripBisectionIters,
+        Counter::DeviceTicks,
     ];
 
     /// Number of counter slots.
@@ -132,6 +136,7 @@ impl Counter {
             Counter::EventsPopped => "mpt_engine_events_popped_total",
             Counter::WakesCoalesced => "mpt_engine_wakes_coalesced_total",
             Counter::TripBisectionIters => "mpt_engine_trip_bisection_iters_total",
+            Counter::DeviceTicks => "mpt_fleet_device_ticks_total",
         }
     }
 
@@ -168,6 +173,7 @@ impl Counter {
             Counter::TripBisectionIters => {
                 "Bisection iterations refining trip-crossing wake times."
             }
+            Counter::DeviceTicks => "Fleet device-ticks stepped by the batched solver.",
         }
     }
 

@@ -341,6 +341,7 @@ impl SimBuilder {
             recorder,
             analysis,
             macro_stats: crate::engine::MacroStats::default(),
+            power_trace: None,
         };
         core.register_sysfs()?;
         core.sync_sysfs()?;

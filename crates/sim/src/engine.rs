@@ -122,6 +122,9 @@ pub struct SimCore {
     pub(crate) analysis: RunAnalysis,
     /// Event-engine queue totals for this run (all zero under fixed-dt).
     pub(crate) macro_stats: MacroStats,
+    /// Per-tick node-power capture for fleet canonical runs (`None` when
+    /// tracing is off — the thermal stage then pays one branch per tick).
+    pub(crate) power_trace: Option<mpt_workloads::PowerTrace>,
 }
 
 /// Per-run event-engine queue totals, mirrored into the recorder's
@@ -552,6 +555,27 @@ impl Simulator {
     #[must_use]
     pub fn macro_stats(&self) -> MacroStats {
         self.core.macro_stats
+    }
+
+    /// Starts capturing the per-tick node-power plane the thermal stage
+    /// injects, on the base tick grid. Fleet campaigns enable this on
+    /// the canonical run and replay the captured
+    /// [`PowerTrace`](mpt_workloads::PowerTrace) across the whole device
+    /// population. Idempotent; only meaningful under fixed-dt stepping
+    /// (the trace is a uniform grid).
+    pub fn enable_power_trace(&mut self) {
+        if self.core.power_trace.is_none() {
+            self.core.power_trace = Some(mpt_workloads::PowerTrace::new(
+                self.core.clock.base_dt().value(),
+                self.core.network.len(),
+            ));
+        }
+    }
+
+    /// Takes the captured power trace, leaving capture disabled.
+    #[must_use]
+    pub fn take_power_trace(&mut self) -> Option<mpt_workloads::PowerTrace> {
+        self.core.power_trace.take()
     }
 
     /// The current frequency of a component.

@@ -27,6 +27,9 @@ impl SimStage for ThermalStage {
                 .expect("validated at platform build");
             node_powers[node] += breakdown.total();
         }
+        if let Some(trace) = core.power_trace.as_mut() {
+            trace.push_tick(&node_powers);
+        }
         let stats = core.network.step(ctx.dt, &node_powers)?;
         if stats.cache_hit {
             core.recorder.incr(Counter::SolverCacheHits);

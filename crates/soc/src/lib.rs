@@ -34,6 +34,7 @@
 mod battery;
 mod component;
 mod error;
+mod fleet;
 mod opp;
 mod platform;
 pub mod platforms;
@@ -44,6 +45,7 @@ mod thermal_spec;
 pub use battery::Battery;
 pub use component::{Component, ComponentId};
 pub use error::SocError;
+pub use fleet::{DeviceParams, FleetSpec, ParamJitter};
 pub use opp::{OperatingPoint, OppTable};
 pub use platform::{Platform, PlatformBuilder};
 pub use power::{LeakageParams, PowerBreakdown, PowerParams};

@@ -36,6 +36,13 @@
 //! [`TransitionCache`] so campaign sweeps factor each network exactly
 //! once.
 //!
+//! The same discretization also steps whole device *fleets*: a
+//! [`FleetState`] holds node-major per-device temperature/power planes
+//! and [`ThermalSolver::step_batch`] advances all of them in one
+//! cache-blocked multi-RHS pass against the shared `(Ad, Bd)` — each
+//! device bit-identical to its own scalar run, with per-device spread
+//! (ambient, leakage, workload phase) entering only on the input side.
+//!
 //! The [`reduce`](RcNetwork::reduce) method connects the layers: it
 //! collapses the network to the lumped parameters seen from the hottest
 //! node under the current power distribution, which is how the
@@ -56,12 +63,14 @@
 //! ```
 
 mod error;
+mod fleet;
 pub mod linalg;
 mod lumped;
 mod network;
 mod solver;
 
 pub use error::ThermalError;
+pub use fleet::FleetState;
 pub use lumped::{FixedPoints, LumpedModel, Stability};
 pub use network::RcNetwork;
 pub use solver::{

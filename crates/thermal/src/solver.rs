@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex};
 use mpt_soc::ThermalLti;
 use mpt_units::{Kelvin, Seconds, Watts};
 
-use crate::{linalg, Result, ThermalError};
+use crate::{linalg, FleetState, Result, ThermalError};
 
 /// What one solver step did, for observability counters.
 ///
@@ -71,6 +71,55 @@ pub trait ThermalSolver: fmt::Debug + Send {
         dt: Seconds,
         powers: &[Watts],
     ) -> Result<StepStats>;
+
+    /// Advances every device of a [`FleetState`] by `dt`.
+    ///
+    /// Semantics are defined by the scalar path: device `d` behaves
+    /// exactly as an independent network whose [`ThermalLti`] differs
+    /// from `lti` only in `ambient` (the fleet's per-device ambient) —
+    /// same inputs produce the same bits as N separate [`step`] calls.
+    /// This default implementation *is* that per-device loop; solvers
+    /// with batch structure (the exact-LTI multi-RHS kernel) override it.
+    ///
+    /// The returned stats describe the discretization work of the batch
+    /// step, not per-device work: `substeps` totals scalar-equivalent
+    /// substeps across devices for looping solvers and stays 1 for a
+    /// true batch pass; the cache flags are OR-ed.
+    ///
+    /// [`step`]: ThermalSolver::step
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::SingularNetwork`] as for [`step`](ThermalSolver::step).
+    fn step_batch(
+        &mut self,
+        lti: &ThermalLti,
+        fleet: &mut FleetState,
+        dt: Seconds,
+    ) -> Result<StepStats> {
+        let nodes = fleet.nodes();
+        debug_assert_eq!(nodes, lti.len());
+        let mut totals = StepStats::default();
+        let mut temps = Vec::with_capacity(nodes);
+        let mut powers = vec![Watts::ZERO; nodes];
+        let mut lti_d = lti.clone();
+        for d in 0..fleet.devices() {
+            fleet.device_temps_into(d, &mut temps);
+            for (node, p) in powers.iter_mut().enumerate() {
+                *p = fleet.power(node, d);
+            }
+            lti_d.ambient = fleet.ambient(d);
+            let stats = self.step(&lti_d, &mut temps, dt, &powers)?;
+            totals.substeps += stats.substeps;
+            totals.substeps_avoided = totals.substeps_avoided.max(stats.substeps_avoided);
+            totals.cache_hit |= stats.cache_hit;
+            totals.cache_build |= stats.cache_build;
+            for (node, t) in temps.iter().enumerate() {
+                fleet.set_temp(node, d, *t);
+            }
+        }
+        Ok(totals)
+    }
 
     /// Clones the solver behind a fresh box (scratch state included).
     fn box_clone(&self) -> Box<dyn ThermalSolver>;
@@ -309,6 +358,37 @@ pub struct ExactLti {
     /// fixed after construction, so `dt` alone keys the memo.
     memo: Option<StepMemo>,
     x: Vec<f64>,
+    /// Batch-kernel scratch (the `Ad·x` block); empty until the first
+    /// `step_batch` call.
+    y: Vec<f64>,
+}
+
+/// Resolves the discretization for `dt`, preferring the per-solver memo
+/// over the shared cache, and records hit/build in `stats`. Shared by
+/// the scalar and batch step paths.
+fn memoized_disc<'m>(
+    cache: &Arc<TransitionCache>,
+    memo: &'m mut Option<StepMemo>,
+    lti: &ThermalLti,
+    dt: Seconds,
+    stats: &mut StepStats,
+) -> Result<&'m StepMemo> {
+    let dt_bits = dt.value().to_bits();
+    let stale = match memo {
+        Some(m) => m.dt_bits != dt_bits,
+        None => true,
+    };
+    if stale {
+        let (disc, hit) = cache.lookup_or_build(lti, dt.value())?;
+        stats.cache_hit = hit;
+        stats.cache_build = !hit;
+        *memo = Some(StepMemo {
+            dt_bits,
+            substeps_avoided: (lti.euler_substeps(dt.value()).saturating_sub(1)) as u32,
+            disc,
+        });
+    }
+    Ok(memo.as_ref().expect("memo just ensured"))
 }
 
 impl ExactLti {
@@ -326,8 +406,16 @@ impl ExactLti {
             cache,
             memo: None,
             x: Vec::new(),
+            y: Vec::new(),
         }
     }
+
+    /// Devices per cache block in the batch kernel: the working set of
+    /// one block (`2 · nodes · BLOCK` doubles of scratch plus the
+    /// temperature and power rows it touches) stays inside L1 for any
+    /// realistic node count, so the multi-RHS pass streams `Ad` once per
+    /// block instead of once per device.
+    const BLOCK: usize = 256;
 }
 
 impl Default for ExactLti {
@@ -348,25 +436,12 @@ impl ThermalSolver for ExactLti {
         dt: Seconds,
         powers: &[Watts],
     ) -> Result<StepStats> {
-        let Self { cache, memo, x } = self;
-        let dt_bits = dt.value().to_bits();
+        let Self { cache, memo, x, .. } = self;
         let mut stats = StepStats {
             substeps: 1,
             ..StepStats::default()
         };
-        let m = match memo {
-            Some(m) if m.dt_bits == dt_bits => m,
-            _ => {
-                let (disc, hit) = cache.lookup_or_build(lti, dt.value())?;
-                stats.cache_hit = hit;
-                stats.cache_build = !hit;
-                memo.insert(StepMemo {
-                    dt_bits,
-                    substeps_avoided: (lti.euler_substeps(dt.value()).saturating_sub(1)) as u32,
-                    disc,
-                })
-            }
-        };
+        let m = memoized_disc(cache, memo, lti, dt, &mut stats)?;
         stats.substeps_avoided = m.substeps_avoided;
         let disc = &*m.disc;
         let n = temperatures.len();
@@ -395,11 +470,97 @@ impl ThermalSolver for ExactLti {
         Ok(stats)
     }
 
+    /// The multi-RHS batch kernel: one cache-blocked mat-mat against the
+    /// shared `(Ad, Bd)` advances every device at once.
+    ///
+    /// Bit-identity with the scalar path is structural, not approximate:
+    /// for each `(node, device)` output the `Ad` accumulation runs over
+    /// `k` in ascending order with no zero-skip (exactly the scalar
+    /// mat-vec's addition sequence), the ambient is added after the full
+    /// accumulation, and the `Bd` scatter visits power nodes `j` in
+    /// ascending order with the scalar path's per-value `!= 0.0` skip.
+    /// Blocking over the device axis never reorders any per-device
+    /// operation, so `N = 1` reproduces [`ThermalSolver::step`] bit for
+    /// bit and each device of an `N`-batch matches its own scalar run.
+    fn step_batch(
+        &mut self,
+        lti: &ThermalLti,
+        fleet: &mut FleetState,
+        dt: Seconds,
+    ) -> Result<StepStats> {
+        let Self { cache, memo, x, y } = self;
+        let mut stats = StepStats {
+            substeps: 1,
+            ..StepStats::default()
+        };
+        let m = memoized_disc(cache, memo, lti, dt, &mut stats)?;
+        stats.substeps_avoided = m.substeps_avoided;
+        let disc = &*m.disc;
+        let n = fleet.nodes();
+        debug_assert_eq!(n, disc.n);
+        let nd = fleet.devices();
+        let (temps, power_in, amb) = fleet.planes_mut();
+        x.resize(n * Self::BLOCK, 0.0);
+        y.resize(n * Self::BLOCK, 0.0);
+        let mut d0 = 0;
+        while d0 < nd {
+            let bw = Self::BLOCK.min(nd - d0);
+            let amb_blk = &amb[d0..d0 + bw];
+            // Deviation coordinates for the block: x[k][c] = T − T_amb(d).
+            for k in 0..n {
+                let t_row = &temps[k * nd + d0..k * nd + d0 + bw];
+                let x_row = &mut x[k * bw..(k + 1) * bw];
+                for ((xv, t), a) in x_row.iter_mut().zip(t_row).zip(amb_blk) {
+                    *xv = t - a;
+                }
+            }
+            // y = Ad·x, accumulating over k in ascending order per output
+            // (the scalar mat-vec's exact addition sequence).
+            y[..n * bw].fill(0.0);
+            for i in 0..n {
+                let y_row = &mut y[i * bw..(i + 1) * bw];
+                for k in 0..n {
+                    let a = disc.ad[i * n + k];
+                    let x_row = &x[k * bw..(k + 1) * bw];
+                    for (yv, xv) in y_row.iter_mut().zip(x_row) {
+                        *yv += a * xv;
+                    }
+                }
+            }
+            // Back to absolute temperatures.
+            for i in 0..n {
+                let t_row = &mut temps[i * nd + d0..i * nd + d0 + bw];
+                let y_row = &y[i * bw..(i + 1) * bw];
+                for ((t, yv), a) in t_row.iter_mut().zip(y_row).zip(amb_blk) {
+                    *t = yv + a;
+                }
+            }
+            // Bd scatter, column-major like the scalar path: powered
+            // nodes j in ascending order, per-device zero-skip.
+            for j in 0..n {
+                let p_start = j * nd + d0;
+                for i in 0..n {
+                    let b = disc.bd_cols[j * n + i];
+                    let t_start = i * nd + d0;
+                    for c in 0..bw {
+                        let pv = power_in[p_start + c];
+                        if pv != 0.0 {
+                            temps[t_start + c] += b * pv;
+                        }
+                    }
+                }
+            }
+            d0 += bw;
+        }
+        Ok(stats)
+    }
+
     fn box_clone(&self) -> Box<dyn ThermalSolver> {
         Box::new(Self {
             cache: Arc::clone(&self.cache),
             memo: self.memo.clone(),
             x: Vec::new(),
+            y: Vec::new(),
         })
     }
 }

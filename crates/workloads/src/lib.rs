@@ -28,9 +28,11 @@
 pub mod apps;
 pub mod benchmarks;
 mod demand;
+mod fleet;
 pub mod mibench;
 mod pipeline;
 pub mod trace;
 
 pub use demand::{Demand, Workload};
+pub use fleet::{FleetInputs, PowerTrace};
 pub use pipeline::FramePipeline;

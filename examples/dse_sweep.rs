@@ -93,6 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         queries: Vec::new(),
         seed: 0,
+        fleet: None,
     };
     let cells = campaign.expand()?;
     let start = Instant::now();
