@@ -28,7 +28,7 @@ use mpt_thermal::SolverKind;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --fleet-out FILE   write the per-cell fleet population rollups as JSON\n                     (campaigns with a \"fleet\" block only): throttle-onset\n                     CDF, time-above-trip quantiles, peak-temp histogram\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --query EXPR       run a telemetry query (repeatable). Grammar:\n                     agg(channel) [by axis,...] [where axis=value ...]\n                     with agg one of min|max|mean|median|sum|count|p<N>.\n                     Scenarios query the session frame; campaigns query\n                     the per-cell metrics frame, falling back to the\n                     assembled per-cell telemetry for time channels.\n                     Spec-embedded `queries` run first, then these\n  --query-out FMT    query result format: csv (default) or json\n  --columnar-out F   write the columnar telemetry frame (scenario: the\n                     session frame; campaign: the per-cell metrics\n                     frame). Extension picks the format: .json, .arrow\n                     (needs --features arrow-ipc), anything else CSV\n  --progress         render live progress on stderr: per-cell bar, tick\n                     throughput and ETA (campaigns), tick throughput\n                     (scenarios); stdout stays machine-readable\n  --serve-obs ADDR   serve live observability over HTTP while running:\n                     GET /metrics (Prometheus), /progress (JSON snapshot)\n                     and /events?cursor=N (long-poll NDJSON journal).\n                     ADDR is host:port; port 0 picks one (printed to\n                     stderr)\n  --journal-out FILE write the full event journal as NDJSON after the run\n                     (one meta line, then one event per line)\n\nWith no file, a scenario is read from stdin."
+        "usage: run_scenario [SCENARIO.json]\n       run_scenario --campaign CAMPAIGN.json [--jobs N]\n\noptions:\n  --jobs N           worker threads for campaigns; 0 (default) = one per CPU\n  --trace-out FILE   write a Chrome trace-event JSON with spans and counter\n                     tracks (load in Perfetto/about:tracing)\n  --metrics-out FILE write counters + latency quantiles; .json extension\n                     selects a JSON snapshot, anything else Prometheus text\n  --report-out FILE  write the session report JSON: outcome, derived\n                     observables, fired alerts and frequency residency\n                     (campaigns: the full campaign report with the\n                     per-cell alert/derived rollup)\n  --fleet-out FILE   write the per-cell fleet population rollups as JSON\n                     (campaigns with a \"fleet\" block only): throttle-onset\n                     CDF, time-above-trip quantiles, peak-temp histogram\n  --alerts FILE      merge extra alert rules (a JSON array of rule\n                     objects, e.g. scenarios/alerts/*.json) into the\n                     scenario or campaign base before running\n  --solver NAME      override the thermal solver (exact_lti | forward_euler)\n                     for the scenario, or every cell of a campaign\n  --engine NAME      override the stepping engine (fixed | event) for the\n                     scenario, or every cell of a campaign\n  --query EXPR       run a telemetry query (repeatable). Grammar:\n                     agg(channel) [by axis,...] [where axis=value ...]\n                     with agg one of min|max|mean|median|sum|count|p<N>.\n                     Scenarios query the session frame; campaigns query\n                     the per-cell metrics frame, falling back to the\n                     assembled per-cell telemetry for time channels.\n                     Spec-embedded `queries` run first, then these\n  --query-out FMT    query result format: csv (default) or json\n  --columnar-out F   write the columnar telemetry frame (scenario: the\n                     session frame; campaign: the per-cell metrics\n                     frame). Extension picks the format: .json, .arrow\n                     (needs --features arrow-ipc), anything else CSV\n  --progress         render live progress on stderr: per-cell bar, tick\n                     throughput and ETA (campaigns), tick throughput\n                     (scenarios); stdout stays machine-readable\n  --serve-obs ADDR   serve live observability over HTTP while running:\n                     GET /metrics (Prometheus), /progress (JSON snapshot)\n                     and /events?cursor=N (long-poll NDJSON journal).\n                     ADDR is host:port; port 0 picks one (printed to\n                     stderr)\n  --journal-out FILE write the full event journal as NDJSON after the run\n                     (one meta line, then one event per line)\n  --verify           run the MPT6xx static reachability certifier before\n                     tick 0: an interval envelope over every trajectory\n                     the spec (and any fleet jitter) can realize. The\n                     verdict lands in the session/campaign report; a\n                     guaranteed trip (MPT603) refuses to simulate\n\nWith no file, a scenario is read from stdin."
     );
     std::process::exit(2);
 }
@@ -50,6 +50,7 @@ struct Args {
     progress: bool,
     serve_obs: Option<String>,
     journal_out: Option<String>,
+    verify: bool,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +71,7 @@ fn parse_args() -> Args {
         progress: false,
         serve_obs: None,
         journal_out: None,
+        verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -138,6 +140,7 @@ fn parse_args() -> Args {
                 args.columnar_out = Some(path);
             }
             "--progress" => args.progress = true,
+            "--verify" => args.verify = true,
             "--serve-obs" => {
                 let Some(addr) = it.next() else { usage() };
                 args.serve_obs = Some(addr);
@@ -381,6 +384,67 @@ fn lint_gate(
     Ok(())
 }
 
+/// The `--verify` pre-gate for a plain scenario: runs the MPT6xx static
+/// reachability certifier, prints its diagnostics to stderr, and refuses
+/// to simulate only on a *guaranteed* trip (MPT603 is the family's only
+/// error; possible-trip and limit-cycle findings are warnings).
+fn verify_gate_scenario(
+    spec: &ScenarioSpec,
+    origin: &str,
+    recorder: &Recorder,
+) -> mpt_core::report::VerificationSummary {
+    let _span = recorder.span("lint", "verify");
+    let v = match mpt_lint::verify::verify_scenario(spec, origin) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("run_scenario: cannot verify {origin}: {msg}");
+            std::process::exit(1);
+        }
+    };
+    recorder.add(Counter::LintChecksRun, v.report.checks_run);
+    recorder.add(Counter::LintDiagnostics, v.report.diagnostics.len() as u64);
+    for d in &v.report.diagnostics {
+        eprintln!("{}", d.render_text());
+    }
+    if v.report.errors() > 0 {
+        eprintln!("run_scenario: certifier proved a guaranteed trip; nothing was simulated");
+        std::process::exit(1);
+    }
+    v.summary
+}
+
+/// The `--verify` pre-gate for a campaign: certifies every expanded cell
+/// (fleet jitter included) before any cell simulates, returning the
+/// per-cell verdicts for the campaign report.
+fn verify_gate_campaign(
+    spec: &CampaignSpec,
+    origin: &str,
+    recorder: &Recorder,
+) -> Vec<mpt_core::report::CellVerification> {
+    let _span = recorder.span("lint", "verify");
+    let (report, verdicts) = match mpt_lint::verify::verify_campaign(spec, origin) {
+        Ok(out) => out,
+        Err(msg) => {
+            eprintln!("run_scenario: cannot verify {origin}: {msg}");
+            std::process::exit(1);
+        }
+    };
+    recorder.add(Counter::LintChecksRun, report.checks_run);
+    recorder.add(Counter::LintDiagnostics, report.diagnostics.len() as u64);
+    for d in &report.diagnostics {
+        eprintln!("{}", d.render_text());
+    }
+    if report.errors() > 0 {
+        eprintln!(
+            "run_scenario: certifier proved a guaranteed trip in {} cell(s); \
+             nothing was simulated",
+            report.errors()
+        );
+        std::process::exit(1);
+    }
+    verdicts
+}
+
 /// Validates `--query` expressions against the spec's static schema
 /// with the same MPT401/402 diagnostics the linter gives embedded
 /// `queries` (which `lint_gate` already covered). Errors refuse to
@@ -458,6 +522,9 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     }
     let (channels, axes) = mpt_lint::config::scenario_query_schema(&spec);
     gate_cli_queries(&args.queries, &channels, &axes);
+    let verification = args
+        .verify
+        .then(|| verify_gate_scenario(&spec, args.path.as_deref().unwrap_or("stdin"), &recorder));
     let server = start_obs_server(args, &recorder)?;
     let renderer = args
         .progress
@@ -475,6 +542,15 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     println!("average power    : {:.2} W", outcome.average_power_w);
     println!("energy           : {:.1} J", outcome.energy_j);
     println!("migrations       : {}", outcome.migrations);
+    if let Some(vs) = &verification {
+        println!(
+            "verification     : {} — envelope peak [{:.1}, {:.1}] C vs {:.1} C ({})",
+            vs.verdict, vs.peak_lower_c, vs.peak_upper_c, vs.trip_c, vs.reference
+        );
+        if let Some(b) = vs.sustained_budget_w {
+            println!("safe sustained   : {b:.2} W");
+        }
+    }
     println!("\nworkloads:");
     for w in &outcome.workloads {
         match w.median_fps {
@@ -528,7 +604,8 @@ fn run_scenario_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     }
     if let Some(path) = &args.report_out {
         let input = args.path.as_deref().unwrap_or("stdin");
-        let report = SessionReport::new(input, outcome, analysis);
+        let mut report = SessionReport::new(input, outcome, analysis);
+        report.verification = verification;
         std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
         eprintln!("session report written to {path}");
     }
@@ -553,11 +630,17 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     }
     let (channels, axes) = mpt_lint::config::campaign_query_schema(&spec);
     gate_cli_queries(&args.queries, &channels, &axes);
+    let verification = if args.verify {
+        verify_gate_campaign(&spec, args.path.as_deref().unwrap_or("stdin"), &recorder)
+    } else {
+        Vec::new()
+    };
     let server = start_obs_server(args, &recorder)?;
     let renderer = args
         .progress
         .then(|| ProgressRenderer::start(Arc::clone(&recorder)));
-    let (report, frames) = run_campaign_framed(&spec, args.jobs, &recorder, None)?;
+    let (mut report, frames) = run_campaign_framed(&spec, args.jobs, &recorder, None)?;
+    report.verification = verification;
     if let Some(renderer) = renderer {
         renderer.finish();
     }
@@ -586,6 +669,22 @@ fn run_campaign_cli(json: &str, args: &Args) -> Result<(), Box<dyn std::error::E
     row("peak temp [C]", &report.peak_temperature_c);
     row("avg power [W]", &report.average_power_w);
     row("energy [J]", &report.energy_j);
+    if !report.verification.is_empty() {
+        println!(
+            "\nverification (pre-gate):\n{:<52} {:>8} {:>18} {:>8}",
+            "cell", "verdict", "envelope peak C", "trip C"
+        );
+        for v in &report.verification {
+            println!(
+                "{:<52} {:>8} [{:>6.1}, {:>6.1}] C {:>8.1}",
+                v.label,
+                v.summary.verdict,
+                v.summary.peak_lower_c,
+                v.summary.peak_upper_c,
+                v.summary.trip_c
+            );
+        }
+    }
     if !report.fleet.is_empty() {
         println!(
             "\nfleet ({} devices/cell):\n{:<52} {:>8} {:>10} {:>10} {:>10}",

@@ -355,6 +355,11 @@ pub struct CampaignReport {
     /// like [`cells`](Self::cells).
     #[serde(default)]
     pub fleet: Vec<crate::fleet::FleetCellOutcome>,
+    /// Per-cell static-certifier verdicts, in expansion order, when the
+    /// campaign was run with `--verify` (empty otherwise). Computed
+    /// before any cell simulates, so it is worker-count independent.
+    #[serde(default)]
+    pub verification: Vec<crate::report::CellVerification>,
 }
 
 impl CampaignReport {
@@ -631,6 +636,7 @@ pub fn run_cells_framed(
             worker_busy_s,
             analysis: CampaignAnalysis::of(&outcomes, &analyses),
             fleet: fleet_rollups,
+            verification: Vec::new(),
             cells: outcomes,
         },
         CampaignFrames {

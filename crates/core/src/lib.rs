@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! The paper's primary contribution: **application-aware thermal
 //! management using power–temperature stability analysis** (Bhat,

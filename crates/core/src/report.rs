@@ -178,6 +178,59 @@ impl SessionAnalysis {
     }
 }
 
+/// The outcome of the static reachability certifier (`mpt-lint`'s
+/// MPT6xx family), as plain data: a guaranteed per-node temperature
+/// envelope was propagated through the scenario before tick 0, and this
+/// is the verdict. Lives here (not in `mpt-lint`) so session and
+/// campaign reports can carry it without a report→lint dependency; the
+/// verifier in `mpt-lint` constructs it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationSummary {
+    /// The verdict code: `"MPT601"` (provably never trips), `"MPT602"`
+    /// (envelope straddles the trip — a trip is possible) or `"MPT603"`
+    /// (the envelope's lower bound crosses the trip — a trip is
+    /// guaranteed).
+    pub verdict: String,
+    /// What the trip threshold was resolved from: `"step_wise trips"`,
+    /// `"ipa control_c"`, `"fleet trip_c"` or `"sanity cap"`.
+    pub reference: String,
+    /// The resolved trip threshold, Celsius.
+    pub trip_c: f64,
+    /// Safety margin demanded below the trip for a MPT601 certificate,
+    /// Celsius.
+    pub margin_c: f64,
+    /// Peak of the envelope's upper bound across the run, Celsius.
+    pub peak_upper_c: f64,
+    /// Peak of the envelope's lower bound across the run, Celsius.
+    pub peak_lower_c: f64,
+    /// First simulated time the upper bound reaches the trip (the
+    /// earliest a trip could possibly happen), if any.
+    pub first_straddle_s: Option<f64>,
+    /// First simulated time the lower bound reaches the trip (a trip is
+    /// guaranteed by then), if any.
+    pub first_guaranteed_s: Option<f64>,
+    /// Whether the step-wise governor's abstract transition graph
+    /// contains a throttle/release limit cycle (MPT604).
+    pub limit_cycle: bool,
+    /// Largest sustained total power, watts, whose steady state keeps
+    /// every node below the trip — the platform's thermally-safe budget.
+    pub sustained_budget_w: Option<f64>,
+    /// Devices covered (1 for a plain scenario; the fleet size when the
+    /// envelope absorbs `ParamJitter` ranges).
+    pub devices: usize,
+    /// Envelope length in ticks (10 ms steps).
+    pub ticks: usize,
+}
+
+/// One campaign cell's verification verdict, in expansion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellVerification {
+    /// The cell's campaign label (axis summary).
+    pub label: String,
+    /// The cell's certified envelope verdict.
+    pub summary: VerificationSummary,
+}
+
 /// The complete session report `run_scenario --report-out` writes: the
 /// classic outcome plus the online analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -189,6 +242,10 @@ pub struct SessionReport {
     /// Derived observables, alerts and residency.
     #[serde(flatten)]
     pub analysis: SessionAnalysis,
+    /// The static certifier's verdict when the run was started with
+    /// `--verify`; `None` otherwise.
+    #[serde(default)]
+    pub verification: Option<VerificationSummary>,
 }
 
 impl SessionReport {
@@ -203,6 +260,7 @@ impl SessionReport {
             scenario: scenario.into(),
             outcome,
             analysis,
+            verification: None,
         }
     }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Measurement substrate: the data-acquisition side of the paper.
 //!

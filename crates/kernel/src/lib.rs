@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Operating-system substrate: processes, CPU scheduling, and the stock
 //! DVFS/thermal policies of a Linux-based mobile platform.

@@ -37,11 +37,13 @@ struct Args {
     format: Format,
     deny_warnings: bool,
     list_codes: bool,
+    verify: bool,
 }
 
 const USAGE: &str = "usage: mpt_lint [--all] [--platform FILE]... [--scenario FILE]... \
                      [--campaign FILE]... [--alerts FILE]... [--source] [--root DIR] \
-                     [--allowlist FILE] [--format text|json] [--deny-warnings] [--list-codes]";
+                     [--allowlist FILE] [--format text|json] [--deny-warnings] \
+                     [--verify] [--list-codes]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -56,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Text,
         deny_warnings: false,
         list_codes: false,
+        verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--all" => args.all = true,
             "--source" => args.source_only = true,
             "--deny-warnings" => args.deny_warnings = true,
+            "--verify" => args.verify = true,
             "--list-codes" => args.list_codes = true,
             "--root" => args.root = PathBuf::from(value("--root")?),
             "--platform" => args.models.push(PathBuf::from(value("--platform")?)),
@@ -119,6 +123,12 @@ fn run(args: &Args) -> Result<Report, String> {
             mpt_lint::run_all(&args.root, &recorder)
                 .map_err(|e| format!("walking {}: {e}", args.root.display()))?,
         );
+        if args.verify {
+            report.merge(
+                mpt_lint::verify_all(&args.root)
+                    .map_err(|e| format!("walking {}: {e}", args.root.display()))?,
+            );
+        }
     } else if args.source_only {
         let allowlist_file = args
             .allowlist
@@ -141,11 +151,19 @@ fn run(args: &Args) -> Result<Report, String> {
     }
     for path in &args.scenarios {
         let shown = path.display().to_string();
-        report.merge(config::check_scenario_json(&read_checked(path)?, &shown));
+        let json = read_checked(path)?;
+        report.merge(config::check_scenario_json(&json, &shown));
+        if args.verify {
+            report.merge(mpt_lint::verify::verify_scenario_json(&json, &shown));
+        }
     }
     for path in &args.campaigns {
         let shown = path.display().to_string();
-        report.merge(config::check_campaign_json(&read_checked(path)?, &shown));
+        let json = read_checked(path)?;
+        report.merge(config::check_campaign_json(&json, &shown));
+        if args.verify {
+            report.merge(mpt_lint::verify::verify_campaign_json(&json, &shown));
+        }
     }
     for path in &args.alerts {
         let shown = path.display().to_string();

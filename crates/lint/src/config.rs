@@ -278,6 +278,15 @@ fn check_fleet(spec: &CampaignSpec, path: &str, r: &mut Report) {
         r.diagnostics
             .push(Diagnostic::new(Code::InvalidFleet, path, problem));
     }
+    // MPT502: well-formed distributions whose *range* can still realize
+    // non-physical device parameters (normal tails the MPT501 min/max
+    // checks cannot see). Caught here, statically, instead of letting a
+    // 10k-device replay inject negative power.
+    r.checks_run += 1;
+    for problem in fleet.nonphysical_ranges() {
+        r.diagnostics
+            .push(Diagnostic::new(Code::NonPhysicalFleetJitter, path, problem));
+    }
 }
 
 /// The static query schema of a single scenario: the channels its

@@ -11,16 +11,23 @@
 //! - `MPT3xx` — stepping-engine analysis (event-engine compatibility,
 //!   phase schedules),
 //! - `MPT4xx` — telemetry-query analysis (embedded `queries` against the
-//!   static columnar schema).
+//!   static columnar schema),
+//! - `MPT5xx` — fleet analysis (population specs and jitter ranges),
+//! - `MPT6xx` — reachability verification (certified temperature
+//!   envelopes from interval abstract interpretation of `(Ad, Bd)`).
 
 use std::fmt;
 
 /// How bad a finding is.
 ///
 /// Errors make `mpt_lint` exit non-zero (and make `run_scenario` refuse
-/// to simulate); warnings are advisory unless `--deny-warnings` is set.
+/// to simulate); warnings are advisory unless `--deny-warnings` is set;
+/// infos are positive findings (certificates) and never fail a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// A positive finding — a certificate the verifier proved, reported
+    /// for the record. Never fails the run, even under `--deny-warnings`.
+    Info,
     /// Suspicious but not certainly wrong; does not fail the run.
     Warning,
     /// A defect that would produce wrong or undefined results.
@@ -32,6 +39,7 @@ impl Severity {
     #[must_use]
     pub const fn label(self) -> &'static str {
         match self {
+            Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
         }
@@ -99,11 +107,28 @@ pub enum Code {
     /// MPT501: a campaign's `fleet` block is invalid (device count,
     /// jitter ranges, trip reference).
     InvalidFleet,
+    /// MPT502: a fleet jitter range can realize non-physical device
+    /// parameters (non-positive leakage scale, negative workload mix).
+    NonPhysicalFleetJitter,
+    /// MPT601: no-trip certificate — the certified upper temperature
+    /// envelope stays below the trip reference with margin for the whole
+    /// run (every device of a fleet population included).
+    NoTripCertificate,
+    /// MPT602: possible trip — the certified envelope straddles the trip
+    /// reference, so some realization may throttle.
+    PossibleTrip,
+    /// MPT603: guaranteed trip — even the *lower* envelope bound crosses
+    /// the trip reference; every realization throttles.
+    GuaranteedTrip,
+    /// MPT604: governor limit-cycle risk — the abstract
+    /// `(cooling state, steady-state interval)` transition graph of the
+    /// step-wise governor contains a throttle/release cycle.
+    GovernorLimitCycle,
 }
 
 impl Code {
     /// Every code, in numeric order (used by `--list-codes`).
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 32] = [
         Code::OppFrequencyOrder,
         Code::OppVoltageMonotonicity,
         Code::OppPowerMonotonicity,
@@ -131,6 +156,11 @@ impl Code {
         Code::QueryUnknownChannel,
         Code::QueryNonAxisKey,
         Code::InvalidFleet,
+        Code::NonPhysicalFleetJitter,
+        Code::NoTripCertificate,
+        Code::PossibleTrip,
+        Code::GuaranteedTrip,
+        Code::GovernorLimitCycle,
     ];
 
     /// The stable `MPTxxx` identifier.
@@ -164,6 +194,11 @@ impl Code {
             Code::QueryUnknownChannel => "MPT401",
             Code::QueryNonAxisKey => "MPT402",
             Code::InvalidFleet => "MPT501",
+            Code::NonPhysicalFleetJitter => "MPT502",
+            Code::NoTripCertificate => "MPT601",
+            Code::PossibleTrip => "MPT602",
+            Code::GuaranteedTrip => "MPT603",
+            Code::GovernorLimitCycle => "MPT604",
         }
     }
 
@@ -179,7 +214,11 @@ impl Code {
     #[must_use]
     pub const fn default_severity(self) -> Severity {
         match self {
-            Code::NoStableFixedPoint | Code::UnreachableAlert => Severity::Warning,
+            Code::NoStableFixedPoint
+            | Code::UnreachableAlert
+            | Code::PossibleTrip
+            | Code::GovernorLimitCycle => Severity::Warning,
+            Code::NoTripCertificate => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -215,6 +254,15 @@ impl Code {
             Code::QueryUnknownChannel => "query malformed or names an unrecorded channel",
             Code::QueryNonAxisKey => "query groups or filters on a non-axis key",
             Code::InvalidFleet => "campaign fleet block invalid (devices, jitter, trip)",
+            Code::NonPhysicalFleetJitter => {
+                "fleet jitter range can realize non-physical device parameters"
+            }
+            Code::NoTripCertificate => {
+                "certified: the temperature envelope stays below trip with margin"
+            }
+            Code::PossibleTrip => "certified envelope straddles the trip reference",
+            Code::GuaranteedTrip => "even the lower envelope bound crosses the trip reference",
+            Code::GovernorLimitCycle => "step-wise governor throttle/release limit-cycle risk",
         }
     }
 
@@ -283,6 +331,26 @@ impl Code {
             Code::InvalidFleet => {
                 "devices must be positive, jitter ranges finite with min <= max and \
                  std >= 0, and trip_c (when set) a plausible Celsius trip point"
+            }
+            Code::NonPhysicalFleetJitter => {
+                "tighten the jitter so leakage_scale stays positive and workload_mix \
+                 non-negative (normal jitters are judged at 6 sigma)"
+            }
+            Code::NoTripCertificate => {
+                "nothing to fix: this run cannot throttle; the budget in the message is \
+                 the thermally-safe sustained power"
+            }
+            Code::PossibleTrip => {
+                "lower the workload, raise the trip, or accept throttling; the first \
+                 straddle time bounds when it can start"
+            }
+            Code::GuaranteedTrip => {
+                "this configuration always throttles: reduce sustained power below the \
+                 reported budget or raise the trip reference"
+            }
+            Code::GovernorLimitCycle => {
+                "widen the trip hysteresis or add intermediate OPPs so a throttle step \
+                 does not overshoot the release band"
             }
         }
     }
@@ -394,15 +462,25 @@ impl Report {
     /// Number of warning-severity findings.
     #[must_use]
     pub fn warnings(&self) -> usize {
-        self.diagnostics.len() - self.errors()
+        self.diagnostics.len() - self.errors() - self.infos()
+    }
+
+    /// Number of info-severity findings (positive certificates).
+    #[must_use]
+    pub fn infos(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Info)
+            .count()
     }
 
     /// Process exit code: 0 clean (or warnings only), 1 on errors (or any
-    /// finding under `deny_warnings`).
+    /// warning under `deny_warnings`). Info-severity certificates never
+    /// fail a run.
     #[must_use]
     pub fn exit_code(&self, deny_warnings: bool) -> i32 {
         let failing = if deny_warnings {
-            self.diagnostics.len()
+            self.errors() + self.warnings()
         } else {
             self.errors()
         };
@@ -423,6 +501,9 @@ impl Report {
             self.errors(),
             self.warnings()
         ));
+        if self.infos() > 0 {
+            out.push_str(&format!(", {} certificates", self.infos()));
+        }
         out
     }
 
@@ -439,6 +520,7 @@ impl Report {
         out.push_str(&format!("  \"checks_run\": {},\n", self.checks_run));
         out.push_str(&format!("  \"errors\": {},\n", self.errors()));
         out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str(&format!("  \"infos\": {},\n", self.infos()));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -530,5 +612,24 @@ mod tests {
             .diagnostics
             .push(Diagnostic::new(Code::NotHurwitz, "p", "err"));
         assert_eq!(report.exit_code(false), 1);
+    }
+
+    #[test]
+    fn info_certificates_never_fail_and_count_separately() {
+        let mut report = Report::default();
+        report
+            .diagnostics
+            .push(Diagnostic::new(Code::NoTripCertificate, "s.json", "ok"));
+        assert_eq!(report.infos(), 1);
+        assert_eq!(report.warnings(), 0);
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.exit_code(false), 0);
+        assert_eq!(
+            report.exit_code(true),
+            0,
+            "--deny-warnings must not fail a positive certificate"
+        );
+        assert!(report.render_text().contains("1 certificates"));
+        assert!(report.render_json().contains("\"infos\": 1"));
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! `mpt-lint`: static analysis over platform models, scenario/campaign
 //! configs and the sim crates' source.
@@ -18,6 +19,12 @@
 //! - [`source`] (MPT2xx) — a determinism scan over the sim crates
 //!   flagging wall-clock reads, nondeterministic RNGs and unordered
 //!   containers outside `crates/lint/determinism.allow`.
+//! - [`verify`] (MPT6xx) — the static reachability certifier: interval
+//!   abstract interpretation over the discretized thermal system
+//!   proving, before tick 0, whether a scenario can trip (no-trip
+//!   certificate, possible trip, guaranteed trip, governor limit-cycle
+//!   risk) plus the platform's thermally-safe sustained power budget.
+//!   Opt-in via `mpt_lint --verify` / `run_scenario --verify`.
 //!
 //! The `mpt_lint` binary fronts all three; `--all` is wired into CI as a
 //! blocking job. Lint activity is observable through `mpt-obs`: each
@@ -49,6 +56,28 @@ pub mod config;
 pub mod diag;
 pub mod model;
 pub mod source;
+pub mod verify;
+
+/// Runs the MPT6xx certifier over every scenario and campaign JSON under
+/// `<root>/scenarios/` (skipping the `invalid/` fixtures), as
+/// `mpt_lint --all --verify` and the CI verify gate do.
+///
+/// # Errors
+///
+/// I/O errors walking the workspace.
+pub fn verify_all(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in json_files_skipping_invalid(&root.join("scenarios"))? {
+        let json = fs::read_to_string(&path)?;
+        let shown = path.display().to_string();
+        match classify(&path) {
+            FileKind::Campaign => report.merge(verify::verify_campaign_json(&json, &shown)),
+            FileKind::Scenario => report.merge(verify::verify_scenario_json(&json, &shown)),
+            FileKind::Model | FileKind::Alerts => {}
+        }
+    }
+    Ok(report)
+}
 
 pub use diag::{Code, Diagnostic, Report, Severity};
 

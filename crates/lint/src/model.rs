@@ -132,20 +132,31 @@ pub fn check_platform(platform: &Platform, origin: &str) -> Report {
         let caps: Vec<f64> = ts.nodes.iter().map(|n| n.heat_capacity).collect();
         let g_full = assemble_g_full(ts.nodes.len(), &couplings, &ambient);
         let margin = hurwitz_margin(&caps, &g_full);
-        if margin <= 0.0 {
-            r.diagnostics.push(Diagnostic::new(
-                Code::NotHurwitz,
-                origin,
-                format!(
-                    "thermal A-matrix is not Hurwitz: slowest mode decays at {margin:.3e} 1/s \
-                     (must be > 0)"
-                ),
-            ));
-        } else if r.errors() == 0 {
+        let fired = emit_not_hurwitz(margin, origin, &mut r);
+        if !fired && r.errors() == 0 {
             check_fixed_points(platform, origin, &mut r);
         }
     }
     r
+}
+
+/// The single `MPT008` emission path: pushes the diagnostic when the
+/// Hurwitz margin is non-positive and reports whether it fired, so the
+/// platform and raw-network checks can never drift in margin formatting
+/// or wording.
+fn emit_not_hurwitz(margin: f64, origin: &str, r: &mut Report) -> bool {
+    if margin > 0.0 {
+        return false;
+    }
+    r.diagnostics.push(Diagnostic::new(
+        Code::NotHurwitz,
+        origin,
+        format!(
+            "thermal A-matrix is not Hurwitz: slowest mode decays at {margin:.3e} 1/s \
+             (must be > 0)"
+        ),
+    ));
+    true
 }
 
 /// Lints one `*.model.json` file: `{"builtin": name}`,
@@ -294,13 +305,7 @@ pub fn check_raw_network(net: &RawNetwork, origin: &str) -> Report {
             .collect();
         let g_full = assemble_g_full(n, &couplings, &net.ambient_conductance);
         let margin = hurwitz_margin(&net.heat_capacity, &g_full);
-        if margin <= 0.0 {
-            r.diagnostics.push(Diagnostic::new(
-                Code::NotHurwitz,
-                origin,
-                format!("thermal A-matrix is not Hurwitz: slowest mode decays at {margin:.3e} 1/s"),
-            ));
-        }
+        emit_not_hurwitz(margin, origin, &mut r);
     }
     r
 }

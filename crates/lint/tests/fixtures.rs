@@ -8,7 +8,7 @@ use std::process::Command;
 use mpt_lint::{check_file, diag::Code};
 
 /// `(fixture file, the one code it must fire)`.
-const EXPECTED: [(&str, Code); 9] = [
+const EXPECTED: [(&str, Code); 10] = [
     ("asymmetric_g.model.json", Code::InvalidConductance),
     ("non_monotonic_opp.model.json", Code::OppVoltageMonotonicity),
     ("dangling_sensor.json", Code::DanglingControlSensor),
@@ -21,6 +21,10 @@ const EXPECTED: [(&str, Code); 9] = [
     ),
     ("query_non_axis_key.campaign.json", Code::QueryNonAxisKey),
     ("fleet_zero_devices.campaign.json", Code::InvalidFleet),
+    (
+        "fleet_nonphysical_jitter.campaign.json",
+        Code::NonPhysicalFleetJitter,
+    ),
 ];
 
 fn workspace_root() -> PathBuf {

@@ -418,9 +418,12 @@ impl Journal {
             u64::try_from(crate::clock::elapsed(self.epoch).as_micros()).unwrap_or(u64::MAX);
         let seq = self.head.fetch_add(1, SeqCst);
         let slot = &self.slots[(seq & self.mask) as usize];
-        // Claim the slot for this generation; if a newer generation got
-        // there first (the ring lapped mid-write), abandon — readers will
-        // report the sequence number as dropped.
+        // SAFETY-equivalent seqlock invariant (all-atomic, no `unsafe`):
+        // a slot's `state` is monotone non-decreasing and odd (`busy`)
+        // exactly while its payload words are torn. Claim the slot for
+        // this generation; if a newer generation got there first (the
+        // ring lapped mid-write), abandon — readers will report the
+        // sequence number as dropped.
         if slot.state.fetch_max(busy(seq), SeqCst) > busy(seq) {
             return Some(seq);
         }
@@ -432,7 +435,10 @@ impl Journal {
         slot.words[W_A].store(a, SeqCst);
         slot.words[W_B].store(b, SeqCst);
         slot.words[W_C].store(c, SeqCst);
-        // Publish; failure means a newer generation overwrote us mid-write.
+        // SAFETY-equivalent invariant: publishing `stable(seq)` asserts
+        // every payload word above is written; the CAS (not a plain
+        // store) keeps `state` monotone — failure means a newer
+        // generation overwrote us mid-write and owns the slot now.
         let _ = slot
             .state
             .compare_exchange(busy(seq), stable(seq), SeqCst, SeqCst);
@@ -548,6 +554,11 @@ impl Journal {
             return SlotRead::Gone;
         }
         let words: [u64; PAYLOAD_WORDS] = std::array::from_fn(|i| slot.words[i].load(SeqCst));
+        // SAFETY-equivalent seqlock read protocol: the payload is only
+        // trusted if `state` still equals `stable(seq)` *after* every
+        // word was loaded — any concurrent writer must first bump the
+        // state through `busy(newer)`, so an unchanged state proves the
+        // words above are an untorn generation-`seq` snapshot.
         if words[W_GEN] != seq || slot.state.load(SeqCst) != stable(seq) {
             return SlotRead::Gone;
         }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Discrete-time co-simulation of a mobile platform.
 //!

@@ -58,11 +58,39 @@ pub enum ParamJitter {
     },
 }
 
+/// The hard bound on a Box–Muller normal draw in sigmas.
+///
+/// [`ParamJitter::sample`] clamps the first uniform to
+/// `u1 ≥ f64::MIN_POSITIVE`, so the radius `r = √(−2·ln u1)` can never
+/// exceed `√(−2·ln(f64::MIN_POSITIVE)) ≈ 37.64`. Any value this far out
+/// is unreachable, which makes `mean ± 37.65·std` a *sound* interval for
+/// the MPT6xx verifier: no seed can realize a draw outside it.
+pub const NORMAL_HARD_SIGMAS: f64 = 37.65;
+
 impl ParamJitter {
     /// A degenerate jitter pinning every device to `value`.
     #[must_use]
     pub fn fixed(value: f64) -> Self {
         ParamJitter::Fixed { value }
+    }
+
+    /// The guaranteed `[lo, hi]` range of every possible draw — the
+    /// jitter→interval lowering the MPT6xx verifier abstracts a whole
+    /// fleet population with.
+    ///
+    /// Fixed and uniform jitters have exact ranges; a normal jitter is
+    /// bounded by the Box–Muller hard radius ([`NORMAL_HARD_SIGMAS`]),
+    /// which no seed can exceed.
+    #[must_use]
+    pub fn bounds(&self) -> (f64, f64) {
+        match *self {
+            ParamJitter::Fixed { value } => (value, value),
+            ParamJitter::Uniform { min, max } => (min, max),
+            ParamJitter::Normal { mean, std } => (
+                mean - NORMAL_HARD_SIGMAS * std,
+                mean + NORMAL_HARD_SIGMAS * std,
+            ),
+        }
     }
 
     /// Samples the distribution for the given seed.
@@ -242,6 +270,40 @@ impl FleetSpec {
         }
         out
     }
+
+    /// Jitter ranges that can realize *non-physical* device parameters —
+    /// the `MPT502` lint surfaces these before a fleet replay launders
+    /// them into nonsense population statistics.
+    ///
+    /// Fixed and uniform jitters use their exact range; normal jitters
+    /// use a `±6σ` plausibility window (a 10k-device fleet draws well
+    /// inside it, and the nominal `±7%` process spread the shipped
+    /// campaigns model stays clean). The MPT6xx *envelope* verifier
+    /// instead uses the sound hard bound ([`NORMAL_HARD_SIGMAS`]).
+    #[must_use]
+    pub fn nonphysical_ranges(&self) -> Vec<String> {
+        const PLAUSIBLE_SIGMAS: f64 = 6.0;
+        let plausible_lo = |j: &ParamJitter| match *j {
+            ParamJitter::Normal { mean, std } => mean - PLAUSIBLE_SIGMAS * std,
+            _ => j.bounds().0,
+        };
+        let mut out = Vec::new();
+        let leak_lo = plausible_lo(&self.leakage_scale);
+        if leak_lo <= 0.0 {
+            out.push(format!(
+                "leakage_scale can realize {leak_lo:.3}: a non-positive power multiplier is \
+                 unphysical (process corners scale power, they cannot negate it)"
+            ));
+        }
+        let mix_lo = plausible_lo(&self.workload_mix);
+        if mix_lo < 0.0 {
+            out.push(format!(
+                "workload_mix can realize {mix_lo:.3}: a negative intensity multiplier would \
+                 inject negative power"
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +366,67 @@ mod tests {
         s.trip_c = Some(500.0);
         let problems = s.problems();
         assert_eq!(problems.len(), 4, "{problems:?}");
+    }
+
+    #[test]
+    fn bounds_bracket_every_sample() {
+        let jitters = [
+            ParamJitter::fixed(2.5),
+            ParamJitter::Uniform {
+                min: -1.0,
+                max: 4.0,
+            },
+            ParamJitter::Normal {
+                mean: 1.0,
+                std: 0.25,
+            },
+        ];
+        for j in jitters {
+            let (lo, hi) = j.bounds();
+            assert!(lo <= hi);
+            for seed in 0..10_000u64 {
+                let v = j.sample(splitmix64(seed));
+                assert!(lo <= v && v <= hi, "{j:?} drew {v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn normal_bounds_cover_the_box_muller_hard_radius() {
+        // The clamped Box–Muller radius is √(−2·ln(MIN_POSITIVE)) ≈ 37.64,
+        // so the advertised hard-sigma constant must sit above it.
+        let max_r = (-2.0 * f64::MIN_POSITIVE.ln()).sqrt();
+        assert!(
+            NORMAL_HARD_SIGMAS > max_r,
+            "{NORMAL_HARD_SIGMAS} vs {max_r}"
+        );
+        // And the worst-case seed (u1 clamped to MIN_POSITIVE) stays inside.
+        let j = ParamJitter::Normal {
+            mean: 0.0,
+            std: 1.0,
+        };
+        let (lo, hi) = j.bounds();
+        assert!(-max_r >= lo && max_r <= hi);
+    }
+
+    #[test]
+    fn nonphysical_ranges_catch_normal_tails_and_negative_mix() {
+        let mut s = spec();
+        assert!(s.nonphysical_ranges().is_empty(), "nominal spread is clean");
+        // A ±0.5 normal reaches non-positive power multipliers within 6σ —
+        // exactly the case MPT501's uniform/fixed checks miss.
+        s.leakage_scale = ParamJitter::Normal {
+            mean: 1.0,
+            std: 0.5,
+        };
+        s.workload_mix = ParamJitter::Uniform {
+            min: -0.2,
+            max: 1.0,
+        };
+        let found = s.nonphysical_ranges();
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].contains("leakage_scale"));
+        assert!(found[1].contains("workload_mix"));
     }
 
     #[test]

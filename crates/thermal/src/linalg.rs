@@ -385,6 +385,83 @@ pub fn symmetric_eigenvalues(a: &Mat) -> Vec<f64> {
     eigs
 }
 
+// ---------------------------------------------------------------------------
+// Interval arithmetic (the abstract domain of the MPT6xx verifier)
+// ---------------------------------------------------------------------------
+
+/// Relative outward-rounding inflation applied after every interval dot
+/// product: `(n + 2)·ε` over-approximates the worst-case accumulated
+/// relative error of an `n`-term fused multiply-add chain, so the widened
+/// interval is guaranteed to contain the exactly-rounded result the
+/// concrete solver computes.
+fn dot_slack(terms: usize) -> f64 {
+    (terms as f64 + 2.0) * f64::EPSILON
+}
+
+/// Widens `[lo, hi]` outward by the rounding slack of a `terms`-long
+/// accumulation, guaranteeing the result brackets the exact value.
+fn outward(lo: f64, hi: f64, terms: usize) -> (f64, f64) {
+    let s = dot_slack(terms);
+    let pad_lo = lo.abs() * s + f64::MIN_POSITIVE;
+    let pad_hi = hi.abs() * s + f64::MIN_POSITIVE;
+    (lo - pad_lo, hi + pad_hi)
+}
+
+/// One interval dot product `a · [x_lo, x_hi]` with sign-split coefficient
+/// handling: a non-negative coefficient maps `[lo, hi]` to
+/// `[a·lo, a·hi]`, a negative one swaps the endpoints. The result is
+/// widened outward by the accumulated rounding slack, so it soundly
+/// brackets every real dot product `a · x` with `x_lo ≤ x ≤ x_hi`.
+#[must_use]
+pub fn interval_dot(a: &[f64], x_lo: &[f64], x_hi: &[f64]) -> (f64, f64) {
+    debug_assert_eq!(a.len(), x_lo.len());
+    debug_assert_eq!(a.len(), x_hi.len());
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for (k, &c) in a.iter().enumerate() {
+        if c >= 0.0 {
+            lo += c * x_lo[k];
+            hi += c * x_hi[k];
+        } else {
+            lo += c * x_hi[k];
+            hi += c * x_lo[k];
+        }
+    }
+    outward(lo, hi, a.len())
+}
+
+/// Interval mat-vec `M · [x_lo, x_hi]` over a flat row-major matrix,
+/// writing outward-rounded per-row bounds into `out_lo`/`out_hi`.
+///
+/// This is the abstract transformer of the MPT6xx verifier: applied to the
+/// exact discretization `Ad = exp(A·dt)` it propagates a guaranteed
+/// per-node temperature envelope one tick forward.
+pub fn interval_mat_vec(
+    m: &[f64],
+    n: usize,
+    x_lo: &[f64],
+    x_hi: &[f64],
+    out_lo: &mut [f64],
+    out_hi: &mut [f64],
+) {
+    debug_assert_eq!(m.len(), n * n);
+    for i in 0..n {
+        let (lo, hi) = interval_dot(&m[i * n..(i + 1) * n], x_lo, x_hi);
+        out_lo[i] = lo;
+        out_hi[i] = hi;
+    }
+}
+
+/// Interval product of two scalar intervals (used to scale fleet power
+/// envelopes by the `leakage_scale · workload_mix` jitter interval).
+#[must_use]
+pub fn interval_mul(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    let products = [a.0 * b.0, a.0 * b.1, a.1 * b.0, a.1 * b.1];
+    let lo = products.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = products.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    outward(lo, hi, 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,5 +634,65 @@ mod tests {
                 prop_assert!((lhs - b[i]).abs() < 1e-8);
             }
         }
+
+        #[test]
+        fn prop_interval_dot_brackets_every_realization(
+            coeffs in proptest::collection::vec(-3.0_f64..3.0, 4),
+            lows in proptest::collection::vec(-10.0_f64..10.0, 4),
+            widths in proptest::collection::vec(0.0_f64..5.0, 4),
+            picks in proptest::collection::vec(0.0_f64..1.0, 4),
+        ) {
+            let x_lo: Vec<f64> = lows.clone();
+            let x_hi: Vec<f64> = lows.iter().zip(&widths).map(|(l, w)| l + w).collect();
+            let (lo, hi) = interval_dot(&coeffs, &x_lo, &x_hi);
+            prop_assert!(lo <= hi);
+            // Any concrete point inside the box lands inside the bounds.
+            let x: Vec<f64> = x_lo
+                .iter()
+                .zip(&x_hi)
+                .zip(&picks)
+                .map(|((&l, &h), &t)| l + t * (h - l))
+                .collect();
+            let exact: f64 = coeffs.iter().zip(&x).map(|(c, v)| c * v).sum();
+            prop_assert!(lo <= exact && exact <= hi, "{lo} !<= {exact} !<= {hi}");
+        }
+
+        #[test]
+        fn prop_interval_mul_brackets_every_realization(
+            a_lo in -4.0_f64..4.0, a_w in 0.0_f64..3.0,
+            b_lo in -4.0_f64..4.0, b_w in 0.0_f64..3.0,
+            ta in 0.0_f64..1.0, tb in 0.0_f64..1.0,
+        ) {
+            let a = (a_lo, a_lo + a_w);
+            let b = (b_lo, b_lo + b_w);
+            let (lo, hi) = interval_mul(a, b);
+            let x = a.0 + ta * (a.1 - a.0);
+            let y = b.0 + tb * (b.1 - b.0);
+            prop_assert!(lo <= x * y && x * y <= hi);
+        }
+    }
+
+    #[test]
+    fn interval_mat_vec_is_exact_on_points_modulo_slack() {
+        // A degenerate (point) interval propagates to the concrete mat-vec
+        // result, widened only by the outward rounding slack.
+        let m = [0.5, -0.25, 0.1, 0.9];
+        let x = [2.0, -3.0];
+        let mut lo = [0.0; 2];
+        let mut hi = [0.0; 2];
+        interval_mat_vec(&m, 2, &x, &x, &mut lo, &mut hi);
+        let exact = [0.5 * 2.0 - 0.25 * -3.0, 0.1 * 2.0 + 0.9 * -3.0];
+        for i in 0..2 {
+            assert!(lo[i] <= exact[i] && exact[i] <= hi[i]);
+            assert!(hi[i] - lo[i] < 1e-12, "slack stays tiny: {}", hi[i] - lo[i]);
+        }
+    }
+
+    #[test]
+    fn interval_dot_swaps_endpoints_for_negative_coefficients() {
+        let (lo, hi) = interval_dot(&[-2.0], &[1.0], &[3.0]);
+        assert!(lo <= -6.0 && -6.0 <= hi);
+        assert!(lo <= -2.0 && -2.0 <= hi);
+        assert!(lo < -6.0 + 1e-9 && hi > -2.0 - 1e-9);
     }
 }

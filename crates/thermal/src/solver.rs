@@ -243,6 +243,54 @@ impl Discretization {
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
+
+    /// The flat row-major `Ad = exp(A·dt)` matrix.
+    #[must_use]
+    pub fn ad(&self) -> &[f64] {
+        &self.ad
+    }
+
+    /// The column-major `Bd = A⁻¹(Ad − I)B` matrix
+    /// (`bd_cols[j·n + i] = Bd[i][j]`).
+    #[must_use]
+    pub fn bd_cols(&self) -> &[f64] {
+        &self.bd_cols
+    }
+
+    /// Propagates a guaranteed state envelope one tick forward:
+    /// given `x_k ∈ [lo, hi]` (elementwise, deviation coordinates) and a
+    /// per-node power interval `p_k ∈ [p_lo, p_hi]`, overwrites
+    /// `lo`/`hi` with outward-rounded bounds on
+    /// `x_{k+1} = Ad·x_k + Bd·p_k`.
+    ///
+    /// This is the abstract transformer of the MPT6xx reachability
+    /// verifier: because it reuses the *same cached* `(Ad, Bd)` the
+    /// exact-LTI solver steps with, every concrete trajectory whose power
+    /// stays inside the interval is contained in the envelope by
+    /// induction, with outward rounding absorbing floating-point error.
+    pub fn step_interval(&self, lo: &mut [f64], hi: &mut [f64], p_lo: &[f64], p_hi: &[f64]) {
+        let n = self.n;
+        debug_assert_eq!(lo.len(), n);
+        debug_assert_eq!(hi.len(), n);
+        debug_assert_eq!(p_lo.len(), n);
+        debug_assert_eq!(p_hi.len(), n);
+        let mut next_lo = vec![0.0; n];
+        let mut next_hi = vec![0.0; n];
+        linalg::interval_mat_vec(&self.ad, n, lo, hi, &mut next_lo, &mut next_hi);
+        for j in 0..n {
+            if p_lo[j] == 0.0 && p_hi[j] == 0.0 {
+                continue;
+            }
+            let col = &self.bd_cols[j * n..(j + 1) * n];
+            for i in 0..n {
+                let (dl, dh) = linalg::interval_mul((col[i], col[i]), (p_lo[j], p_hi[j]));
+                next_lo[i] += dl;
+                next_hi[i] += dh;
+            }
+        }
+        lo.copy_from_slice(&next_lo);
+        hi.copy_from_slice(&next_hi);
+    }
 }
 
 /// Key of one cached discretization: the step size plus the network's
@@ -669,6 +717,44 @@ mod tests {
                 (outflow - p.value()).abs() < 1e-9,
                 "node {i}: outflow {outflow}"
             );
+        }
+    }
+
+    #[test]
+    fn interval_step_contains_every_concrete_trajectory() {
+        // Step the concrete exact-LTI recursion with a power sequence that
+        // wanders inside [0, 3] W on two nodes; the interval envelope fed
+        // the same discretization and the bracketing power interval must
+        // contain the concrete state at every tick.
+        let lti = odroid_lti();
+        let n = lti.len();
+        let disc = Discretization::build(&lti, 0.01).unwrap();
+        let mut solver = ExactLti::new();
+        let mut temps = vec![lti.ambient; n];
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![0.0; n];
+        let p_lo = vec![0.0; n];
+        let mut p_hi = vec![0.0; n];
+        p_hi[1] = 3.0;
+        p_hi[2] = 3.0;
+        let mut powers = vec![Watts::ZERO; n];
+        for k in 0..500u32 {
+            // A deterministic pseudo-random walk inside the interval.
+            powers[1] = Watts::new(1.5 + 1.5 * f64::from(k).sin());
+            powers[2] = Watts::new(1.5 - 1.5 * (0.7 * f64::from(k)).cos());
+            solver
+                .step(&lti, &mut temps, Seconds::new(0.01), &powers)
+                .unwrap();
+            disc.step_interval(&mut lo, &mut hi, &p_lo, &p_hi);
+            for i in 0..n {
+                let dev = temps[i].value() - lti.ambient.value();
+                assert!(
+                    lo[i] <= dev && dev <= hi[i],
+                    "tick {k} node {i}: {dev} outside [{}, {}]",
+                    lo[i],
+                    hi[i]
+                );
+            }
         }
     }
 

@@ -16,13 +16,22 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator — same layout
+// contract, no bookkeeping that could alias or retain the pointers; the
+// counter is a relaxed atomic with no effect on allocation itself. This
+// file is the workspace's only sanctioned `unsafe` outside the lint
+// allowlist (see ci.yml's unsafe gate).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; we
+        // forward the same layout unchanged.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by the matching `alloc` above with
+        // the same layout, as `GlobalAlloc::dealloc` requires.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Typed physical quantities for mobile power/thermal simulation.
 //!
